@@ -1,0 +1,14 @@
+"""Pytest bootstrap.
+
+Ensures the ``src`` layout is importable even when the package has not
+been installed (useful in offline environments where ``pip install -e .``
+cannot fetch the ``wheel`` build dependency; ``python setup.py develop``
+is the supported fallback, see README).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

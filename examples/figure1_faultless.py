@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Reproduce Figure 1: latency/throughput in ideal conditions (no faults).
+
+The paper runs HammerHead and Bullshark with 10, 50, and 100 honest
+validators under increasing load.  This script regenerates the same
+series on the simulator.  By default it uses reduced committee sizes and
+durations so it finishes in a few minutes; pass ``--paper-scale`` for the
+full committee sizes of the paper (much slower).
+
+Run with::
+
+    python examples/figure1_faultless.py
+    python examples/figure1_faultless.py --committees 10 50 --loads 1000 3000 4500
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import ExperimentConfig, format_table
+from repro.sim.sweep import compare_systems
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--committees", type=int, nargs="+", default=[10, 25])
+    parser.add_argument(
+        "--loads", type=float, nargs="+", default=[1000.0, 2500.0, 4000.0]
+    )
+    parser.add_argument("--duration", type=float, default=40.0)
+    parser.add_argument("--warmup", type=float, default=10.0)
+    parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's committee sizes (10, 50, 100) and longer runs",
+    )
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    committees = [10, 50, 100] if args.paper_scale else args.committees
+    duration = 120.0 if args.paper_scale else args.duration
+    warmup = 20.0 if args.paper_scale else args.warmup
+
+    all_reports = []
+    for committee_size in committees:
+        base = ExperimentConfig(
+            committee_size=committee_size,
+            faults=0,
+            duration=duration,
+            warmup=warmup,
+            seed=args.seed,
+            commits_per_schedule=10,
+        )
+        print(f"Sweeping committee of {committee_size} validators ...")
+        curves = compare_systems(base, loads=args.loads)
+        for protocol, results in curves.items():
+            for result in results:
+                all_reports.append(result.report)
+
+    print()
+    print(
+        format_table(
+            all_reports,
+            title="Figure 1 - latency/throughput with no faults (HammerHead vs Bullshark)",
+        )
+    )
+    print()
+    print("Expected shape (paper, Figure 1): both systems reach the same peak")
+    print("throughput; HammerHead's latency is no worse than Bullshark's.")
+
+
+if __name__ == "__main__":
+    main()

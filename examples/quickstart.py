@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: run HammerHead and baseline Bullshark on a small committee.
+
+This script runs two short simulated deployments (10 validators, 3 of
+them crashed) — one with the HammerHead reputation schedule and one with
+the static round-robin baseline — and prints the resulting performance
+side by side, together with the schedule changes HammerHead performed.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentConfig, format_table, run_experiment
+
+
+def main() -> None:
+    reports = []
+    results = {}
+    for protocol in ("hammerhead", "bullshark"):
+        config = ExperimentConfig(
+            protocol=protocol,
+            committee_size=10,
+            faults=3,                 # the maximum a committee of 10 tolerates
+            input_load_tps=1000.0,
+            duration=80.0,
+            warmup=40.0,
+            commits_per_schedule=10,  # the paper's evaluation parameter
+            seed=1,
+        )
+        print(f"Running {config.label()} ...")
+        result = run_experiment(config)
+        results[protocol] = result
+        reports.append(result.report)
+
+    print()
+    print(format_table(reports, title="HammerHead vs Bullshark, 10 validators, 3 crashed"))
+
+    hammerhead = results["hammerhead"]
+    print()
+    print(f"HammerHead performed {hammerhead.report.schedule_changes} schedule changes.")
+    print("Leaders that committed anchors (validator id -> commits):")
+    for leader, commits in sorted(hammerhead.commits_per_leader.items()):
+        print(f"  validator {leader:2d}: {commits}")
+    crashed = hammerhead.crashed_validators
+    print(f"Crashed validators {crashed} were excluded from the leader schedule; ")
+    print("the static baseline kept electing them, which is why its latency is higher.")
+
+
+if __name__ == "__main__":
+    main()

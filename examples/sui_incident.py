@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Reproduce the Sui mainnet incident described in the introduction.
+
+On August 29, roughly 10% of the validators became less responsive for
+two hours.  Although the system was under low load (about 130 tx/s), p95
+latency rose from 3.0 s to 4.6 s and p50 from 1.9 s to 2.2 s, because the
+static leader schedule kept electing the degraded validators.  This
+script reproduces the scenario at low load and shows how HammerHead
+removes the degraded validators from the schedule and restores latency.
+
+Run with::
+
+    python examples/sui_incident.py
+    python examples/sui_incident.py --committee 26 --extra-delay 0.8
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import Committee, ExperimentConfig, format_table, run_experiment
+from repro.faults.slow import degrade_fraction
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--committee", type=int, default=13, help="one validator per AWS region")
+    parser.add_argument("--load", type=float, default=130.0, help="the incident's ~130 tx/s")
+    parser.add_argument("--fraction", type=float, default=0.10)
+    parser.add_argument("--extra-delay", type=float, default=0.6)
+    parser.add_argument("--duration", type=float, default=90.0)
+    parser.add_argument("--warmup", type=float, default=40.0)
+    parser.add_argument("--seed", type=int, default=5)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    committee = Committee.build(args.committee)
+    reports = []
+    results = {}
+    for protocol in ("bullshark", "hammerhead"):
+        for degraded in (False, True):
+            extra_faults = ()
+            if degraded:
+                extra_faults = (
+                    degrade_fraction(
+                        committee, fraction=args.fraction, extra_delay=args.extra_delay
+                    ),
+                )
+            config = ExperimentConfig(
+                protocol=protocol,
+                committee_size=args.committee,
+                input_load_tps=args.load,
+                duration=args.duration,
+                warmup=args.warmup,
+                seed=args.seed,
+                commits_per_schedule=10,
+                extra_faults=extra_faults,
+            )
+            label = f"{protocol}, {'degraded' if degraded else 'healthy'}"
+            print(f"Running {label} ...")
+            result = run_experiment(config)
+            result.report.extra["degraded_validators"] = 1.0 if degraded else 0.0
+            results[(protocol, degraded)] = result
+            reports.append(result.report)
+
+    print()
+    print(format_table(reports, title="Sui incident scenario - 10% degraded validators, low load"))
+    print()
+    healthy = results[("bullshark", False)]
+    static = results[("bullshark", True)]
+    dynamic = results[("hammerhead", True)]
+    print(f"Static schedule:     p50 {static.report.p50_latency_s:.2f}s, p95 {static.report.p95_latency_s:.2f}s")
+    print(f"Healthy baseline:    p50 {healthy.report.p50_latency_s:.2f}s, p95 {healthy.report.p95_latency_s:.2f}s")
+    print(f"HammerHead degraded: p50 {dynamic.report.p50_latency_s:.2f}s, p95 {dynamic.report.p95_latency_s:.2f}s")
+    print()
+    print("As in the incident, the static schedule's tail latency rises even at")
+    print("low load; HammerHead demotes the degraded validators after the first")
+    print("schedule epoch and latency returns close to the healthy baseline.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools entry point.
+
+The pyproject.toml file carries all package metadata; this file exists so
+that ``pip install -e .`` works in offline environments whose setuptools
+lacks the ``wheel`` package required by the PEP 660 editable-install path
+(``pip install -e . --no-build-isolation --no-use-pep517`` and
+``python setup.py develop`` both work with this file present).
+"""
+
+from setuptools import setup
+
+setup()

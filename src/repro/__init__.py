@@ -1,0 +1,127 @@
+"""HammerHead: Leader Reputation for Dynamic Scheduling — Python reproduction.
+
+This package reproduces the system described in "HammerHead: Leader
+Reputation for Dynamic Scheduling" (Tsimos, Kichidis, Sonnino,
+Kokoris-Kogias; ICDCS 2024).  It contains:
+
+* a discrete-event simulation substrate (network, storage, crypto);
+* a Narwhal-style DAG mempool and the Bullshark consensus protocol;
+* the HammerHead reputation-based dynamic leader schedule (the paper's
+  contribution) and the static round-robin baseline;
+* fault injection, workload generation, and metrics;
+* an experiment harness regenerating every figure of the paper's
+  evaluation.
+
+Quickstart::
+
+    from repro import ExperimentConfig, run_experiment
+
+    result = run_experiment(ExperimentConfig(
+        protocol="hammerhead",
+        committee_size=10,
+        faults=3,
+        input_load_tps=500,
+        duration=20.0,
+    ))
+    print(result.report.throughput_tps, result.report.avg_latency_s)
+"""
+
+from repro.committee import Committee, equal_stake, geometric_stake, zipfian_stake
+from repro.core import (
+    CarouselScoring,
+    CommitCountPolicy,
+    HammerHeadScheduleManager,
+    HammerHeadScoring,
+    ReputationScores,
+    RoundBasedPolicy,
+    ShoalScoring,
+    StaticScheduleManager,
+    compute_next_schedule,
+)
+from repro.consensus import BullsharkConsensus, CommittedSubDag, OrderedVertex
+from repro.dag import DagStore, Vertex, genesis_vertices, make_vertex
+from repro.metrics import (
+    ExecutionModel,
+    LatencyStats,
+    LeaderUtilizationStats,
+    MetricsCollector,
+    PerformanceReport,
+    format_table,
+)
+from repro.network import (
+    GeoLatencyModel,
+    Network,
+    PartialSynchrony,
+    Simulator,
+    UniformLatencyModel,
+)
+from repro.node import NodeConfig, ValidatorNode
+from repro.schedule import LeaderSchedule, initial_schedule
+from repro.sim import (
+    ExperimentConfig,
+    ExperimentResult,
+    SimulationRunner,
+    compare_systems,
+    latency_throughput_curve,
+    run_experiment,
+)
+from repro.workload import LoadGenerator, Transaction, spawn_load
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Committee / stake
+    "Committee",
+    "equal_stake",
+    "geometric_stake",
+    "zipfian_stake",
+    # Core (HammerHead)
+    "ReputationScores",
+    "HammerHeadScoring",
+    "ShoalScoring",
+    "CarouselScoring",
+    "CommitCountPolicy",
+    "RoundBasedPolicy",
+    "compute_next_schedule",
+    "HammerHeadScheduleManager",
+    "StaticScheduleManager",
+    # DAG / consensus
+    "DagStore",
+    "Vertex",
+    "make_vertex",
+    "genesis_vertices",
+    "BullsharkConsensus",
+    "CommittedSubDag",
+    "OrderedVertex",
+    # Schedules
+    "LeaderSchedule",
+    "initial_schedule",
+    # Network / simulation substrate
+    "Simulator",
+    "Network",
+    "GeoLatencyModel",
+    "UniformLatencyModel",
+    "PartialSynchrony",
+    # Node
+    "NodeConfig",
+    "ValidatorNode",
+    # Workload
+    "Transaction",
+    "LoadGenerator",
+    "spawn_load",
+    # Metrics
+    "MetricsCollector",
+    "ExecutionModel",
+    "LatencyStats",
+    "LeaderUtilizationStats",
+    "PerformanceReport",
+    "format_table",
+    # Experiments
+    "ExperimentConfig",
+    "ExperimentResult",
+    "SimulationRunner",
+    "run_experiment",
+    "latency_throughput_curve",
+    "compare_systems",
+]

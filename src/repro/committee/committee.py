@@ -1,0 +1,194 @@
+"""The validator committee.
+
+A :class:`Committee` is the static membership information every validator
+knows: who the validators are, how much stake each holds, which region
+each runs in, and the derived quorum thresholds.  Committees are immutable
+for the duration of an epoch; HammerHead changes the *leader schedule*
+within a committee, never the committee itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.committee.stake import StakeDistribution, equal_stake
+from repro.crypto.keys import KeyPair, PublicKey, keypairs_for_committee
+from repro.errors import CommitteeError
+from repro.types import Region, Stake, ValidatorId, quorum_threshold, validity_threshold
+
+# The thirteen AWS regions used by the paper's evaluation testbed.
+DEFAULT_REGIONS: Tuple[str, ...] = (
+    "us-east-1",
+    "us-west-2",
+    "ca-central-1",
+    "eu-central-1",
+    "eu-west-1",
+    "eu-west-2",
+    "eu-west-3",
+    "eu-north-1",
+    "ap-south-1",
+    "ap-southeast-1",
+    "ap-southeast-2",
+    "ap-northeast-1",
+    "ap-northeast-2",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ValidatorInfo:
+    """Static metadata describing one committee member."""
+
+    validator: ValidatorId
+    name: str
+    stake: Stake
+    region: Region
+    public_key: PublicKey
+
+
+class Committee:
+    """An immutable set of validators with stake and region placement."""
+
+    def __init__(self, members: Sequence[ValidatorInfo]) -> None:
+        if not members:
+            raise CommitteeError("a committee needs at least one validator")
+        expected_ids = list(range(len(members)))
+        actual_ids = [member.validator for member in members]
+        if actual_ids != expected_ids:
+            raise CommitteeError(
+                "committee members must be supplied in index order 0..n-1; "
+                f"got {actual_ids}"
+            )
+        if any(member.stake <= 0 for member in members):
+            raise CommitteeError("every validator must hold positive stake")
+        self._members: Tuple[ValidatorInfo, ...] = tuple(members)
+        self._total_stake: Stake = sum(member.stake for member in members)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        size: int,
+        stake: Optional[StakeDistribution] = None,
+        regions: Sequence[str] = DEFAULT_REGIONS,
+        seed: int = 0,
+    ) -> "Committee":
+        """Build a committee of ``size`` validators.
+
+        Validators are spread over ``regions`` as equally as possible, the
+        same placement policy the paper uses on AWS.  Key pairs are derived
+        deterministically from ``seed`` so simulations are reproducible.
+        """
+        if size <= 0:
+            raise CommitteeError("committee size must be positive")
+        if not regions:
+            raise CommitteeError("at least one region is required")
+        distribution = stake if stake is not None else equal_stake(size)
+        if distribution.size != size:
+            raise CommitteeError(
+                f"stake distribution covers {distribution.size} validators, "
+                f"but the committee has {size}"
+            )
+        keypairs = keypairs_for_committee(size, seed=seed)
+        members = []
+        for index in range(size):
+            region_name = regions[index % len(regions)]
+            members.append(
+                ValidatorInfo(
+                    validator=index,
+                    name=f"validator-{index}",
+                    stake=distribution.stake_of(index),
+                    region=Region(region_name),
+                    public_key=keypairs[index].public,
+                )
+            )
+        return cls(members)
+
+    @staticmethod
+    def keypairs(size: int, seed: int = 0) -> Dict[ValidatorId, KeyPair]:
+        """Return the signing key pairs matching :meth:`build` with ``seed``."""
+        return keypairs_for_committee(size, seed=seed)
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._members)
+
+    @property
+    def validators(self) -> Tuple[ValidatorId, ...]:
+        return tuple(member.validator for member in self._members)
+
+    def __iter__(self) -> Iterator[ValidatorInfo]:
+        return iter(self._members)
+
+    def __contains__(self, validator: ValidatorId) -> bool:
+        return 0 <= validator < len(self._members)
+
+    def info(self, validator: ValidatorId) -> ValidatorInfo:
+        if validator not in self:
+            raise CommitteeError(f"unknown validator {validator}")
+        return self._members[validator]
+
+    def stake_of(self, validator: ValidatorId) -> Stake:
+        return self.info(validator).stake
+
+    def region_of(self, validator: ValidatorId) -> Region:
+        return self.info(validator).region
+
+    def public_key_of(self, validator: ValidatorId) -> PublicKey:
+        return self.info(validator).public_key
+
+    # -- stake arithmetic ---------------------------------------------------
+
+    @property
+    def total_stake(self) -> Stake:
+        return self._total_stake
+
+    @property
+    def quorum_threshold(self) -> Stake:
+        """The 2f+1 threshold expressed in stake."""
+        return quorum_threshold(self._total_stake)
+
+    @property
+    def validity_threshold(self) -> Stake:
+        """The f+1 threshold expressed in stake."""
+        return validity_threshold(self._total_stake)
+
+    @property
+    def max_faulty(self) -> int:
+        """The maximum number of faulty validators tolerated, ``f = (n-1)//3``."""
+        return (self.size - 1) // 3
+
+    def stake(self, validators: Iterable[ValidatorId]) -> Stake:
+        """Total stake held by ``validators`` (duplicates counted once)."""
+        return sum(self.stake_of(validator) for validator in set(validators))
+
+    def has_quorum(self, validators: Iterable[ValidatorId]) -> bool:
+        return self.stake(validators) >= self.quorum_threshold
+
+    def has_validity(self, validators: Iterable[ValidatorId]) -> bool:
+        return self.stake(validators) >= self.validity_threshold
+
+    # -- stake-ordered helpers ----------------------------------------------
+
+    def by_stake(self, descending: bool = True) -> List[ValidatorId]:
+        """Validator ids ordered by stake, ties broken by id."""
+        return sorted(
+            self.validators,
+            key=lambda validator: (-self.stake_of(validator), validator)
+            if descending
+            else (self.stake_of(validator), validator),
+        )
+
+    def sample(self, count: int, rng: Optional[random.Random] = None) -> List[ValidatorId]:
+        """Sample ``count`` distinct validators uniformly at random."""
+        if count > self.size:
+            raise CommitteeError("cannot sample more validators than the committee holds")
+        generator = rng if rng is not None else random.Random(0)
+        return generator.sample(list(self.validators), count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Committee(size={self.size}, total_stake={self.total_stake})"

@@ -1,0 +1,75 @@
+"""Stake distributions for committees.
+
+The paper notes that real blockchains have validators with heterogeneous
+stake, and that high-stake validators occupy more leader slots.  The
+simulator therefore supports several stake distributions: uniform (used in
+the paper's evaluation, where every AWS validator is identical), geometric
+(a few heavy hitters), and Zipfian (a realistic long tail).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from repro.errors import CommitteeError
+from repro.types import Stake
+
+
+@dataclasses.dataclass(frozen=True)
+class StakeDistribution:
+    """An assignment of stake to each validator index."""
+
+    stakes: Sequence[Stake]
+
+    def __post_init__(self) -> None:
+        if not self.stakes:
+            raise CommitteeError("a stake distribution needs at least one validator")
+        if any(stake <= 0 for stake in self.stakes):
+            raise CommitteeError("every validator must hold positive stake")
+
+    @property
+    def size(self) -> int:
+        return len(self.stakes)
+
+    @property
+    def total(self) -> Stake:
+        return sum(self.stakes)
+
+    def stake_of(self, validator: int) -> Stake:
+        return self.stakes[validator]
+
+    def as_list(self) -> List[Stake]:
+        return list(self.stakes)
+
+
+def equal_stake(size: int, per_validator: Stake = 1) -> StakeDistribution:
+    """Uniform stake, as in the paper's AWS evaluation."""
+    if size <= 0:
+        raise CommitteeError("committee size must be positive")
+    return StakeDistribution(tuple(per_validator for _ in range(size)))
+
+
+def geometric_stake(size: int, ratio: float = 0.9, scale: int = 1000) -> StakeDistribution:
+    """Geometrically decaying stake: validator ``i`` holds ``scale * ratio**i``.
+
+    Produces a committee with a small number of dominant validators, the
+    setting the introduction describes where the failure of a high-stake
+    validator removes many leader slots at once.
+    """
+    if size <= 0:
+        raise CommitteeError("committee size must be positive")
+    if not 0.0 < ratio <= 1.0:
+        raise CommitteeError("ratio must lie in (0, 1]")
+    stakes = [max(1, int(round(scale * ratio**index))) for index in range(size)]
+    return StakeDistribution(tuple(stakes))
+
+
+def zipfian_stake(size: int, exponent: float = 1.0, scale: int = 1000) -> StakeDistribution:
+    """Zipfian stake: validator ``i`` holds ``scale / (i + 1)**exponent``."""
+    if size <= 0:
+        raise CommitteeError("committee size must be positive")
+    if exponent < 0.0:
+        raise CommitteeError("exponent must be non-negative")
+    stakes = [max(1, int(round(scale / (index + 1) ** exponent))) for index in range(size)]
+    return StakeDistribution(tuple(stakes))

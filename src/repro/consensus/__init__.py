@@ -1,0 +1,16 @@
+"""Bullshark consensus over the DAG (Algorithm 2 of the paper).
+
+The engine interprets a validator's local DAG: it elects an anchor on
+every even round according to the leader schedule, commits an anchor once
+``f+1`` (by stake) vertices of the following round vote for it, and then
+orders the anchor's causal history deterministically.  Skipped anchors are
+ordered retroactively when a later committed anchor has a path to them.
+The engine is parameterized by a schedule manager, which is how the same
+code runs both baseline Bullshark (static schedule) and HammerHead
+(dynamic schedule).
+"""
+
+from repro.consensus.bullshark import BullsharkConsensus
+from repro.consensus.committed import CommittedSubDag, OrderedVertex
+
+__all__ = ["BullsharkConsensus", "CommittedSubDag", "OrderedVertex"]

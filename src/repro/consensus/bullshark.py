@@ -1,0 +1,287 @@
+"""The Bullshark commit rule and anchor ordering (Algorithm 2).
+
+One :class:`BullsharkConsensus` instance runs inside every validator.  It
+is driven by vertex insertions into the validator's local DAG and produces
+a totally ordered sequence of vertices.  The leader of each anchor round
+is obtained from a :class:`~repro.core.manager.ScheduleManager`; plugging
+in the static manager yields baseline Bullshark, plugging in the
+HammerHead manager yields the paper's protocol.
+
+Differences from the pseudocode that matter for the reproduction:
+
+* Commit attempts are evaluated against *all* vertices currently known for
+  the voting round rather than only the edges of the vertex that triggered
+  the attempt.  Both formulations commit exactly when ``f+1`` (by stake)
+  voting vertices link to the anchor, and the aggregate form lets the
+  engine re-evaluate cheaply after a schedule change.
+* When a schedule change triggers while ordering a stack of anchors
+  (``orderHistory``, line 32), the remaining stack is discarded and the
+  commit attempt restarts under the new schedule.  This is the retroactive
+  schedule application described in Section 3.1: rounds after the change
+  must be interpreted under the new schedule, so anchors selected for
+  those rounds under the old schedule are recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, List, Optional, Set
+
+from repro.committee import Committee
+from repro.consensus.committed import CommittedSubDag, OrderedVertex
+from repro.core.manager import ScheduleManager
+from repro.dag.store import DagStore
+from repro.dag.vertex import Vertex
+from repro.errors import ConsensusError
+from repro.types import Round, SimTime, ValidatorId, VertexId, is_anchor_round
+
+# Callbacks the embedding node can register.
+OrderedCallback = Callable[[OrderedVertex], None]
+CommitCallback = Callable[[CommittedSubDag], None]
+
+
+class BullsharkConsensus:
+    """Per-validator consensus engine interpreting the local DAG."""
+
+    def __init__(
+        self,
+        owner: ValidatorId,
+        committee: Committee,
+        dag: DagStore,
+        schedule_manager: ScheduleManager,
+        record_sequence: bool = True,
+    ) -> None:
+        self.owner = owner
+        self.committee = committee
+        self.dag = dag
+        self.schedule_manager = schedule_manager
+        self.record_sequence = record_sequence
+
+        # ``lastOrderedRound`` from Algorithm 2 (tracks anchor rounds).
+        self.last_ordered_anchor_round: Round = 0
+        # Vertices already output in the total order.
+        self.ordered_vertices: Set[VertexId] = set()
+        # Ordered output, kept when ``record_sequence`` is set (tests use it
+        # to check Total Order; large simulations disable it to save memory).
+        self.ordered_sequence: List[OrderedVertex] = []
+        self.committed_subdags: List[CommittedSubDag] = []
+        # (from_round, to_round) intervals skipped by state sync.
+        self.state_sync_gaps: List[tuple] = []
+        self.ordered_count = 0
+        self.commit_count = 0
+        # Rolling digest of the ordered (round, source) sequence; two
+        # validators with the same count and digest ordered the same prefix.
+        self._ordering_digest = hashlib.sha256()
+
+        self._ordered_callbacks: List[OrderedCallback] = []
+        self._commit_callbacks: List[CommitCallback] = []
+        # Clock source; the node wires this to the simulator.  Defaults to
+        # a constant so the engine can run outside a simulation (tests).
+        self.clock: Callable[[], SimTime] = lambda: 0.0
+
+    # -- callback registration ----------------------------------------------------
+
+    def on_ordered(self, callback: OrderedCallback) -> None:
+        self._ordered_callbacks.append(callback)
+
+    def on_commit(self, callback: CommitCallback) -> None:
+        self._commit_callbacks.append(callback)
+
+    # -- public driving interface ----------------------------------------------------
+
+    def process_vertex(self, vertex: Vertex) -> List[CommittedSubDag]:
+        """React to a vertex having been inserted into the local DAG.
+
+        Vote-round vertices may complete the ``f+1`` quorum of an anchor,
+        and anchor-round vertices may be anchors themselves, so any
+        insertion can unlock commits.  Returns the sub-DAGs committed as a
+        consequence of this insertion (possibly empty).
+        """
+        if vertex.round < 1:
+            return []
+        return self.try_commit()
+
+    def try_commit(self) -> List[CommittedSubDag]:
+        """Attempt to commit anchors given the current DAG contents."""
+        committed: List[CommittedSubDag] = []
+        # A schedule change mid-ordering restarts the scan (see module
+        # docstring); the loop runs until no further anchor can be
+        # committed under the then-active schedule.
+        while True:
+            anchor = self._find_directly_committable_anchor()
+            if anchor is None:
+                break
+            newly = self._order_anchor_chain(anchor)
+            committed.extend(newly)
+            if not newly:
+                break
+        return committed
+
+    # -- commit rule -------------------------------------------------------------------
+
+    def _get_anchor(self, round_number: Round) -> Optional[Vertex]:
+        """``getAnchor(r)`` from Algorithm 1."""
+        if not is_anchor_round(round_number):
+            return None
+        leader = self.schedule_manager.leader_for_round(round_number)
+        return self.dag.vertex_of(round_number, leader)
+
+    def _direct_vote_stake(self, anchor: Vertex) -> int:
+        """Stake of voting-round vertices that link directly to ``anchor``."""
+        voters = [
+            vertex.source
+            for vertex in self.dag.vertices_at(anchor.round + 1)
+            if anchor.id in vertex.edges
+        ]
+        return self.committee.stake(voters)
+
+    def _find_directly_committable_anchor(self) -> Optional[Vertex]:
+        """The highest uncommitted anchor with an ``f+1`` stake of votes."""
+        highest_round = self.dag.highest_round()
+        best: Optional[Vertex] = None
+        round_number = self.last_ordered_anchor_round + 2
+        if round_number % 2 != 0:
+            round_number += 1
+        if round_number < 2:
+            round_number = 2
+        while round_number + 1 <= highest_round:
+            anchor = self._get_anchor(round_number)
+            if anchor is not None:
+                if self._direct_vote_stake(anchor) >= self.committee.validity_threshold:
+                    best = anchor
+            round_number += 2
+        return best
+
+    # -- ordering (``orderAnchors`` / ``orderHistory``) -----------------------------------
+
+    def _order_anchor_chain(self, anchor: Vertex) -> List[CommittedSubDag]:
+        """Order ``anchor`` and every earlier anchor it reaches (Algorithm 2)."""
+        stack: List[Vertex] = [anchor]
+        current = anchor
+        round_number = anchor.round - 2
+        while round_number > self.last_ordered_anchor_round and round_number >= 2:
+            previous_anchor = self._get_anchor(round_number)
+            if previous_anchor is not None and self.dag.path(current.id, previous_anchor.id):
+                stack.append(previous_anchor)
+                current = previous_anchor
+            round_number -= 2
+        return self._order_history(stack, directly_committed=anchor)
+
+    def _order_history(
+        self, stack: List[Vertex], directly_committed: Vertex
+    ) -> List[CommittedSubDag]:
+        committed: List[CommittedSubDag] = []
+        while stack:
+            next_anchor = stack.pop()
+            if next_anchor.round <= self.last_ordered_anchor_round:
+                raise ConsensusError(
+                    f"validator {self.owner} attempted to re-order anchor round "
+                    f"{next_anchor.round} (already ordered up to "
+                    f"{self.last_ordered_anchor_round})"
+                )
+            subdag = self._commit_anchor(
+                next_anchor, direct=next_anchor.id == directly_committed.id
+            )
+            committed.append(subdag)
+            schedule_changed = self._notify_commit(next_anchor)
+            if schedule_changed and stack:
+                # The schedule now active starts after ``next_anchor.round``;
+                # the anchors still on the stack belong to later rounds and
+                # were chosen under the superseded schedule, so they must be
+                # re-derived.  ``try_commit`` restarts the scan.
+                break
+        return committed
+
+    def _commit_anchor(self, anchor: Vertex, direct: bool) -> CommittedSubDag:
+        now = self.clock()
+        vertices = self.dag.causal_history(anchor.id, exclude=self.ordered_vertices)
+        ordered: List[Vertex] = []
+        for vertex in vertices:
+            if vertex.id in self.ordered_vertices:
+                continue
+            self.ordered_vertices.add(vertex.id)
+            ordered.append(vertex)
+            self._emit_ordered(vertex, anchor.round, now)
+        # Skipped anchors between the previously ordered anchor round and
+        # this one are reported to the schedule manager (used by the
+        # Shoal-style scoring ablation).
+        skipped_round = self.last_ordered_anchor_round + 2
+        if skipped_round < 2:
+            skipped_round = 2
+        while skipped_round < anchor.round:
+            self.schedule_manager.on_anchor_skipped(skipped_round)
+            skipped_round += 2
+        self.last_ordered_anchor_round = anchor.round
+        self.commit_count += 1
+        subdag = CommittedSubDag(
+            anchor=anchor,
+            vertices=tuple(ordered),
+            committed_at=now,
+            direct=direct,
+        )
+        if self.record_sequence:
+            self.committed_subdags.append(subdag)
+        for callback in self._commit_callbacks:
+            callback(subdag)
+        return subdag
+
+    def _emit_ordered(self, vertex: Vertex, anchor_round: Round, now: SimTime) -> None:
+        record = OrderedVertex(
+            vertex=vertex,
+            ordered_at=now,
+            anchor_round=anchor_round,
+            position=self.ordered_count,
+        )
+        self.ordered_count += 1
+        self._ordering_digest.update(
+            f"{vertex.round}:{vertex.source};".encode("ascii")
+        )
+        if self.record_sequence:
+            self.ordered_sequence.append(record)
+        self.schedule_manager.on_vertex_ordered(vertex)
+        for callback in self._ordered_callbacks:
+            callback(record)
+
+    def _notify_commit(self, anchor: Vertex) -> bool:
+        """Tell the schedule manager about the commit; ``True`` on a switch."""
+        new_schedule = self.schedule_manager.on_anchor_committed(anchor)
+        return new_schedule is not None
+
+    # -- state sync -------------------------------------------------------------------------
+
+    def fast_forward(self, horizon_round: Round) -> Optional[Round]:
+        """Skip ordering of history below ``horizon_round`` (state sync).
+
+        A validator that falls behind its peers' garbage-collection horizon
+        can no longer retrieve the full DAG for the rounds it missed; the
+        production system resolves this with checkpoint-based state sync.
+        The simulation models it by advancing ``lastOrderedRound`` to the
+        horizon: ordering resumes from the first anchor round at or after
+        it, and the skipped interval is recorded in ``state_sync_gaps``.
+        Returns the new last-ordered round, or ``None`` when no jump was
+        needed.
+        """
+        target = horizon_round if horizon_round % 2 == 0 else horizon_round + 1
+        if target <= self.last_ordered_anchor_round:
+            return None
+        self.state_sync_gaps.append((self.last_ordered_anchor_round, target))
+        self.last_ordered_anchor_round = target
+        return target
+
+    # -- introspection ---------------------------------------------------------------------
+
+    @property
+    def ordering_digest(self) -> str:
+        """Hex digest summarizing the ordered prefix (for safety checks)."""
+        return self._ordering_digest.hexdigest()
+
+    def ordered_ids(self) -> List[VertexId]:
+        """The ordered sequence as vertex ids (requires ``record_sequence``)."""
+        return [record.vertex.id for record in self.ordered_sequence]
+
+    def garbage_collect(self, keep_rounds: int = 20) -> int:
+        """Prune DAG rounds far below the last ordered anchor round."""
+        horizon = self.last_ordered_anchor_round - keep_rounds
+        if horizon <= 0:
+            return 0
+        return self.dag.garbage_collect(horizon)

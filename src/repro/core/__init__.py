@@ -1,0 +1,55 @@
+"""HammerHead core: reputation-based dynamic leader scheduling.
+
+This package holds the paper's primary contribution:
+
+* :class:`ReputationScores` — per-validator scores accumulated during a
+  schedule epoch (Section 3).
+* Scoring rules — the HammerHead voting rule plus the Shoal-style and
+  Carousel-style alternatives used in the ablation benchmarks.
+* Schedule-change policies — when to recompute the schedule (every ``N``
+  commits as in the evaluation, or every ``T`` rounds as in Algorithm 2).
+* :func:`compute_next_schedule` — the bottom-``f`` / top-``f`` slot swap.
+* :class:`HammerHeadScheduleManager` — the per-validator component that
+  tracks the active schedule, applies schedule changes on committed
+  anchors, and answers ``getLeader`` queries, including retroactively for
+  rounds committed late.
+* :class:`StaticScheduleManager` — the Bullshark baseline (no changes).
+"""
+
+from repro.core.scores import ReputationScores
+from repro.core.scoring import (
+    CarouselScoring,
+    HammerHeadScoring,
+    ScoringContext,
+    ScoringRule,
+    ShoalScoring,
+)
+from repro.core.schedule_change import (
+    CommitCountPolicy,
+    RoundBasedPolicy,
+    ScheduleChangePolicy,
+    compute_next_schedule,
+    select_swap_sets,
+)
+from repro.core.manager import (
+    HammerHeadScheduleManager,
+    ScheduleManager,
+    StaticScheduleManager,
+)
+
+__all__ = [
+    "ReputationScores",
+    "ScoringRule",
+    "ScoringContext",
+    "HammerHeadScoring",
+    "ShoalScoring",
+    "CarouselScoring",
+    "ScheduleChangePolicy",
+    "CommitCountPolicy",
+    "RoundBasedPolicy",
+    "compute_next_schedule",
+    "select_swap_sets",
+    "ScheduleManager",
+    "HammerHeadScheduleManager",
+    "StaticScheduleManager",
+]

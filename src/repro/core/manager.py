@@ -1,0 +1,256 @@
+"""Schedule managers: the per-validator side of HammerHead.
+
+A schedule manager answers ``getLeader(round)`` queries for the consensus
+engine and the round-advancement logic, accumulates reputation scores from
+the committed prefix, and switches to the next schedule when the
+schedule-change policy fires on a committed anchor.  Because both the
+scores and the trigger depend only on the totally ordered committed
+prefix, every honest validator walks through exactly the same sequence of
+schedules (Proposition 1), possibly at different wall-clock times — a
+lagging validator applies them retroactively by looking up older schedules
+in its history.
+
+Two managers implement the same interface:
+
+* :class:`StaticScheduleManager` — baseline Bullshark: the initial
+  schedule is used forever.
+* :class:`HammerHeadScheduleManager` — the paper's mechanism.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.committee import Committee
+from repro.core.schedule_change import (
+    CommitCountPolicy,
+    ScheduleChangePolicy,
+    compute_next_schedule,
+)
+from repro.core.scores import ReputationScores
+from repro.core.scoring import HammerHeadScoring, ScoringContext, ScoringRule
+from repro.dag.vertex import Vertex
+from repro.errors import ScheduleError
+from repro.schedule.base import LeaderSchedule
+from repro.types import Round, ValidatorId, VertexId, is_anchor_round
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduleChangeRecord:
+    """Bookkeeping about one schedule switch (exposed for tests/metrics)."""
+
+    epoch: int
+    triggered_by_round: Round
+    new_initial_round: Round
+    scores: Dict[ValidatorId, float]
+    demoted_slots: int
+
+
+class ScheduleManager:
+    """Common interface of the static and HammerHead schedule managers."""
+
+    def __init__(self, committee: Committee, initial: LeaderSchedule) -> None:
+        self.committee = committee
+        self.history: List[LeaderSchedule] = [initial]
+
+    # -- leader lookup ---------------------------------------------------------
+
+    @property
+    def active_schedule(self) -> LeaderSchedule:
+        return self.history[-1]
+
+    def schedule_for_round(self, round_number: Round) -> LeaderSchedule:
+        """The schedule covering ``round_number``.
+
+        Rounds older than the active schedule are resolved against the
+        schedule history, which is what lets a validator that commits an
+        old anchor late interpret it under the schedule that was active
+        for that round (retroactive application, Section 3.1).
+        """
+        if not is_anchor_round(round_number):
+            raise ScheduleError(f"round {round_number} is not an anchor round")
+        chosen: Optional[LeaderSchedule] = None
+        for schedule in self.history:
+            if schedule.initial_round <= round_number:
+                chosen = schedule
+            else:
+                break
+        if chosen is None:
+            # Rounds before the very first schedule fall back to it; this
+            # only happens for the first anchor round of the DAG.
+            chosen = self.history[0]
+        return chosen
+
+    def leader_for_round(self, round_number: Round) -> ValidatorId:
+        """``getLeader(round, activeSchedule)`` from Algorithm 1."""
+        schedule = self.schedule_for_round(round_number)
+        return schedule.leader_for_round(max(round_number, schedule.initial_round))
+
+    # -- consensus feedback -------------------------------------------------------
+
+    def on_vertex_ordered(self, vertex: Vertex) -> None:
+        """A vertex was linearized as part of a committed sub-DAG."""
+
+    def on_anchor_committed(self, anchor: Vertex) -> Optional[LeaderSchedule]:
+        """An anchor was committed; returns the new schedule if one started."""
+        return None
+
+    def on_anchor_skipped(self, round_number: Round) -> None:
+        """The anchor of ``round_number`` was skipped by the commit rule."""
+
+    # -- state sync -----------------------------------------------------------------
+
+    def adopt_state(
+        self,
+        schedules: List[LeaderSchedule],
+        scores: Dict[ValidatorId, float],
+        commits_in_epoch: int,
+    ) -> None:
+        """Adopt schedule state received through state sync (checkpoints).
+
+        The static manager has no dynamic state beyond its single schedule,
+        so the default implementation is a no-op.
+        """
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def epochs(self) -> int:
+        return len(self.history)
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class StaticScheduleManager(ScheduleManager):
+    """Baseline Bullshark: the initial (round-robin) schedule never changes."""
+
+    def describe(self) -> str:
+        return "static round-robin schedule (Bullshark baseline)"
+
+
+class HammerHeadScheduleManager(ScheduleManager):
+    """The HammerHead dynamic schedule manager."""
+
+    def __init__(
+        self,
+        committee: Committee,
+        initial: LeaderSchedule,
+        policy: Optional[ScheduleChangePolicy] = None,
+        scoring: Optional[ScoringRule] = None,
+        exclude_fraction: float = 1.0 / 3.0,
+    ) -> None:
+        super().__init__(committee, initial)
+        self.policy = policy if policy is not None else CommitCountPolicy(10)
+        self.scoring = scoring if scoring is not None else HammerHeadScoring()
+        self.exclude_fraction = exclude_fraction
+        # The swap that produces each new schedule is always applied to the
+        # unbiased initial slot assignment (see compute_next_schedule): a
+        # validator that stops under-performing automatically regains its
+        # original representation at the next schedule change.
+        self._base_slots = initial.slots
+        self.scores = ReputationScores(committee)
+        self._context = ScoringContext(committee=committee, scores=self.scores)
+        self.commits_in_epoch = 0
+        self.change_records: List[ScheduleChangeRecord] = []
+
+    # -- consensus feedback ---------------------------------------------------------
+
+    def on_vertex_ordered(self, vertex: Vertex) -> None:
+        """Update reputation from one newly linearized vertex.
+
+        The vertex is part of a committed sub-DAG, so every honest
+        validator processes it (in the same order), which keeps the scores
+        identical everywhere.  Scoring looks one round back: if this vertex
+        links to the leader vertex of the previous (anchor) round, the
+        vertex's source voted for that leader.
+        """
+        self.scoring.on_vertex_in_committed_subdag(
+            vertex.source, vertex.round, self._context
+        )
+        previous_round = vertex.round - 1
+        if not is_anchor_round(previous_round):
+            return
+        leader = self.leader_for_round(previous_round)
+        leader_vertex = VertexId(round=previous_round, source=leader)
+        if leader_vertex in vertex.edges:
+            self.scoring.on_vote(vertex.source, previous_round, self._context)
+
+    def on_anchor_skipped(self, round_number: Round) -> None:
+        if not is_anchor_round(round_number):
+            return
+        leader = self.leader_for_round(round_number)
+        self.scoring.on_anchor_skipped(leader, round_number, self._context)
+
+    def on_anchor_committed(self, anchor: Vertex) -> Optional[LeaderSchedule]:
+        """Count the commit and switch schedules when the policy fires."""
+        self.scoring.on_anchor_committed(anchor.source, anchor.round, self._context)
+        self.commits_in_epoch += 1
+        active = self.active_schedule
+        if anchor.round < active.initial_round:
+            # An anchor committed retroactively under an older schedule
+            # never triggers a new change: the change it could have
+            # triggered has already happened (it is what created the
+            # current active schedule).
+            return None
+        if not self.policy.should_change(self.commits_in_epoch, anchor.round, active):
+            return None
+        new_initial_round = anchor.round + 2
+        new_schedule = compute_next_schedule(
+            previous=active,
+            scores=self.scores,
+            committee=self.committee,
+            new_initial_round=new_initial_round,
+            exclude_fraction=self.exclude_fraction,
+            base_slots=self._base_slots,
+        )
+        demoted_slots = sum(
+            1 for old, new in zip(active.slots, new_schedule.slots) if old != new
+        )
+        self.change_records.append(
+            ScheduleChangeRecord(
+                epoch=new_schedule.epoch,
+                triggered_by_round=anchor.round,
+                new_initial_round=new_initial_round,
+                scores=self.scores.as_dict(),
+                demoted_slots=demoted_slots,
+            )
+        )
+        self.history.append(new_schedule)
+        self.scores.reset()
+        self.commits_in_epoch = 0
+        return new_schedule
+
+    # -- state sync -----------------------------------------------------------------------
+
+    def adopt_state(
+        self,
+        schedules: List[LeaderSchedule],
+        scores: Dict[ValidatorId, float],
+        commits_in_epoch: int,
+    ) -> None:
+        """Adopt the schedule state carried by a state-sync snapshot.
+
+        A validator that resumes from a checkpoint cannot re-derive the
+        schedule history from the (pruned) DAG, so it takes over the serving
+        peer's history, current-epoch scores, and commit counter; from that
+        point on its own deterministic updates keep it in agreement with
+        the rest of the committee.
+        """
+        if schedules:
+            self.history = list(schedules)
+        self.scores.reset()
+        for validator, value in scores.items():
+            if value:
+                self.scores.add(validator, value)
+        self.commits_in_epoch = commits_in_epoch
+
+    # -- introspection -------------------------------------------------------------------
+
+    def describe(self) -> str:
+        return (
+            f"HammerHead schedule ({self.policy.describe()}, scoring rule "
+            f"{self.scoring.name!r}, excluding up to "
+            f"{self.exclude_fraction:.0%} of stake)"
+        )

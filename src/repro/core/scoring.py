@@ -1,0 +1,120 @@
+"""Scoring rules: how committed information turns into reputation.
+
+The paper proposes one deterministic rule (each validator earns a point
+whenever its vertex votes for the leader of the previous round) but notes
+the mechanism works "with any deterministic schedule-change rule".  The
+ablation benchmarks compare three rules:
+
+* :class:`HammerHeadScoring` — the paper's rule: +1 per vote for a leader.
+* :class:`ShoalScoring` — the rule used by the concurrent Shoal framework:
+  committed leaders gain points, skipped leaders lose points.
+* :class:`CarouselScoring` — an activity-based rule in the spirit of
+  Carousel: validators present in committed sub-DAGs gain points.
+
+All rules receive only information derived from committed sub-DAGs, so
+they keep the determinism Schedule Agreement requires.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.committee import Committee
+from repro.core.scores import ReputationScores
+from repro.types import Round, ValidatorId
+
+
+@dataclasses.dataclass
+class ScoringContext:
+    """State handed to scoring rules on every event."""
+
+    committee: Committee
+    scores: ReputationScores
+
+
+class ScoringRule:
+    """Interface of deterministic scoring rules.
+
+    The schedule manager invokes these callbacks while it processes the
+    committed prefix; implementations mutate ``context.scores``.
+    """
+
+    name = "abstract"
+
+    def on_vote(self, voter: ValidatorId, anchor_round: Round, context: ScoringContext) -> None:
+        """An ordered vertex of ``voter`` at round ``anchor_round + 1`` linked
+        to the leader vertex of ``anchor_round``."""
+
+    def on_anchor_committed(
+        self, leader: ValidatorId, anchor_round: Round, context: ScoringContext
+    ) -> None:
+        """The anchor of ``anchor_round`` (led by ``leader``) was committed."""
+
+    def on_anchor_skipped(
+        self, leader: ValidatorId, anchor_round: Round, context: ScoringContext
+    ) -> None:
+        """The anchor of ``anchor_round`` was skipped (no commit for it)."""
+
+    def on_vertex_in_committed_subdag(
+        self, source: ValidatorId, round_number: Round, context: ScoringContext
+    ) -> None:
+        """A vertex of ``source`` was linearized as part of a committed sub-DAG."""
+
+
+class HammerHeadScoring(ScoringRule):
+    """The paper's rule: one point per vote for a leader's proposal.
+
+    "Each validator receives 1 point each time they vote for a leader's
+    proposal (i.e., there is a parent link from the block of the validator
+    at round r to the leader of round r-1)."  Crashed validators stop
+    voting and therefore stop scoring; Byzantine validators are discouraged
+    from withholding votes for honest leaders because withholding costs
+    them reputation.
+    """
+
+    name = "hammerhead"
+
+    def __init__(self, points_per_vote: float = 1.0) -> None:
+        self.points_per_vote = points_per_vote
+
+    def on_vote(self, voter: ValidatorId, anchor_round: Round, context: ScoringContext) -> None:
+        context.scores.add(voter, self.points_per_vote)
+
+
+class ShoalScoring(ScoringRule):
+    """Shoal-style rule: reward committed leaders, punish skipped leaders."""
+
+    name = "shoal"
+
+    def __init__(self, committed_points: float = 1.0, skipped_points: float = -1.0) -> None:
+        self.committed_points = committed_points
+        self.skipped_points = skipped_points
+
+    def on_anchor_committed(
+        self, leader: ValidatorId, anchor_round: Round, context: ScoringContext
+    ) -> None:
+        context.scores.add(leader, self.committed_points)
+
+    def on_anchor_skipped(
+        self, leader: ValidatorId, anchor_round: Round, context: ScoringContext
+    ) -> None:
+        context.scores.add(leader, self.skipped_points)
+
+
+class CarouselScoring(ScoringRule):
+    """Activity-based rule: presence in committed sub-DAGs earns points.
+
+    Carousel tracks which validators were active in the latest committed
+    block of a chained protocol; the closest DAG analogue is counting the
+    vertices of each validator that make it into committed sub-DAGs.
+    """
+
+    name = "carousel"
+
+    def __init__(self, points_per_vertex: float = 1.0) -> None:
+        self.points_per_vertex = points_per_vertex
+
+    def on_vertex_in_committed_subdag(
+        self, source: ValidatorId, round_number: Round, context: ScoringContext
+    ) -> None:
+        context.scores.add(source, self.points_per_vertex)

@@ -1,0 +1,39 @@
+"""Simulated cryptography substrate.
+
+The production HammerHead implementation relies on ``fastcrypto`` for
+elliptic-curve signatures.  Signatures are not on the evaluated path of
+the paper (the evaluation measures consensus latency and throughput), so
+this reproduction substitutes a deterministic, dependency-free scheme:
+keys are derived from validator indices, signatures are keyed SHA-256
+digests, and aggregation is modeled as a multiset of individual
+signatures.  The scheme is unforgeable *within the simulation* because the
+signing key never leaves the owning validator object, which is all the
+protocol logic requires.
+"""
+
+from repro.crypto.hashing import Digest, digest_of, digest_hex
+from repro.crypto.keys import KeyPair, PublicKey, generate_keypair, keypairs_for_committee
+from repro.crypto.signatures import (
+    AggregateSignature,
+    Signature,
+    aggregate,
+    sign,
+    verify,
+    verify_aggregate,
+)
+
+__all__ = [
+    "Digest",
+    "digest_of",
+    "digest_hex",
+    "KeyPair",
+    "PublicKey",
+    "generate_keypair",
+    "keypairs_for_committee",
+    "Signature",
+    "AggregateSignature",
+    "sign",
+    "verify",
+    "aggregate",
+    "verify_aggregate",
+]

@@ -1,0 +1,66 @@
+"""Deterministic content digests.
+
+Digests provide content addressing for DAG vertices and transaction
+batches.  They are computed over a canonical serialization so that two
+structurally equal objects always hash to the same digest, regardless of
+the process or the insertion order of dictionaries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+# A digest is a 32-byte SHA-256 output.
+Digest = bytes
+
+
+def _canonical_bytes(value: Any) -> bytes:
+    """Serialize ``value`` into a canonical byte string.
+
+    Supports the small universe of types used by protocol messages:
+    ``None``, booleans, integers, floats, strings, bytes, and (nested)
+    lists, tuples, sets, frozensets, and dictionaries thereof.  Sets and
+    dictionaries are serialized in sorted order to guarantee determinism.
+    """
+    if value is None:
+        return b"N"
+    if isinstance(value, bool):
+        return b"B1" if value else b"B0"
+    if isinstance(value, int):
+        return b"I" + str(value).encode("ascii")
+    if isinstance(value, float):
+        return b"F" + repr(value).encode("ascii")
+    if isinstance(value, str):
+        encoded = value.encode("utf-8")
+        return b"S" + str(len(encoded)).encode("ascii") + b":" + encoded
+    if isinstance(value, (bytes, bytearray)):
+        return b"Y" + str(len(value)).encode("ascii") + b":" + bytes(value)
+    if isinstance(value, (list, tuple)):
+        parts = [_canonical_bytes(item) for item in value]
+        return b"L(" + b",".join(parts) + b")"
+    if isinstance(value, (set, frozenset)):
+        parts = sorted(_canonical_bytes(item) for item in value)
+        return b"E(" + b",".join(parts) + b")"
+    if isinstance(value, dict):
+        parts = sorted(
+            _canonical_bytes(key) + b"=" + _canonical_bytes(item)
+            for key, item in value.items()
+        )
+        return b"D(" + b",".join(parts) + b")"
+    if hasattr(value, "canonical_fields"):
+        return _canonical_bytes(value.canonical_fields())
+    raise TypeError(f"cannot canonicalize value of type {type(value)!r}")
+
+
+def digest_of(*values: Any) -> Digest:
+    """Return the SHA-256 digest of the canonical serialization of ``values``."""
+    hasher = hashlib.sha256()
+    for value in values:
+        hasher.update(_canonical_bytes(value))
+    return hasher.digest()
+
+
+def digest_hex(*values: Any) -> str:
+    """Return the hexadecimal form of :func:`digest_of`."""
+    return digest_of(*values).hex()

@@ -1,0 +1,19 @@
+"""Narwhal-style DAG substrate.
+
+Vertices are certified blocks arranged in rounds; every vertex references
+at least ``2f+1`` (by stake) vertices of the previous round.  The DAG is
+the structure Bullshark interprets to reach consensus, and the structure
+HammerHead mines for reputation information ("who voted for the leader").
+"""
+
+from repro.dag.vertex import Block, Vertex, check_edge_quorum, genesis_vertices, make_vertex
+from repro.dag.store import DagStore
+
+__all__ = [
+    "Vertex",
+    "Block",
+    "DagStore",
+    "genesis_vertices",
+    "make_vertex",
+    "check_edge_quorum",
+]

@@ -1,0 +1,298 @@
+"""A validator's local view of the DAG (``DAGi[]`` in Algorithm 1).
+
+The store enforces two invariants the correctness proofs rely on:
+
+* **Causal completeness** (Claim 1): a vertex only becomes part of the DAG
+  once its entire causal history is present.  Vertices whose parents are
+  still missing are parked in a pending buffer and promoted automatically.
+* **Non-equivocation**: at most one vertex per (round, source) pair is
+  ever accepted; conflicting vertices raise :class:`EquivocationError`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.committee import Committee
+from repro.dag.vertex import Vertex, check_edge_quorum
+from repro.errors import DagError, EquivocationError
+from repro.types import Round, ValidatorId, VertexId
+
+
+class DagStore:
+    """In-memory DAG with pending-parent buffering and reachability queries."""
+
+    def __init__(self, committee: Committee, require_edge_quorum: bool = True) -> None:
+        self.committee = committee
+        self.require_edge_quorum = require_edge_quorum
+        # rounds[r][source] -> Vertex
+        self._rounds: Dict[Round, Dict[ValidatorId, Vertex]] = {}
+        self._by_id: Dict[VertexId, Vertex] = {}
+        # Vertices waiting for missing parents, keyed by the missing parent.
+        self._pending: Dict[VertexId, Vertex] = {}
+        self._waiting_on: Dict[VertexId, Set[VertexId]] = {}
+        # Callbacks invoked whenever a vertex is actually inserted.
+        self._on_insert: List[Callable[[Vertex], None]] = []
+        self._lowest_round = 0
+
+    # -- observers ------------------------------------------------------------
+
+    def on_insert(self, callback: Callable[[Vertex], None]) -> None:
+        """Register a callback fired after each successful insertion."""
+        self._on_insert.append(callback)
+
+    def replace_insert_callbacks(self, callbacks: Iterable[Callable[[Vertex], None]]) -> None:
+        """Replace all insertion callbacks (used when a node recovers)."""
+        self._on_insert = list(callbacks)
+
+    # -- insertion --------------------------------------------------------------
+
+    def add(self, vertex: Vertex) -> bool:
+        """Add ``vertex`` to the DAG.
+
+        Returns ``True`` when the vertex (and possibly vertices that were
+        waiting on it) became part of the DAG, ``False`` when it was parked
+        in the pending buffer because parents are missing.
+        """
+        if self._check_known(vertex):
+            return False
+        if self.require_edge_quorum and not check_edge_quorum(vertex, self.committee):
+            raise DagError(
+                f"vertex {vertex.id} does not reference a 2f+1 quorum of parents"
+            )
+        missing = self.missing_parents(vertex)
+        if missing:
+            self._park(vertex, missing)
+            return False
+        self._insert(vertex)
+        self._promote_pending(vertex.id)
+        return True
+
+    def _check_known(self, vertex: Vertex) -> bool:
+        """Detect duplicates and equivocation for ``vertex``."""
+        existing = self._by_id.get(vertex.id)
+        if existing is not None:
+            if existing.digest != vertex.digest:
+                raise EquivocationError(
+                    f"validator {vertex.source} equivocated at round {vertex.round}"
+                )
+            return True
+        pending = self._pending.get(vertex.id)
+        if pending is not None:
+            if pending.digest != vertex.digest:
+                raise EquivocationError(
+                    f"validator {vertex.source} equivocated at round {vertex.round}"
+                )
+            return True
+        return False
+
+    def missing_parents(self, vertex: Vertex) -> Set[VertexId]:
+        """Parents of ``vertex`` not yet part of the DAG.
+
+        Parents below the garbage-collection horizon are treated as
+        present: their sub-DAG has already been ordered and pruned.
+        """
+        return {
+            parent
+            for parent in vertex.edges
+            if parent not in self._by_id and parent.round >= self._lowest_round
+        }
+
+    def _park(self, vertex: Vertex, missing: Set[VertexId]) -> None:
+        self._pending[vertex.id] = vertex
+        for parent in missing:
+            self._waiting_on.setdefault(parent, set()).add(vertex.id)
+
+    def _insert(self, vertex: Vertex) -> None:
+        self._by_id[vertex.id] = vertex
+        self._rounds.setdefault(vertex.round, {})[vertex.source] = vertex
+        for callback in self._on_insert:
+            callback(vertex)
+
+    def _promote_pending(self, arrived: VertexId) -> None:
+        """Promote pending vertices whose last missing parent just arrived."""
+        queue = deque([arrived])
+        while queue:
+            parent = queue.popleft()
+            waiters = self._waiting_on.pop(parent, set())
+            for waiter_id in waiters:
+                waiter = self._pending.get(waiter_id)
+                if waiter is None:
+                    continue
+                if not self.missing_parents(waiter):
+                    del self._pending[waiter_id]
+                    self._insert(waiter)
+                    queue.append(waiter_id)
+
+    # -- lookups --------------------------------------------------------------------
+
+    def __contains__(self, vertex_id: VertexId) -> bool:
+        return vertex_id in self._by_id
+
+    def get(self, vertex_id: VertexId) -> Optional[Vertex]:
+        return self._by_id.get(vertex_id)
+
+    def vertex_of(self, round_number: Round, source: ValidatorId) -> Optional[Vertex]:
+        return self._rounds.get(round_number, {}).get(source)
+
+    def vertices_at(self, round_number: Round) -> Tuple[Vertex, ...]:
+        return tuple(self._rounds.get(round_number, {}).values())
+
+    def sources_at(self, round_number: Round) -> Set[ValidatorId]:
+        return set(self._rounds.get(round_number, {}).keys())
+
+    def stake_at(self, round_number: Round) -> int:
+        """Total stake of the sources with a vertex in ``round_number``."""
+        return self.committee.stake(self.sources_at(round_number))
+
+    def has_quorum_at(self, round_number: Round) -> bool:
+        return self.committee.has_quorum(self.sources_at(round_number))
+
+    def highest_round(self) -> Round:
+        if not self._rounds:
+            return 0
+        return max(self._rounds)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(list(self._by_id.values()))
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def pending_missing(self) -> Set[VertexId]:
+        """All parents currently blocking pending vertices."""
+        missing: Set[VertexId] = set()
+        for vertex in self._pending.values():
+            missing.update(self.missing_parents(vertex))
+        return missing
+
+    def pending_vertices(self) -> Tuple[Vertex, ...]:
+        """Vertices parked while waiting for missing parents."""
+        return tuple(self._pending.values())
+
+    # -- reachability (``path`` in Algorithm 1) ---------------------------------------
+
+    def path(self, descendant: VertexId, ancestor: VertexId) -> bool:
+        """``True`` when a directed path exists from ``descendant`` to ``ancestor``.
+
+        Edges point from a round-``r`` vertex to round-``r-1`` vertices, so
+        the search walks rounds downwards and stops as soon as the
+        ancestor's round is passed.
+        """
+        if descendant == ancestor:
+            return descendant in self._by_id
+        start = self._by_id.get(descendant)
+        target = ancestor
+        if start is None or target.round >= start.round:
+            return False
+        frontier: Set[VertexId] = {descendant}
+        current_round = start.round
+        while frontier and current_round > target.round:
+            next_frontier: Set[VertexId] = set()
+            for vertex_id in frontier:
+                vertex = self._by_id.get(vertex_id)
+                if vertex is None:
+                    continue
+                for parent in vertex.edges:
+                    if parent == target:
+                        return True
+                    if parent.round > target.round:
+                        next_frontier.add(parent)
+            frontier = next_frontier
+            current_round -= 1
+        return False
+
+    def causal_history(
+        self,
+        root: VertexId,
+        exclude: Optional[Set[VertexId]] = None,
+        include_root: bool = True,
+    ) -> List[Vertex]:
+        """All vertices reachable from ``root`` that are not in ``exclude``.
+
+        The result is returned in a deterministic order (ascending round,
+        then source) so that every validator linearizes a committed
+        sub-DAG identically (Algorithm 2, line 35).
+        """
+        excluded = exclude if exclude is not None else set()
+        root_vertex = self._by_id.get(root)
+        if root_vertex is None:
+            raise DagError(f"vertex {root} is not in the DAG")
+        seen: Set[VertexId] = set()
+        collected: List[Vertex] = []
+        stack = [root]
+        while stack:
+            vertex_id = stack.pop()
+            if vertex_id in seen or vertex_id in excluded:
+                continue
+            seen.add(vertex_id)
+            vertex = self._by_id.get(vertex_id)
+            if vertex is None:
+                # Below the GC horizon: already ordered and pruned.
+                continue
+            if vertex_id != root or include_root:
+                collected.append(vertex)
+            stack.extend(vertex.edges)
+        collected.sort(key=lambda vertex: (vertex.round, vertex.source))
+        return collected
+
+    # -- garbage collection ----------------------------------------------------------------
+
+    def reconsider_pending(self) -> int:
+        """Re-evaluate parked vertices after the GC horizon moved.
+
+        Raising the horizon (state sync) makes parents below it count as
+        present, so vertices that were waiting only on pruned history can
+        now be inserted.  Returns the number of vertices promoted.
+        """
+        promoted = 0
+        progress = True
+        while progress:
+            progress = False
+            for vertex_id, vertex in list(self._pending.items()):
+                if vertex_id in self._by_id:
+                    del self._pending[vertex_id]
+                    continue
+                if not self.missing_parents(vertex):
+                    del self._pending[vertex_id]
+                    self._insert(vertex)
+                    promoted += 1
+                    progress = True
+        if promoted:
+            # Drop stale wait registrations for parents that will never come.
+            self._waiting_on = {
+                parent: {waiter for waiter in waiters if waiter in self._pending}
+                for parent, waiters in self._waiting_on.items()
+            }
+            self._waiting_on = {
+                parent: waiters for parent, waiters in self._waiting_on.items() if waiters
+            }
+        return promoted
+
+    def garbage_collect(self, before_round: Round) -> int:
+        """Drop vertices strictly below ``before_round``.
+
+        Committed and ordered history no longer needs to be kept for
+        reachability queries; the production system similarly prunes old
+        rounds from RocksDB.  Returns the number of vertices removed.
+        """
+        removed = 0
+        for round_number in [r for r in self._rounds if r < before_round]:
+            for vertex in self._rounds[round_number].values():
+                del self._by_id[vertex.id]
+                removed += 1
+            del self._rounds[round_number]
+        self._lowest_round = max(self._lowest_round, before_round)
+        return removed
+
+    @property
+    def lowest_round(self) -> Round:
+        return self._lowest_round
+
+    def all_rounds(self) -> List[Round]:
+        return sorted(self._rounds)

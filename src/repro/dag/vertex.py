@@ -1,0 +1,113 @@
+"""DAG vertices (Algorithm 1 of the paper).
+
+A vertex carries: the round it belongs to, the validator that broadcast
+it, a block of transactions, and edges to at least ``2f+1`` (by stake)
+vertices of the previous round.  Honest validators produce at most one
+vertex per round; the reliable-broadcast layer prevents equivocation from
+being accepted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.committee import Committee
+from repro.crypto.hashing import Digest, digest_of
+from repro.errors import DagError
+from repro.types import Round, SimTime, ValidatorId, VertexId
+
+# A block is an immutable sequence of opaque transactions.  The workload
+# layer fills it with Transaction objects; the DAG and consensus layers
+# never look inside.
+Block = Tuple[Any, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class Vertex:
+    """A vertex of the DAG (``struct vertex`` in Algorithm 1)."""
+
+    id: VertexId
+    edges: FrozenSet[VertexId]
+    block: Block
+    digest: Digest
+    created_at: SimTime = 0.0
+
+    @property
+    def round(self) -> Round:
+        return self.id.round
+
+    @property
+    def source(self) -> ValidatorId:
+        return self.id.source
+
+    def canonical_fields(self) -> Tuple[Any, ...]:
+        """Fields participating in the content digest."""
+        return (
+            self.id.round,
+            self.id.source,
+            tuple(sorted((edge.round, edge.source) for edge in self.edges)),
+            len(self.block),
+        )
+
+    def references(self, other: VertexId) -> bool:
+        """``True`` when this vertex has a direct edge to ``other``."""
+        return other in self.edges
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Vertex(r={self.round}, p={self.source}, |edges|={len(self.edges)}, |block|={len(self.block)})"
+
+
+def make_vertex(
+    round_number: Round,
+    source: ValidatorId,
+    edges: Iterable[VertexId],
+    block: Sequence[Any] = (),
+    created_at: SimTime = 0.0,
+) -> Vertex:
+    """Construct a vertex, validating its structural invariants.
+
+    Edges must all point to the immediately preceding round; round-0
+    (genesis) vertices carry no edges.
+    """
+    if round_number < 0:
+        raise DagError("rounds are non-negative")
+    edge_set = frozenset(edges)
+    if round_number == 0 and edge_set:
+        raise DagError("genesis vertices must not reference parents")
+    for edge in edge_set:
+        if edge.round != round_number - 1:
+            raise DagError(
+                f"vertex at round {round_number} references parent at round "
+                f"{edge.round}; edges must point to the previous round"
+            )
+    vertex_id = VertexId(round=round_number, source=source)
+    digest = digest_of(
+        round_number,
+        source,
+        tuple(sorted((edge.round, edge.source) for edge in edge_set)),
+        len(block),
+    )
+    return Vertex(
+        id=vertex_id,
+        edges=edge_set,
+        block=tuple(block),
+        digest=digest,
+        created_at=created_at,
+    )
+
+
+def genesis_vertices(committee: Committee) -> List[Vertex]:
+    """Round-0 vertices, one per validator, shared by every node at start-up."""
+    return [make_vertex(0, validator, edges=(), block=()) for validator in committee.validators]
+
+
+def check_edge_quorum(vertex: Vertex, committee: Committee) -> bool:
+    """``True`` when the vertex's edges cover a 2f+1 stake quorum.
+
+    Genesis vertices trivially satisfy the requirement.
+    """
+    if vertex.round == 0:
+        return True
+    sources = {edge.source for edge in vertex.edges}
+    return committee.has_quorum(sources)

@@ -1,0 +1,22 @@
+"""Fault injection: crash, crash-recovery, degraded, and Byzantine faults.
+
+Fault plans are declarative descriptions of what goes wrong during a run;
+the simulation runner applies them to the network and the nodes at the
+scheduled virtual times.
+"""
+
+from repro.faults.base import FaultPlan, FaultInjector
+from repro.faults.crash import CrashFault, CrashRecoveryFault, crash_last_f
+from repro.faults.slow import SlowValidatorFault, degrade_fraction
+from repro.faults.byzantine import VoteWithholdingFault
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "CrashFault",
+    "CrashRecoveryFault",
+    "crash_last_f",
+    "SlowValidatorFault",
+    "degrade_fraction",
+    "VoteWithholdingFault",
+]

@@ -1,0 +1,64 @@
+"""Fault plan infrastructure."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.network.simulator import Simulator
+from repro.network.transport import Network
+from repro.node.validator import ValidatorNode
+from repro.types import ValidatorId
+
+
+class FaultPlan:
+    """One fault affecting one or more validators.
+
+    Subclasses implement :meth:`schedule`, which registers the virtual-time
+    events that enact the fault.
+    """
+
+    def affected_validators(self) -> Sequence[ValidatorId]:
+        raise NotImplementedError
+
+    def schedule(
+        self,
+        simulator: Simulator,
+        network: Network,
+        nodes: Dict[ValidatorId, ValidatorNode],
+    ) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class FaultInjector:
+    """Applies a collection of fault plans to a running simulation."""
+
+    def __init__(self, plans: Sequence[FaultPlan] = ()) -> None:
+        self.plans: List[FaultPlan] = list(plans)
+
+    def add(self, plan: FaultPlan) -> None:
+        self.plans.append(plan)
+
+    def schedule_all(
+        self,
+        simulator: Simulator,
+        network: Network,
+        nodes: Dict[ValidatorId, ValidatorNode],
+    ) -> None:
+        for plan in self.plans:
+            plan.schedule(simulator, network, nodes)
+
+    def affected_validators(self) -> List[ValidatorId]:
+        affected: List[ValidatorId] = []
+        for plan in self.plans:
+            for validator in plan.affected_validators():
+                if validator not in affected:
+                    affected.append(validator)
+        return affected
+
+    def describe(self) -> str:
+        if not self.plans:
+            return "no faults"
+        return "; ".join(plan.describe() for plan in self.plans)

@@ -1,0 +1,108 @@
+"""Crash and crash-recovery faults.
+
+The paper's Figure 2 crashes the maximum tolerable number of validators
+(f = 3, 16, 33 for committees of 10, 50, 100) for the whole run.  The
+crash-recovery variant models the introduction's scenario of validators
+that go down for maintenance and later come back.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.committee import Committee
+from repro.faults.base import FaultPlan
+from repro.network.simulator import Simulator
+from repro.network.transport import Network
+from repro.node.validator import ValidatorNode
+from repro.types import SimTime, ValidatorId
+
+
+@dataclasses.dataclass
+class CrashFault(FaultPlan):
+    """Crash ``validators`` at ``at_time`` and never recover them."""
+
+    validators: Sequence[ValidatorId]
+    at_time: SimTime = 0.0
+
+    def affected_validators(self) -> Sequence[ValidatorId]:
+        return tuple(self.validators)
+
+    def schedule(
+        self,
+        simulator: Simulator,
+        network: Network,
+        nodes: Dict[ValidatorId, ValidatorNode],
+    ) -> None:
+        def crash_all() -> None:
+            for validator in self.validators:
+                nodes[validator].crash()
+
+        simulator.schedule_at(max(self.at_time, simulator.now), crash_all)
+
+    def describe(self) -> str:
+        return f"crash {list(self.validators)} at t={self.at_time:.1f}s"
+
+
+@dataclasses.dataclass
+class CrashRecoveryFault(FaultPlan):
+    """Crash ``validators`` at ``crash_at`` and recover them at ``recover_at``."""
+
+    validators: Sequence[ValidatorId]
+    crash_at: SimTime
+    recover_at: SimTime
+
+    def __post_init__(self) -> None:
+        if self.recover_at <= self.crash_at:
+            raise ValueError("recovery must happen after the crash")
+
+    def affected_validators(self) -> Sequence[ValidatorId]:
+        return tuple(self.validators)
+
+    def schedule(
+        self,
+        simulator: Simulator,
+        network: Network,
+        nodes: Dict[ValidatorId, ValidatorNode],
+    ) -> None:
+        def crash_all() -> None:
+            for validator in self.validators:
+                nodes[validator].crash()
+
+        def recover_all() -> None:
+            for validator in self.validators:
+                nodes[validator].recover()
+
+        simulator.schedule_at(max(self.crash_at, simulator.now), crash_all)
+        simulator.schedule_at(max(self.recover_at, simulator.now), recover_all)
+
+    def describe(self) -> str:
+        return (
+            f"crash {list(self.validators)} at t={self.crash_at:.1f}s, "
+            f"recover at t={self.recover_at:.1f}s"
+        )
+
+
+def crash_last_f(
+    committee: Committee,
+    faults: Optional[int] = None,
+    at_time: SimTime = 0.0,
+    protect: Sequence[ValidatorId] = (0,),
+) -> CrashFault:
+    """Crash ``faults`` validators (default: the maximum tolerable ``f``).
+
+    Validators listed in ``protect`` (by default the observer, validator 0)
+    are never selected; the highest-indexed validators are crashed first,
+    matching the common benchmarking convention.
+    """
+    count = faults if faults is not None else committee.max_faulty
+    if count > committee.max_faulty:
+        raise ValueError(
+            f"cannot crash {count} validators, the committee only tolerates "
+            f"{committee.max_faulty}"
+        )
+    candidates: List[ValidatorId] = [
+        validator for validator in reversed(committee.validators) if validator not in protect
+    ]
+    return CrashFault(validators=tuple(candidates[:count]), at_time=at_time)

@@ -1,0 +1,82 @@
+"""Degraded ("slow") validators.
+
+The introduction describes a Sui mainnet incident where roughly 10% of
+validators became less responsive for two hours, pushing p95 latency from
+3 s to 4.6 s even at low load.  :class:`SlowValidatorFault` reproduces the
+pattern by adding inbound/outbound delay to the affected validators'
+links for a bounded period.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+from repro.committee import Committee
+from repro.faults.base import FaultPlan
+from repro.network.simulator import Simulator
+from repro.network.transport import Network
+from repro.node.validator import ValidatorNode
+from repro.types import SimTime, ValidatorId
+
+
+@dataclasses.dataclass
+class SlowValidatorFault(FaultPlan):
+    """Degrade the links of ``validators`` by ``extra_delay`` seconds."""
+
+    validators: Sequence[ValidatorId]
+    extra_delay: SimTime = 0.5
+    start: SimTime = 0.0
+    end: Optional[SimTime] = None
+
+    def affected_validators(self) -> Sequence[ValidatorId]:
+        return tuple(self.validators)
+
+    def schedule(
+        self,
+        simulator: Simulator,
+        network: Network,
+        nodes: Dict[ValidatorId, ValidatorNode],
+    ) -> None:
+        def degrade() -> None:
+            for validator in self.validators:
+                network.set_link_degradation(
+                    validator,
+                    inbound_extra=self.extra_delay,
+                    outbound_extra=self.extra_delay,
+                )
+
+        def restore() -> None:
+            for validator in self.validators:
+                network.set_link_degradation(validator, inbound_extra=0.0, outbound_extra=0.0)
+
+        simulator.schedule_at(max(self.start, simulator.now), degrade)
+        if self.end is not None:
+            simulator.schedule_at(max(self.end, simulator.now), restore)
+
+    def describe(self) -> str:
+        window = f"from t={self.start:.1f}s"
+        if self.end is not None:
+            window += f" to t={self.end:.1f}s"
+        return f"slow down {list(self.validators)} by {self.extra_delay:.2f}s {window}"
+
+
+def degrade_fraction(
+    committee: Committee,
+    fraction: float = 0.10,
+    extra_delay: SimTime = 0.5,
+    start: SimTime = 0.0,
+    end: Optional[SimTime] = None,
+    protect: Sequence[ValidatorId] = (0,),
+) -> SlowValidatorFault:
+    """Degrade roughly ``fraction`` of the committee (the Sui incident shape)."""
+    count = max(1, int(round(fraction * committee.size)))
+    candidates = [
+        validator for validator in reversed(committee.validators) if validator not in protect
+    ]
+    return SlowValidatorFault(
+        validators=tuple(candidates[:count]),
+        extra_delay=extra_delay,
+        start=start,
+        end=end,
+    )

@@ -1,0 +1,16 @@
+"""Metrics: end-to-end latency, throughput, and leader statistics."""
+
+from repro.metrics.latency import LatencyStats
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.execution import ExecutionModel
+from repro.metrics.leader_stats import LeaderUtilizationStats
+from repro.metrics.report import PerformanceReport, format_table
+
+__all__ = [
+    "LatencyStats",
+    "MetricsCollector",
+    "ExecutionModel",
+    "LeaderUtilizationStats",
+    "PerformanceReport",
+    "format_table",
+]

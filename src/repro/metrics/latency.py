@@ -1,0 +1,85 @@
+"""Latency sample aggregation (average, standard deviation, percentiles)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+class LatencyStats:
+    """Streaming collection of latency samples with summary statistics."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError("latency samples must be non-negative")
+        self._samples.append(latency)
+
+    def extend(self, latencies: Sequence[float]) -> None:
+        for latency in latencies:
+            self.record(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+    def average(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def stdev(self) -> float:
+        if len(self._samples) < 2:
+            return 0.0
+        mean = self.average()
+        variance = sum((sample - mean) ** 2 for sample in self._samples) / (len(self._samples) - 1)
+        return math.sqrt(variance)
+
+    def percentile(self, fraction: float) -> float:
+        """Linear-interpolated percentile, ``fraction`` in [0, 1]."""
+        if not self._samples:
+            return 0.0
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("percentile fraction must lie in [0, 1]")
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = fraction * (len(ordered) - 1)
+        lower = int(math.floor(position))
+        upper = int(math.ceil(position))
+        if lower == upper:
+            return ordered[lower]
+        weight = position - lower
+        interpolated = ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+        # Clamp to the bracketing samples: with denormal-range values the
+        # interpolation arithmetic can round outside the bracket.
+        return min(max(interpolated, ordered[lower]), ordered[upper])
+
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "avg": self.average(),
+            "stdev": self.stdev(),
+            "p50": self.p50(),
+            "p95": self.p95(),
+            "p99": self.p99(),
+            "max": self.maximum(),
+        }

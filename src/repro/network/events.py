@@ -1,0 +1,93 @@
+"""Event queue for the discrete-event simulator.
+
+Events are ordered by their firing time; ties are broken by a strictly
+increasing sequence number so that two events scheduled for the same
+instant fire in scheduling order.  That property makes every simulation
+fully deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.types import SimTime
+
+
+@dataclasses.dataclass
+class EventHandle:
+    """A handle returned by scheduling, usable for cancellation."""
+
+    time: SimTime
+    sequence: int
+    callback: Optional[Callable[[], Any]]
+
+    @property
+    def cancelled(self) -> bool:
+        return self.callback is None
+
+    def cancel(self) -> None:
+        """Cancel the event.  Cancelling twice is harmless."""
+        self.callback = None
+
+
+class EventQueue:
+    """A priority queue of :class:`EventHandle` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[EventHandle] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(self, time: SimTime, callback: Callable[[], Any]) -> EventHandle:
+        """Schedule ``callback`` to fire at ``time``."""
+        if callback is None:
+            raise SimulationError("cannot schedule a None callback")
+        handle = EventHandle(time=time, sequence=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, handle)
+        self._live += 1
+        return handle
+
+    def pop(self) -> EventHandle:
+        """Pop the earliest non-cancelled event.
+
+        Raises :class:`SimulationError` when the queue holds no live event.
+        """
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._live -= 1
+            return handle
+        raise SimulationError("the event queue is empty")
+
+    def peek_time(self) -> Optional[SimTime]:
+        """Return the firing time of the next live event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Record that one previously live event was cancelled externally."""
+        if self._live > 0:
+            self._live -= 1
+
+
+# EventHandle ordering: heapq compares tuples of dataclass fields in order,
+# so (time, sequence) drive the ordering; ``callback`` must never be
+# compared.  Implement explicit comparisons to keep that guarantee even if
+# two events share time and sequence is exhausted (it cannot be, but the
+# explicit methods also make intent clear).
+def _handle_lt(self: EventHandle, other: EventHandle) -> bool:
+    return (self.time, self.sequence) < (other.time, other.sequence)
+
+
+EventHandle.__lt__ = _handle_lt  # type: ignore[assignment]

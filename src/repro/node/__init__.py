@@ -1,0 +1,13 @@
+"""The validator node: a full HammerHead/Bullshark participant.
+
+A node owns a local DAG, a broadcast protocol instance, a consensus
+engine, a schedule manager, a transaction pool, and a persistent store.
+It reacts to simulated network messages and timer events; it never touches
+wall-clock time, so a node can also be driven directly by unit tests.
+"""
+
+from repro.node.config import NodeConfig
+from repro.node.validator import ValidatorNode
+from repro.node.messages import FetchRequest, FetchResponse
+
+__all__ = ["NodeConfig", "ValidatorNode", "FetchRequest", "FetchResponse"]

@@ -1,0 +1,67 @@
+"""Node-level wire messages (outside the broadcast layer).
+
+The synchronizer messages mirror Narwhal's certificate fetcher: a
+validator that receives a vertex referencing parents it has not seen asks
+the vertex's source (which, having produced the child, must hold the
+parents) for the missing vertices.  When the requested history has been
+garbage-collected everywhere, the response carries a consensus snapshot
+instead, which models the production system's checkpoint-based state sync.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.dag.vertex import Vertex
+from repro.schedule.base import LeaderSchedule
+from repro.types import Round, ValidatorId, VertexId
+
+
+@dataclasses.dataclass(frozen=True)
+class ConsensusSnapshot:
+    """A summary of a validator's committed state, used for state sync.
+
+    In production this information is carried by certified checkpoints; the
+    simulation treats the serving peer's snapshot as trustworthy, which is
+    sound in crash-fault executions (the experiments that exercise state
+    sync) because the serving peer is honest.
+    """
+
+    last_ordered_anchor_round: Round
+    gc_round: Round
+    schedules: Tuple[LeaderSchedule, ...]
+    scores: Dict[ValidatorId, float]
+    commits_in_epoch: int
+    ordered_vertices: FrozenSet[VertexId]
+
+
+@dataclasses.dataclass(frozen=True)
+class FetchRequest:
+    """Ask a peer for the vertices identified by ``missing``.
+
+    When ``deep`` is set the responder also includes the causal history of
+    the requested vertices (bounded by its garbage-collection horizon),
+    which lets a recovering validator catch up in one round trip instead of
+    walking the DAG one round per request.
+    """
+
+    requester: ValidatorId
+    missing: Tuple[VertexId, ...]
+    deep: bool = True
+
+
+@dataclasses.dataclass(frozen=True)
+class FetchResponse:
+    """Reply to a :class:`FetchRequest` with the vertices the peer holds.
+
+    ``responder_gc_round`` is the responder's garbage-collection horizon:
+    rounds below it have been pruned and can never be served.  A requester
+    that needs older history falls back to state sync (see
+    ``BullsharkConsensus.fast_forward``).
+    """
+
+    responder: ValidatorId
+    vertices: Tuple[Vertex, ...]
+    responder_gc_round: int = 0
+    snapshot: Optional[ConsensusSnapshot] = None

@@ -1,0 +1,555 @@
+"""The validator node state machine.
+
+The node glues the substrates together exactly the way the production
+implementation does:
+
+* it proposes one vertex per round, batching pending transactions;
+* it disseminates vertices with the broadcast layer and inserts delivered
+  vertices into its local DAG (fetching missing parents on demand);
+* it advances rounds once a 2f+1 stake quorum of the current round is
+  present, waiting up to ``leader_timeout`` for the anchor of even rounds
+  (the Bullshark leader wait — the mechanism through which crashed leaders
+  degrade the baseline);
+* it runs the Bullshark commit rule on every insertion and feeds the
+  ordered prefix to its schedule manager (static for the baseline,
+  HammerHead for the paper's protocol);
+* it persists vertices and consensus progress so a crashed validator can
+  recover from its store.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+from repro.committee import Committee
+from repro.consensus.bullshark import BullsharkConsensus
+from repro.consensus.committed import CommittedSubDag, OrderedVertex
+from repro.core.manager import ScheduleManager
+from repro.dag.store import DagStore
+from repro.dag.vertex import Vertex, genesis_vertices, make_vertex
+from repro.errors import ConfigurationError
+from repro.network.events import EventHandle
+from repro.network.transport import Network
+from repro.core.manager import HammerHeadScheduleManager
+from repro.node.config import NodeConfig
+from repro.node.messages import ConsensusSnapshot, FetchRequest, FetchResponse
+from repro.rbc.base import Delivery
+from repro.rbc.bracha import BrachaBroadcast
+from repro.rbc.certified import CertifiedBroadcast
+from repro.storage.store import PersistentStore
+from repro.types import Round, SimTime, ValidatorId, VertexId, is_anchor_round
+
+# Hook type used by the Byzantine fault injector to tamper with the parent
+# selection of a vertex before it is proposed.
+ParentFilter = Callable[[Round, List[VertexId]], List[VertexId]]
+
+
+class ValidatorNode:
+    """One validator participating in the protocol."""
+
+    def __init__(
+        self,
+        validator_id: ValidatorId,
+        committee: Committee,
+        network: Network,
+        schedule_manager: ScheduleManager,
+        config: Optional[NodeConfig] = None,
+        store: Optional[PersistentStore] = None,
+        schedule_manager_factory: Optional[Callable[[], ScheduleManager]] = None,
+    ) -> None:
+        self.id = validator_id
+        self.committee = committee
+        self.network = network
+        self.config = (config if config is not None else NodeConfig()).validate()
+        self.schedule_manager = schedule_manager
+        # Used on crash-recovery to rebuild a clean manager whose state is
+        # then reconstructed deterministically by replaying the stored DAG.
+        self.schedule_manager_factory = schedule_manager_factory
+        self.store = store if store is not None else PersistentStore(owner=validator_id)
+
+        self.simulator = network.simulator
+        self.dag = DagStore(committee)
+        self.consensus = BullsharkConsensus(
+            owner=validator_id,
+            committee=committee,
+            dag=self.dag,
+            schedule_manager=schedule_manager,
+            record_sequence=self.config.record_sequence,
+        )
+        self.consensus.clock = lambda: self.simulator.now
+
+        if self.config.broadcast == "certified":
+            self.broadcast_protocol = CertifiedBroadcast(
+                validator_id, committee, network, self._on_broadcast_delivery
+            )
+        else:
+            self.broadcast_protocol = BrachaBroadcast(
+                validator_id, committee, network, self._on_broadcast_delivery
+            )
+
+        # Transaction pool (FIFO).
+        self.transaction_pool: Deque = deque()
+        # Round progression state.
+        self.current_round: Round = 0
+        self.started = False
+        self.crashed = False
+        self.last_proposal_time: SimTime = float("-inf")
+        self._advance_handle: Optional[EventHandle] = None
+        self._anchor_timer_handle: Optional[EventHandle] = None
+        self._anchor_timer_round: Optional[Round] = None
+        self._anchor_timeout_expired = False
+        # Synchronizer state: missing parent -> last request time.
+        self._fetch_requested: Dict[VertexId, SimTime] = {}
+        self._fetch_timer: Optional[EventHandle] = None
+        # Optional Byzantine hook (set by the fault injection layer).
+        self.parent_filter: Optional[ParentFilter] = None
+        # Messages received before ``start()`` are buffered, not dropped:
+        # with the tightest possible quorum (exactly 2f+1 alive validators)
+        # a single lost acknowledgement would block certification forever.
+        self._pre_start_buffer: List = []
+
+        # Statistics.
+        self.proposals_made = 0
+        self.leader_timeouts_suffered = 0
+        self.transactions_submitted = 0
+        self.transactions_proposed = 0
+        self.fetch_requests_sent = 0
+        self.recoveries = 0
+
+        self.network.register(validator_id, committee.region_of(validator_id), self._on_network_message)
+        self.dag.on_insert(self._on_vertex_inserted)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Insert genesis, enter round 1, and propose the first vertex."""
+        if self.started:
+            raise ConfigurationError(f"validator {self.id} was already started")
+        for vertex in genesis_vertices(self.committee):
+            self.dag.add(vertex)
+            self._persist_vertex(vertex)
+        self.started = True
+        self._enter_round(1)
+        buffered, self._pre_start_buffer = self._pre_start_buffer, []
+        for sender, message in buffered:
+            self._on_network_message(sender, message)
+
+    def crash(self) -> None:
+        """Crash the node: it stops proposing and drops all traffic."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.network.set_crashed(self.id, True)
+        self._cancel_timers()
+
+    def recover(self) -> None:
+        """Recover from a crash by replaying the persistent store.
+
+        The in-memory protocol state (DAG, consensus, schedule manager,
+        broadcast layer) is rebuilt from the persisted vertices; because
+        the commit rule and the schedule changes are deterministic
+        functions of the DAG, the recovered node reconstructs an ordering
+        consistent with its pre-crash one before resuming.  The validator
+        then re-broadcasts its highest pre-crash proposal (same digest, so
+        this is not equivocation) and relies on the synchronizer to catch
+        up with rounds it missed while down.
+
+        Known simplification: the production system also persists the
+        acknowledgement votes it cast for other validators' proposals; the
+        simulation does not, which is harmless in crash-only executions
+        (there is no equivocation to protect against).
+        """
+        if not self.crashed:
+            return
+        self.recoveries += 1
+        self.crashed = False
+        self.network.set_crashed(self.id, False)
+        if self.schedule_manager_factory is not None:
+            self.schedule_manager = self.schedule_manager_factory()
+        self._rebuild_from_store()
+        self._rebuild_broadcast()
+        last_proposal = self._highest_persisted_proposal()
+        self.last_proposal_time = self.simulator.now
+        self._anchor_timeout_expired = False
+        self._advance_handle = None
+        self._anchor_timer_handle = None
+        self._fetch_timer = None
+        self._fetch_requested.clear()
+        if last_proposal is None:
+            self._enter_round(1)
+            return
+        self.current_round = last_proposal.round
+        self.broadcast_protocol.broadcast(last_proposal, last_proposal.round)
+        if is_anchor_round(self.current_round):
+            self._start_anchor_timer(self.current_round)
+        self._maybe_advance()
+
+    def _rebuild_from_store(self) -> None:
+        vertices = sorted(
+            (value for _, value in self.store.family(PersistentStore.CF_VERTICES).items()),
+            key=lambda vertex: (vertex.round, vertex.source),
+        )
+        self.dag = DagStore(self.committee)
+        self.consensus = BullsharkConsensus(
+            owner=self.id,
+            committee=self.committee,
+            dag=self.dag,
+            schedule_manager=self.schedule_manager,
+            record_sequence=self.config.record_sequence,
+        )
+        self.consensus.clock = lambda: self.simulator.now
+        self.dag.on_insert(self._on_vertex_inserted_recovery)
+        for vertex in vertices:
+            self.dag.add(vertex)
+        # Switch back to the live insertion callback for new traffic.
+        self.dag.replace_insert_callbacks([self._on_vertex_inserted])
+
+    def _rebuild_broadcast(self) -> None:
+        if self.config.broadcast == "certified":
+            self.broadcast_protocol = CertifiedBroadcast(
+                self.id, self.committee, self.network, self._on_broadcast_delivery
+            )
+        else:
+            self.broadcast_protocol = BrachaBroadcast(
+                self.id, self.committee, self.network, self._on_broadcast_delivery
+            )
+
+    def _highest_persisted_proposal(self) -> Optional[Vertex]:
+        proposals = self.store.family("own_proposals")
+        rounds = proposals.keys()
+        if not rounds:
+            return None
+        return proposals.get(max(rounds))
+
+    def _on_vertex_inserted_recovery(self, vertex: Vertex) -> None:
+        """Replay path: run consensus but skip round-advancement side effects."""
+        self.consensus.process_vertex(vertex)
+
+    def _highest_quorum_round(self) -> Round:
+        round_number = self.dag.highest_round()
+        while round_number > 0 and not self.dag.has_quorum_at(round_number):
+            round_number -= 1
+        return round_number
+
+    def _cancel_timers(self) -> None:
+        for handle_name in ("_advance_handle", "_anchor_timer_handle", "_fetch_timer"):
+            handle = getattr(self, handle_name)
+            if handle is not None:
+                self.simulator.cancel(handle)
+                setattr(self, handle_name, None)
+
+    # -- transactions ---------------------------------------------------------------
+
+    def submit_transaction(self, transaction) -> None:
+        """Accept a client transaction into the local pool."""
+        if self.crashed:
+            return
+        self.transactions_submitted += 1
+        self.transaction_pool.append(transaction)
+
+    @property
+    def pool_size(self) -> int:
+        return len(self.transaction_pool)
+
+    # -- round progression --------------------------------------------------------------
+
+    def _enter_round(self, round_number: Round) -> None:
+        if self.config.max_round is not None and round_number > self.config.max_round:
+            return
+        self.current_round = round_number
+        self._anchor_timeout_expired = False
+        self._propose(round_number)
+        if is_anchor_round(round_number):
+            self._start_anchor_timer(round_number)
+        # Vertices for this round may already be in the DAG (fast peers).
+        self._maybe_advance()
+
+    def _propose(self, round_number: Round) -> None:
+        if self.crashed:
+            return
+        parents = [vertex.id for vertex in self.dag.vertices_at(round_number - 1)]
+        if self.parent_filter is not None:
+            parents = self.parent_filter(round_number, parents)
+        batch = self._next_batch()
+        vertex = make_vertex(
+            round_number,
+            self.id,
+            edges=parents,
+            block=batch,
+            created_at=self.simulator.now,
+        )
+        self.proposals_made += 1
+        self.transactions_proposed += len(batch)
+        self.last_proposal_time = self.simulator.now
+        # Persist the proposal before broadcasting so that a recovering
+        # validator re-broadcasts the same vertex instead of equivocating.
+        self.store.family("own_proposals").put(round_number, vertex)
+        self.broadcast_protocol.broadcast(vertex, round_number)
+
+    def _next_batch(self) -> Sequence:
+        batch = []
+        while self.transaction_pool and len(batch) < self.config.max_batch_size:
+            batch.append(self.transaction_pool.popleft())
+        return batch
+
+    def _start_anchor_timer(self, round_number: Round) -> None:
+        leader = self.schedule_manager.leader_for_round(round_number)
+        if leader == self.id:
+            return
+        if self.dag.vertex_of(round_number, leader) is not None:
+            return
+
+        def on_timeout() -> None:
+            self._anchor_timer_handle = None
+            if self.current_round != round_number:
+                return
+            self._anchor_timeout_expired = True
+            self.leader_timeouts_suffered += 1
+            self._maybe_advance()
+
+        self._anchor_timer_round = round_number
+        self._anchor_timer_handle = self.simulator.schedule(
+            self.config.leader_timeout, on_timeout
+        )
+
+    def _maybe_advance(self) -> None:
+        """Advance to the next round when the Bullshark conditions hold."""
+        if not self.started or self.crashed:
+            return
+        if self._advance_handle is not None:
+            return
+        if self.current_round < self.dag.lowest_round:
+            # State sync moved the DAG past the round this validator was
+            # proposing in; rejoin the committee at the current frontier.
+            frontier = self._highest_quorum_round()
+            if frontier >= self.dag.lowest_round:
+                self._enter_round(frontier + 1)
+            return
+        round_number = self.current_round
+        if self.config.max_round is not None and round_number >= self.config.max_round:
+            return
+        # Our own vertex must have been certified and delivered back to us.
+        if self.dag.vertex_of(round_number, self.id) is None:
+            return
+        if not self.dag.has_quorum_at(round_number):
+            return
+        if is_anchor_round(round_number) and not self._anchor_timeout_expired:
+            leader = self.schedule_manager.leader_for_round(round_number)
+            if leader != self.id and self.dag.vertex_of(round_number, leader) is None:
+                return
+        self._schedule_advance()
+
+    def _schedule_advance(self) -> None:
+        earliest = self.last_proposal_time + self.config.min_round_interval
+        delay = max(0.0, earliest - self.simulator.now)
+        if self.dag.has_quorum_at(self.current_round + 1):
+            # A quorum has already finished the round *after* ours: we are
+            # lagging behind the frontier (for example after recovering from
+            # a crash, or after being started late).  Skip the pacing delay
+            # so the proposal phase re-synchronizes with the rest of the
+            # committee; in steady state this condition never holds.
+            delay = 0.0
+
+        def advance() -> None:
+            self._advance_handle = None
+            if self.crashed:
+                return
+            if self._anchor_timer_handle is not None:
+                self.simulator.cancel(self._anchor_timer_handle)
+                self._anchor_timer_handle = None
+            # A validator that fell far behind (for example after
+            # recovering from a crash) jumps directly past the highest
+            # round for which it holds a quorum, instead of replaying
+            # every round it missed one by one.
+            next_round = self.current_round + 1
+            highest_quorum = self._highest_quorum_round()
+            if highest_quorum > next_round + 1:
+                next_round = highest_quorum + 1
+            self._enter_round(next_round)
+
+        self._advance_handle = self.simulator.schedule(delay, advance)
+
+    # -- message handling -----------------------------------------------------------------
+
+    def _on_network_message(self, sender: ValidatorId, message) -> None:
+        if self.crashed:
+            return
+        if not self.started:
+            self._pre_start_buffer.append((sender, message))
+            return
+        if self.broadcast_protocol.handle_message(sender, message):
+            return
+        if isinstance(message, FetchRequest):
+            self._handle_fetch_request(sender, message)
+            return
+        if isinstance(message, FetchResponse):
+            self._handle_fetch_response(message)
+            return
+
+    def _on_broadcast_delivery(self, delivery: Delivery) -> None:
+        vertex = delivery.payload
+        if not isinstance(vertex, Vertex):
+            return
+        self._ingest_vertex(vertex)
+
+    def _ingest_vertex(self, vertex: Vertex) -> None:
+        inserted = self.dag.add(vertex)
+        if not inserted and vertex.id not in self.dag:
+            missing = self.dag.missing_parents(vertex)
+            if missing:
+                self._request_missing(missing, preferred_peer=vertex.source)
+
+    # -- synchronizer (missing parent fetcher) ------------------------------------------------
+
+    def _request_missing(self, missing, preferred_peer: ValidatorId) -> None:
+        now = self.simulator.now
+        to_request = []
+        for vertex_id in missing:
+            last = self._fetch_requested.get(vertex_id)
+            if last is not None and now - last < self.config.fetch_retry_interval:
+                continue
+            self._fetch_requested[vertex_id] = now
+            to_request.append(vertex_id)
+        if not to_request:
+            return
+        self.fetch_requests_sent += 1
+        request = FetchRequest(requester=self.id, missing=tuple(to_request))
+        target = preferred_peer if preferred_peer != self.id else self._random_peer()
+        self.network.send(self.id, target, request)
+        self._schedule_fetch_retry()
+
+    def _schedule_fetch_retry(self) -> None:
+        if self._fetch_timer is not None:
+            return
+
+        def retry() -> None:
+            self._fetch_timer = None
+            if self.crashed:
+                return
+            missing = self.dag.pending_missing()
+            if not missing:
+                self._fetch_requested.clear()
+                return
+            # Ask a random peer; the previous target may have crashed.
+            self._fetch_requested.clear()
+            self._request_missing(missing, preferred_peer=self._random_peer())
+
+        self._fetch_timer = self.simulator.schedule(self.config.fetch_retry_interval, retry)
+
+    def _random_peer(self) -> ValidatorId:
+        peers = [validator for validator in self.committee.validators if validator != self.id]
+        return self.simulator.rng.choice(peers)
+
+    def _handle_fetch_request(self, sender: ValidatorId, request: FetchRequest) -> None:
+        found: List[Vertex] = []
+        seen: set = set()
+        for vertex_id in request.missing:
+            vertex = self.dag.get(vertex_id)
+            if vertex is None:
+                continue
+            if request.deep:
+                for ancestor in self.dag.causal_history(vertex.id):
+                    if ancestor.id not in seen:
+                        seen.add(ancestor.id)
+                        found.append(ancestor)
+            elif vertex.id not in seen:
+                seen.add(vertex.id)
+                found.append(vertex)
+        if found:
+            response = FetchResponse(
+                responder=self.id,
+                vertices=tuple(found),
+                responder_gc_round=self.dag.lowest_round,
+                snapshot=self._consensus_snapshot() if request.deep else None,
+            )
+            self.network.send(self.id, sender, response)
+
+    def _consensus_snapshot(self) -> ConsensusSnapshot:
+        """Summarize committed state for a peer that may need state sync."""
+        if isinstance(self.schedule_manager, HammerHeadScheduleManager):
+            scores = self.schedule_manager.scores.as_dict()
+            commits_in_epoch = self.schedule_manager.commits_in_epoch
+        else:
+            scores = {}
+            commits_in_epoch = 0
+        horizon = self.dag.lowest_round
+        ordered_above_horizon = frozenset(
+            vertex_id
+            for vertex_id in self.consensus.ordered_vertices
+            if vertex_id.round >= horizon
+        )
+        return ConsensusSnapshot(
+            last_ordered_anchor_round=self.consensus.last_ordered_anchor_round,
+            gc_round=horizon,
+            schedules=tuple(self.schedule_manager.history),
+            scores=scores,
+            commits_in_epoch=commits_in_epoch,
+            ordered_vertices=ordered_above_horizon,
+        )
+
+    def _handle_fetch_response(self, response: FetchResponse) -> None:
+        self._maybe_state_sync(response)
+        for vertex in sorted(response.vertices, key=lambda vertex: vertex.round):
+            self._ingest_vertex(vertex)
+        self.dag.reconsider_pending()
+        self._maybe_advance()
+
+    def _maybe_state_sync(self, response: FetchResponse) -> None:
+        """Fall back to state sync when the missing history was pruned.
+
+        If the responder has already garbage-collected the rounds this
+        validator is missing, vertex-by-vertex fetching can never complete.
+        The production system downloads a certified checkpoint instead; the
+        simulation models that by adopting the responder's committed
+        position, ordered-vertex set, and schedule state, then resuming
+        normal operation from the responder's GC horizon.
+        """
+        if response.responder_gc_round <= self.dag.highest_round() + 1:
+            return
+        snapshot = response.snapshot
+        if snapshot is None:
+            return
+        self.consensus.fast_forward(snapshot.last_ordered_anchor_round)
+        self.consensus.ordered_vertices.update(snapshot.ordered_vertices)
+        self.schedule_manager.adopt_state(
+            list(snapshot.schedules), dict(snapshot.scores), snapshot.commits_in_epoch
+        )
+        self.dag.garbage_collect(snapshot.gc_round)
+        self.dag.reconsider_pending()
+        self._fetch_requested.clear()
+
+    # -- DAG insertion reaction ---------------------------------------------------------------
+
+    def _on_vertex_inserted(self, vertex: Vertex) -> None:
+        self._persist_vertex(vertex)
+        self.consensus.process_vertex(vertex)
+        if self.config.gc_depth:
+            self.consensus.garbage_collect(keep_rounds=self.config.gc_depth)
+        if vertex.round >= self.current_round - 1:
+            self._maybe_advance()
+
+    def _persist_vertex(self, vertex: Vertex) -> None:
+        self.store.family(PersistentStore.CF_VERTICES).put(vertex.id, vertex)
+
+    # -- convenience accessors -------------------------------------------------------------------
+
+    def on_ordered(self, callback: Callable[[OrderedVertex], None]) -> None:
+        self.consensus.on_ordered(callback)
+
+    def on_commit(self, callback: Callable[[CommittedSubDag], None]) -> None:
+        self.consensus.on_commit(callback)
+
+    @property
+    def ordered_count(self) -> int:
+        return self.consensus.ordered_count
+
+    @property
+    def commit_count(self) -> int:
+        return self.consensus.commit_count
+
+    def describe(self) -> str:
+        return (
+            f"validator {self.id} (round {self.current_round}, "
+            f"{self.commit_count} commits, {self.schedule_manager.describe()})"
+        )

@@ -1,0 +1,84 @@
+"""Common interface of reliable broadcast implementations."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Optional
+
+from repro.committee import Committee
+from repro.network.transport import Network
+from repro.rbc.messages import BroadcastMessage
+from repro.types import Round, SimTime, ValidatorId
+
+
+@dataclasses.dataclass(frozen=True)
+class Delivery:
+    """A delivered broadcast: ``r_deliver(m, r, i)`` in Definition 1."""
+
+    payload: Any
+    round: Round
+    origin: ValidatorId
+    delivered_at: SimTime
+
+
+# Callback invoked exactly once per (origin, round) on delivery.
+DeliveryCallback = Callable[[Delivery], None]
+
+
+class BroadcastProtocol:
+    """Base class shared by the Bracha and certified implementations."""
+
+    def __init__(
+        self,
+        node_id: ValidatorId,
+        committee: Committee,
+        network: Network,
+        on_deliver: DeliveryCallback,
+    ) -> None:
+        self.node_id = node_id
+        self.committee = committee
+        self.network = network
+        self.on_deliver = on_deliver
+        # Delivered (origin, round) pairs: enforces the Integrity property
+        # (at most one delivery per origin and round).
+        self._delivered: set = set()
+
+    # -- API ------------------------------------------------------------------
+
+    def broadcast(self, payload: Any, round_number: Round) -> None:
+        """``r_bcast(m, r)``: disseminate ``payload`` for ``round_number``."""
+        raise NotImplementedError
+
+    def handle_message(self, sender: ValidatorId, message: Any) -> bool:
+        """Process a network message.
+
+        Returns ``True`` when the message belonged to the broadcast layer
+        (and was consumed), ``False`` otherwise so the caller can dispatch
+        it elsewhere.
+        """
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------------
+
+    def owns(self, message: Any) -> bool:
+        return isinstance(message, BroadcastMessage)
+
+    def _deliver(self, payload: Any, round_number: Round, origin: ValidatorId) -> None:
+        key = (origin, round_number)
+        if key in self._delivered:
+            return
+        self._delivered.add(key)
+        self.on_deliver(
+            Delivery(
+                payload=payload,
+                round=round_number,
+                origin=origin,
+                delivered_at=self._now(),
+            )
+        )
+
+    def has_delivered(self, origin: ValidatorId, round_number: Round) -> bool:
+        return (origin, round_number) in self._delivered
+
+    def _now(self) -> SimTime:
+        return self.network.simulator.now

@@ -1,0 +1,152 @@
+"""Bracha reliable broadcast.
+
+The textbook echo/ready protocol satisfying Definition 1 even when the
+broadcaster is Byzantine:
+
+1. The broadcaster sends the payload to everyone.
+2. On first receipt of a payload for (origin, round), a validator echoes
+   it to everyone.
+3. On receiving echoes covering a 2f+1 stake quorum for one digest (or
+   readies covering f+1), a validator sends a ready message.
+4. On receiving readies covering a 2f+1 stake quorum, it delivers.
+
+This implementation exists primarily so the test suite can check the
+Agreement / Integrity / Validity properties against an adversarial
+broadcaster; the large-scale simulations use the cheaper
+:class:`~repro.rbc.certified.CertifiedBroadcast`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Set, Tuple
+
+from repro.committee import Committee
+from repro.crypto.hashing import digest_of
+from repro.network.transport import Network
+from repro.rbc.base import BroadcastProtocol, DeliveryCallback
+from repro.rbc.messages import EchoMessage, ProposeMessage, ReadyMessage
+from repro.types import Round, ValidatorId
+
+_Key = Tuple[ValidatorId, Round]
+
+
+class BrachaBroadcast(BroadcastProtocol):
+    """The echo/ready reliable broadcast protocol."""
+
+    def __init__(
+        self,
+        node_id: ValidatorId,
+        committee: Committee,
+        network: Network,
+        on_deliver: DeliveryCallback,
+    ) -> None:
+        super().__init__(node_id, committee, network, on_deliver)
+        self._echoed: Set[_Key] = set()
+        self._readied: Set[_Key] = set()
+        # (origin, round) -> digest -> set of echoers / readiers.
+        self._echoes: Dict[_Key, Dict[bytes, Set[ValidatorId]]] = {}
+        self._readies: Dict[_Key, Dict[bytes, Set[ValidatorId]]] = {}
+        # Payloads seen for each (origin, round, digest).
+        self._payloads: Dict[Tuple[ValidatorId, Round, bytes], Any] = {}
+
+    # -- broadcasting ------------------------------------------------------------
+
+    def broadcast(self, payload: Any, round_number: Round) -> None:
+        digest = self._digest(self.node_id, round_number, payload)
+        message = ProposeMessage(
+            origin=self.node_id,
+            round=round_number,
+            digest=digest,
+            payload=payload,
+        )
+        self.network.broadcast(self.node_id, message, include_self=True)
+
+    # -- message handling ------------------------------------------------------------
+
+    def handle_message(self, sender: ValidatorId, message: Any) -> bool:
+        if isinstance(message, ProposeMessage):
+            self._handle_propose(sender, message)
+            return True
+        if isinstance(message, EchoMessage):
+            self._handle_echo(sender, message)
+            return True
+        if isinstance(message, ReadyMessage):
+            self._handle_ready(sender, message)
+            return True
+        return False
+
+    def _handle_propose(self, sender: ValidatorId, message: ProposeMessage) -> None:
+        if sender != message.origin:
+            return
+        self._record_payload(message.origin, message.round, message.digest, message.payload)
+        self._send_echo(message)
+
+    def _send_echo(self, message: ProposeMessage) -> None:
+        key = (message.origin, message.round)
+        if key in self._echoed:
+            return
+        self._echoed.add(key)
+        echo = EchoMessage(
+            origin=message.origin,
+            round=message.round,
+            digest=message.digest,
+            payload=message.payload,
+        )
+        self.network.broadcast(self.node_id, echo, include_self=True)
+
+    def _handle_echo(self, sender: ValidatorId, message: EchoMessage) -> None:
+        key = (message.origin, message.round)
+        self._record_payload(message.origin, message.round, message.digest, message.payload)
+        voters = self._echoes.setdefault(key, {}).setdefault(message.digest, set())
+        voters.add(sender)
+        if self.committee.has_quorum(voters):
+            self._send_ready(message.origin, message.round, message.digest)
+
+    def _handle_ready(self, sender: ValidatorId, message: ReadyMessage) -> None:
+        key = (message.origin, message.round)
+        voters = self._readies.setdefault(key, {}).setdefault(message.digest, set())
+        voters.add(sender)
+        if self.committee.has_validity(voters):
+            # Ready amplification: f+1 readies prove at least one honest
+            # validator will deliver, so it is safe to join.
+            self._send_ready(message.origin, message.round, message.digest)
+        if self.committee.has_quorum(voters):
+            self._maybe_deliver(message.origin, message.round, message.digest)
+
+    def _send_ready(self, origin: ValidatorId, round_number: Round, digest: bytes) -> None:
+        key = (origin, round_number)
+        if key in self._readied:
+            return
+        self._readied.add(key)
+        ready = ReadyMessage(origin=origin, round=round_number, digest=digest)
+        self.network.broadcast(self.node_id, ready, include_self=True)
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _record_payload(
+        self, origin: ValidatorId, round_number: Round, digest: bytes, payload: Any
+    ) -> None:
+        self._payloads.setdefault((origin, round_number, digest), payload)
+        # Delivery may have been blocked only on the payload (a quorum of
+        # readies can arrive before any echo carrying the content).
+        self._maybe_deliver(origin, round_number, digest)
+
+    def _maybe_deliver(self, origin: ValidatorId, round_number: Round, digest: bytes) -> None:
+        """Deliver once both a ready quorum and the payload are available."""
+        voters = self._readies.get((origin, round_number), {}).get(digest, set())
+        if not self.committee.has_quorum(voters):
+            return
+        key = (origin, round_number, digest)
+        if key not in self._payloads:
+            return
+        self._deliver(self._payloads[key], round_number, origin)
+
+    @staticmethod
+    def _digest(origin: ValidatorId, round_number: Round, payload: Any) -> bytes:
+        content = getattr(payload, "digest", None)
+        if content is None:
+            try:
+                content = digest_of(payload)
+            except TypeError:
+                content = repr(payload)
+        return digest_of("bracha-broadcast", origin, round_number, content)

@@ -1,0 +1,158 @@
+"""Narwhal-style certified broadcast.
+
+Protocol (for one broadcast by validator ``p`` at round ``r``):
+
+1. ``p`` sends a :class:`ProposeMessage` carrying the payload to every
+   validator.
+2. Each validator acknowledges the *first* proposal it sees from ``p`` for
+   round ``r`` with an :class:`AckMessage` (this is what prevents an
+   equivocating broadcaster from certifying two different payloads).
+3. When ``p`` has collected acknowledgements covering a 2f+1 stake quorum,
+   it assembles a :class:`CertificateMessage` and sends it to everyone.
+4. A validator delivers the payload when it receives a valid certificate.
+
+The quorum intersection argument gives non-equivocation: two conflicting
+certificates would require two quorums of acknowledgements whose
+intersection contains an honest validator that acknowledged both, which an
+honest validator never does.  Agreement across honest parties is completed
+by the node-level synchronizer (parents referenced by a delivered vertex
+are fetched from the vertex's source), mirroring Narwhal's certificate
+fetcher.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Set, Tuple
+
+from repro.committee import Committee
+from repro.crypto.hashing import digest_of
+from repro.errors import BroadcastError
+from repro.network.transport import Network
+from repro.rbc.base import BroadcastProtocol, DeliveryCallback
+from repro.rbc.messages import AckMessage, CertificateMessage, ProposeMessage
+from repro.types import Round, ValidatorId
+
+
+class CertifiedBroadcast(BroadcastProtocol):
+    """O(n)-message reliable dissemination with explicit certificates."""
+
+    def __init__(
+        self,
+        node_id: ValidatorId,
+        committee: Committee,
+        network: Network,
+        on_deliver: DeliveryCallback,
+    ) -> None:
+        super().__init__(node_id, committee, network, on_deliver)
+        # Acks received for broadcasts we originated: (round) -> voters.
+        self._acks: Dict[Round, Set[ValidatorId]] = {}
+        # Payloads of our own in-flight broadcasts, keyed by round.
+        self._own_payloads: Dict[Round, Tuple[Any, bytes]] = {}
+        # Rounds we already certified (to send the certificate only once).
+        self._certified: Set[Round] = set()
+        # First proposal digest acknowledged per (origin, round).
+        self._acked: Dict[Tuple[ValidatorId, Round], bytes] = {}
+
+    # -- broadcasting -----------------------------------------------------------
+
+    def broadcast(self, payload: Any, round_number: Round) -> None:
+        digest = digest_of("certified-broadcast", self.node_id, round_number, _payload_digest(payload))
+        if round_number in self._own_payloads:
+            raise BroadcastError(
+                f"validator {self.node_id} already broadcast for round {round_number}"
+            )
+        self._own_payloads[round_number] = (payload, digest)
+        self._acks[round_number] = set()
+        message = ProposeMessage(
+            origin=self.node_id,
+            round=round_number,
+            digest=digest,
+            payload=payload,
+        )
+        self.network.broadcast(self.node_id, message, include_self=True)
+
+    # -- message handling ----------------------------------------------------------
+
+    def handle_message(self, sender: ValidatorId, message: Any) -> bool:
+        if isinstance(message, ProposeMessage):
+            self._handle_propose(sender, message)
+            return True
+        if isinstance(message, AckMessage):
+            self._handle_ack(sender, message)
+            return True
+        if isinstance(message, CertificateMessage):
+            self._handle_certificate(sender, message)
+            return True
+        return False
+
+    def _handle_propose(self, sender: ValidatorId, message: ProposeMessage) -> None:
+        if sender != message.origin:
+            # Proposals are only valid coming directly from their origin.
+            return
+        key = (message.origin, message.round)
+        previously_acked = self._acked.get(key)
+        if previously_acked is not None and previously_acked != message.digest:
+            # Equivocation attempt: never acknowledge a second payload.
+            return
+        self._acked[key] = message.digest
+        ack = AckMessage(
+            origin=message.origin,
+            round=message.round,
+            digest=message.digest,
+            voter=self.node_id,
+        )
+        self.network.send(self.node_id, message.origin, ack)
+
+    def _handle_ack(self, sender: ValidatorId, message: AckMessage) -> None:
+        if message.origin != self.node_id:
+            return
+        own = self._own_payloads.get(message.round)
+        if own is None:
+            return
+        payload, digest = own
+        if message.digest != digest or message.voter != sender:
+            return
+        if message.round in self._certified:
+            return
+        voters = self._acks.setdefault(message.round, set())
+        voters.add(sender)
+        if self.committee.has_quorum(voters):
+            self._certified.add(message.round)
+            certificate = CertificateMessage(
+                origin=self.node_id,
+                round=message.round,
+                digest=digest,
+                payload=payload,
+                signers=tuple(sorted(voters)),
+            )
+            self.network.broadcast(self.node_id, certificate, include_self=True)
+
+    def _handle_certificate(self, sender: ValidatorId, message: CertificateMessage) -> None:
+        if not self.committee.has_quorum(message.signers):
+            # An invalid certificate cannot trigger delivery.
+            return
+        expected = digest_of(
+            "certified-broadcast", message.origin, message.round, _payload_digest(message.payload)
+        )
+        if expected != message.digest:
+            return
+        self._deliver(message.payload, message.round, message.origin)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def ack_count(self, round_number: Round) -> int:
+        return len(self._acks.get(round_number, set()))
+
+    def is_certified(self, round_number: Round) -> bool:
+        return round_number in self._certified
+
+
+def _payload_digest(payload: Any) -> Any:
+    """Best-effort content fingerprint of an arbitrary payload."""
+    digest = getattr(payload, "digest", None)
+    if digest is not None:
+        return digest
+    try:
+        return digest_of(payload)
+    except TypeError:
+        return repr(payload)

@@ -1,0 +1,52 @@
+"""Wire messages of the reliable broadcast layer."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Tuple
+
+from repro.crypto.hashing import Digest
+from repro.types import Round, ValidatorId
+
+
+@dataclasses.dataclass(frozen=True)
+class BroadcastMessage:
+    """Base class for broadcast-layer messages (used for dispatch)."""
+
+    origin: ValidatorId
+    round: Round
+    digest: Digest
+
+
+@dataclasses.dataclass(frozen=True)
+class ProposeMessage(BroadcastMessage):
+    """The original payload sent by the broadcaster (certified protocol)."""
+
+    payload: Any = None
+
+
+@dataclasses.dataclass(frozen=True)
+class AckMessage(BroadcastMessage):
+    """A signed acknowledgement of a proposal, sent back to the broadcaster."""
+
+    voter: ValidatorId = -1
+
+
+@dataclasses.dataclass(frozen=True)
+class CertificateMessage(BroadcastMessage):
+    """A 2f+1 quorum of acknowledgements; carries the payload for delivery."""
+
+    payload: Any = None
+    signers: Tuple[ValidatorId, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class EchoMessage(BroadcastMessage):
+    """Bracha echo: relays the payload to every party."""
+
+    payload: Any = None
+
+
+@dataclasses.dataclass(frozen=True)
+class ReadyMessage(BroadcastMessage):
+    """Bracha ready: vouches that delivery of the digest is imminent."""

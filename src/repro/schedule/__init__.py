@@ -1,0 +1,11 @@
+"""Leader schedules: who is the leader (anchor) of each round."""
+
+from repro.schedule.base import LeaderSchedule
+from repro.schedule.round_robin import initial_schedule, round_robin_slots, stake_weighted_slots
+
+__all__ = [
+    "LeaderSchedule",
+    "initial_schedule",
+    "round_robin_slots",
+    "stake_weighted_slots",
+]

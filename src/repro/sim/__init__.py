@@ -1,0 +1,24 @@
+"""Simulation harness: experiment configuration, runner, and sweeps."""
+
+from repro.sim.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.sim.presets import (
+    execution_capacity_for,
+    node_config_for,
+    paper_committee_sizes,
+    paper_fault_counts,
+)
+from repro.sim.runner import SimulationRunner
+from repro.sim.sweep import latency_throughput_curve, compare_systems
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "SimulationRunner",
+    "node_config_for",
+    "execution_capacity_for",
+    "paper_committee_sizes",
+    "paper_fault_counts",
+    "latency_throughput_curve",
+    "compare_systems",
+]

@@ -1,0 +1,147 @@
+"""Experiment configuration and results.
+
+An :class:`ExperimentConfig` describes one run: which protocol, how many
+validators, how much load, which faults.  :func:`run_experiment` builds a
+:class:`~repro.sim.runner.SimulationRunner` from the config, runs it, and
+returns an :class:`ExperimentResult` carrying the performance report plus
+handles to the simulation internals (used by integration tests to check
+safety and schedule agreement).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.faults.base import FaultPlan
+from repro.metrics.report import PerformanceReport
+from repro.types import SimTime
+
+# Protocol identifiers.
+PROTOCOL_HAMMERHEAD = "hammerhead"
+PROTOCOL_BULLSHARK = "bullshark"
+
+# Scoring rule identifiers (ablation ABL-SCORE).
+SCORING_RULES = ("hammerhead", "shoal", "carousel")
+
+
+@dataclasses.dataclass
+class ExperimentConfig:
+    """Full description of one simulated benchmark run."""
+
+    # System under test.
+    protocol: str = PROTOCOL_HAMMERHEAD
+    committee_size: int = 10
+    stake: str = "equal"  # "equal", "geometric", or "zipf"
+
+    # Workload.
+    input_load_tps: float = 1000.0
+    duration: SimTime = 30.0
+    warmup: SimTime = 5.0
+
+    # Faults.
+    faults: int = 0
+    fault_time: SimTime = 0.0
+    extra_faults: Sequence[FaultPlan] = ()
+
+    # HammerHead parameters (ignored by the Bullshark baseline).
+    commits_per_schedule: int = 10
+    exclude_fraction: float = 1.0 / 3.0
+    scoring: str = "hammerhead"
+    schedule_change_policy: str = "commits"  # or "rounds"
+    rounds_per_schedule: int = 20
+
+    # Node / network parameters.
+    leader_timeout: SimTime = 4.0
+    min_round_interval: Optional[SimTime] = None
+    max_batch_size: Optional[int] = None
+    latency_model: str = "geo"  # "geo" or "uniform"
+    gst: SimTime = 0.0
+    delta: SimTime = 2.0
+    execution_capacity_tps: Optional[float] = None
+
+    # Simulation control.
+    seed: int = 1
+    record_sequences: bool = False
+    observer: int = 0
+
+    def validate(self) -> "ExperimentConfig":
+        if self.protocol not in (PROTOCOL_HAMMERHEAD, PROTOCOL_BULLSHARK):
+            raise ConfigurationError(f"unknown protocol {self.protocol!r}")
+        if self.committee_size < 1:
+            raise ConfigurationError("the committee needs at least one validator")
+        if self.stake not in ("equal", "geometric", "zipf"):
+            raise ConfigurationError(f"unknown stake distribution {self.stake!r}")
+        if self.input_load_tps < 0:
+            raise ConfigurationError("the input load must be non-negative")
+        if self.duration <= 0:
+            raise ConfigurationError("the run duration must be positive")
+        if not 0 <= self.warmup < self.duration:
+            raise ConfigurationError("warmup must lie within the run duration")
+        max_faulty = (self.committee_size - 1) // 3
+        if not 0 <= self.faults <= max_faulty:
+            raise ConfigurationError(
+                f"a committee of {self.committee_size} tolerates at most "
+                f"{max_faulty} faults, not {self.faults}"
+            )
+        if self.scoring not in SCORING_RULES:
+            raise ConfigurationError(f"unknown scoring rule {self.scoring!r}")
+        if self.schedule_change_policy not in ("commits", "rounds"):
+            raise ConfigurationError(
+                f"unknown schedule change policy {self.schedule_change_policy!r}"
+            )
+        if self.latency_model not in ("geo", "uniform"):
+            raise ConfigurationError(f"unknown latency model {self.latency_model!r}")
+        if not 0 <= self.observer < self.committee_size:
+            raise ConfigurationError("the observer must be a committee member")
+        if self.seed < 0 or self.seed >= 4096:
+            raise ConfigurationError("seeds must lie in [0, 4096)")
+        if not 0.0 <= self.exclude_fraction < 1.0:
+            raise ConfigurationError("exclude_fraction must lie in [0, 1)")
+        return self
+
+    def label(self) -> str:
+        fault_text = f", {self.faults} faulty" if self.faults else ""
+        return f"{self.protocol} - {self.committee_size} nodes{fault_text} @ {self.input_load_tps:.0f} tx/s"
+
+    def with_overrides(self, **changes) -> "ExperimentConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Everything a caller may want to know about a finished run."""
+
+    config: ExperimentConfig
+    report: PerformanceReport
+    ordering_digests: Dict[int, Tuple[int, str]]
+    schedule_epochs: Dict[int, int]
+    schedule_histories: Dict[int, List[Tuple[int, int]]]
+    leader_timeouts: Dict[int, int]
+    commits_per_leader: Dict[int, int]
+    skipped_rounds_per_leader: Dict[int, int]
+    crashed_validators: List[int]
+
+    @property
+    def throughput(self) -> float:
+        return self.report.throughput_tps
+
+    @property
+    def avg_latency(self) -> float:
+        return self.report.avg_latency_s
+
+    @property
+    def p95_latency(self) -> float:
+        return self.report.p95_latency_s
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Build, run, and summarize one experiment."""
+    # Imported here to avoid a circular import (the runner imports this
+    # module for the config class).
+    from repro.sim.runner import SimulationRunner
+
+    runner = SimulationRunner(config)
+    return runner.run()

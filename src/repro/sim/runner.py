@@ -1,0 +1,276 @@
+"""The simulation runner: builds a full deployment and runs it.
+
+The runner is the equivalent of the paper's AWS orchestrator: it creates
+the committee, the (simulated) network, one validator per committee
+member, the benchmark clients, and the fault schedule, runs the system for
+the configured duration of virtual time, and collects the measurements
+into a :class:`~repro.metrics.report.PerformanceReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.committee import Committee, equal_stake, geometric_stake, zipfian_stake
+from repro.core.manager import (
+    HammerHeadScheduleManager,
+    ScheduleManager,
+    StaticScheduleManager,
+)
+from repro.core.schedule_change import CommitCountPolicy, RoundBasedPolicy
+from repro.core.scoring import CarouselScoring, HammerHeadScoring, ShoalScoring
+from repro.faults.base import FaultInjector
+from repro.faults.crash import crash_last_f
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.execution import ExecutionModel
+from repro.metrics.leader_stats import LeaderUtilizationStats
+from repro.metrics.report import PerformanceReport
+from repro.network.latency import GeoLatencyModel, UniformLatencyModel
+from repro.network.simulator import Simulator
+from repro.network.synchrony import AlwaysSynchronous, PartialSynchrony
+from repro.network.transport import Network
+from repro.node.config import NodeConfig
+from repro.node.validator import ValidatorNode
+from repro.schedule.round_robin import initial_schedule
+from repro.sim.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    PROTOCOL_HAMMERHEAD,
+)
+from repro.sim.presets import execution_capacity_for, node_config_for
+from repro.types import ValidatorId
+from repro.workload.generator import spawn_load
+
+
+class SimulationRunner:
+    """Builds and runs one experiment."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config.validate()
+        self.committee = self._build_committee()
+        self.simulator = Simulator(seed=config.seed)
+        self.network = Network(
+            simulator=self.simulator,
+            latency_model=self._build_latency_model(),
+            synchrony=self._build_synchrony_model(),
+        )
+        self.node_config = self._build_node_config()
+        self.nodes: Dict[ValidatorId, ValidatorNode] = {}
+        self._build_nodes()
+        self.metrics = MetricsCollector(
+            confirmation_delay=0.040,
+            warmup=config.warmup,
+            execution=ExecutionModel(self._execution_capacity()),
+        )
+        self.leader_stats = LeaderUtilizationStats()
+        self.fault_injector = self._build_faults()
+        self._wire_observers()
+
+    # -- construction ---------------------------------------------------------------
+
+    def _build_committee(self) -> Committee:
+        size = self.config.committee_size
+        if self.config.stake == "equal":
+            stake = equal_stake(size)
+        elif self.config.stake == "geometric":
+            stake = geometric_stake(size)
+        else:
+            stake = zipfian_stake(size)
+        return Committee.build(size, stake=stake, seed=self.config.seed)
+
+    def _build_latency_model(self):
+        if self.config.latency_model == "geo":
+            return GeoLatencyModel()
+        return UniformLatencyModel()
+
+    def _build_synchrony_model(self):
+        if self.config.gst > 0:
+            return PartialSynchrony(gst=self.config.gst, delta=self.config.delta)
+        return AlwaysSynchronous(delta=self.config.delta)
+
+    def _build_node_config(self) -> NodeConfig:
+        base = node_config_for(
+            self.config.committee_size, leader_timeout=self.config.leader_timeout
+        )
+        if self.config.min_round_interval is not None:
+            base.min_round_interval = self.config.min_round_interval
+        if self.config.max_batch_size is not None:
+            base.max_batch_size = self.config.max_batch_size
+        base.record_sequence = self.config.record_sequences
+        return base.validate()
+
+    def _execution_capacity(self) -> float:
+        if self.config.execution_capacity_tps is not None:
+            return self.config.execution_capacity_tps
+        return execution_capacity_for(self.config.committee_size)
+
+    def _schedule_manager_factory(self) -> Callable[[], ScheduleManager]:
+        config = self.config
+        committee = self.committee
+
+        def factory() -> ScheduleManager:
+            schedule = initial_schedule(committee, seed=config.seed)
+            if config.protocol != PROTOCOL_HAMMERHEAD:
+                return StaticScheduleManager(committee, schedule)
+            if config.schedule_change_policy == "commits":
+                policy = CommitCountPolicy(config.commits_per_schedule)
+            else:
+                policy = RoundBasedPolicy(config.rounds_per_schedule)
+            scoring = {
+                "hammerhead": HammerHeadScoring,
+                "shoal": ShoalScoring,
+                "carousel": CarouselScoring,
+            }[config.scoring]()
+            return HammerHeadScheduleManager(
+                committee,
+                schedule,
+                policy=policy,
+                scoring=scoring,
+                exclude_fraction=config.exclude_fraction,
+            )
+
+        return factory
+
+    def _build_nodes(self) -> None:
+        factory = self._schedule_manager_factory()
+        for validator in self.committee.validators:
+            self.nodes[validator] = ValidatorNode(
+                validator_id=validator,
+                committee=self.committee,
+                network=self.network,
+                schedule_manager=factory(),
+                config=self.node_config,
+                schedule_manager_factory=factory,
+            )
+
+    def _build_faults(self) -> FaultInjector:
+        injector = FaultInjector(list(self.config.extra_faults))
+        if self.config.faults > 0:
+            injector.add(
+                crash_last_f(
+                    self.committee,
+                    faults=self.config.faults,
+                    at_time=self.config.fault_time,
+                    protect=(self.config.observer,),
+                )
+            )
+        return injector
+
+    def _wire_observers(self) -> None:
+        observer = self.nodes[self.config.observer]
+        self.metrics.attach_observer(observer)
+        observer.on_commit(self.leader_stats.record_commit)
+
+    # -- running ------------------------------------------------------------------------
+
+    def run(self) -> ExperimentResult:
+        """Run the experiment and return its result."""
+        config = self.config
+        self.fault_injector.schedule_all(self.simulator, self.network, self.nodes)
+        self._start_nodes()
+        self._start_load()
+        self.simulator.run(until=config.duration)
+        return self._build_result()
+
+    def _start_nodes(self) -> None:
+        for node in self.nodes.values():
+            # Stagger start-up by a few milliseconds to avoid artificial
+            # lock-step behaviour in the very first rounds.
+            jitter = self.simulator.rng.uniform(0.0, 0.020)
+            self.simulator.schedule(jitter, node.start)
+
+    def _start_load(self) -> None:
+        if self.config.input_load_tps <= 0:
+            return
+        targets = self._load_targets()
+        spawn_load(
+            simulator=self.simulator,
+            targets=targets,
+            total_rate=self.config.input_load_tps,
+            duration=self.config.duration,
+            start_time=0.5,
+            on_submit=self.metrics.on_transaction_submitted,
+        )
+
+    def _load_targets(self) -> List[ValidatorNode]:
+        """Validators that receive client load.
+
+        Clients avoid validators that are crashed from the very start of
+        the run (as real load generators target responsive endpoints);
+        validators affected by faults later in the run still receive load.
+        """
+        excluded = set()
+        for plan in self.fault_injector.plans:
+            start = getattr(plan, "at_time", getattr(plan, "crash_at", None))
+            if start is not None and start <= 0.5 and hasattr(plan, "validators"):
+                excluded.update(plan.validators)
+        targets = [
+            node for validator, node in sorted(self.nodes.items()) if validator not in excluded
+        ]
+        return targets if targets else list(self.nodes.values())
+
+    # -- result assembly -------------------------------------------------------------------
+
+    def _build_result(self) -> ExperimentResult:
+        config = self.config
+        observer = self.nodes[config.observer]
+        self.leader_stats.finalize_skips(
+            observer.consensus.last_ordered_anchor_round,
+            observer.schedule_manager.leader_for_round,
+        )
+        crashed = [
+            validator for validator in self.committee.validators
+            if self.network.is_crashed(validator)
+        ]
+        alive_nodes = [node for node in self.nodes.values() if not node.crashed]
+        report = PerformanceReport(
+            system=config.protocol,
+            committee_size=config.committee_size,
+            faults=config.faults,
+            input_load_tps=config.input_load_tps,
+            duration=config.duration,
+            throughput_tps=self.metrics.throughput(config.duration),
+            avg_latency_s=self.metrics.average_latency(),
+            p50_latency_s=self.metrics.p50_latency(),
+            p95_latency_s=self.metrics.p95_latency(),
+            stdev_latency_s=self.metrics.latency.stdev(),
+            committed_transactions=self.metrics.committed,
+            submitted_transactions=self.metrics.submitted,
+            commits=observer.commit_count,
+            skipped_anchor_rounds=self.leader_stats.skips,
+            leader_timeouts=sum(node.leader_timeouts_suffered for node in alive_nodes),
+            schedule_changes=len(observer.schedule_manager.history) - 1,
+            extra={
+                "events_fired": float(self.simulator.events_fired),
+                "messages_delivered": float(self.network.stats.messages_delivered),
+                "observer_round": float(observer.current_round),
+            },
+        )
+        ordering_digests = {
+            validator: (node.consensus.ordered_count, node.consensus.ordering_digest)
+            for validator, node in self.nodes.items()
+        }
+        schedule_epochs = {
+            validator: node.schedule_manager.epochs for validator, node in self.nodes.items()
+        }
+        schedule_histories = {
+            validator: [
+                (schedule.epoch, schedule.initial_round)
+                for schedule in node.schedule_manager.history
+            ]
+            for validator, node in self.nodes.items()
+        }
+        leader_timeouts = {
+            validator: node.leader_timeouts_suffered for validator, node in self.nodes.items()
+        }
+        return ExperimentResult(
+            config=config,
+            report=report,
+            ordering_digests=ordering_digests,
+            schedule_epochs=schedule_epochs,
+            schedule_histories=schedule_histories,
+            leader_timeouts=leader_timeouts,
+            commits_per_leader=self.leader_stats.commits_per_leader(),
+            skipped_rounds_per_leader=self.leader_stats.skipped_rounds_per_leader(),
+            crashed_validators=crashed,
+        )

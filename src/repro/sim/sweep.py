@@ -1,0 +1,63 @@
+"""Parameter sweeps: latency/throughput curves and system comparisons.
+
+These helpers generate the series plotted in Figures 1 and 2 of the
+paper: for each input load in a sweep, run the system and record the
+measured throughput and latency; repeat per system and committee size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.metrics.report import PerformanceReport
+from repro.sim.experiment import ExperimentConfig, ExperimentResult, run_experiment
+
+
+def latency_throughput_curve(
+    base_config: ExperimentConfig,
+    loads: Sequence[float],
+) -> List[ExperimentResult]:
+    """Run ``base_config`` once per input load and return all results."""
+    results = []
+    for load in loads:
+        config = base_config.with_overrides(input_load_tps=load)
+        results.append(run_experiment(config))
+    return results
+
+
+def compare_systems(
+    base_config: ExperimentConfig,
+    loads: Sequence[float],
+    protocols: Iterable[str] = ("hammerhead", "bullshark"),
+) -> Dict[str, List[ExperimentResult]]:
+    """Latency/throughput curves for several systems under one setup."""
+    curves: Dict[str, List[ExperimentResult]] = {}
+    for protocol in protocols:
+        config = base_config.with_overrides(protocol=protocol)
+        curves[protocol] = latency_throughput_curve(config, loads)
+    return curves
+
+
+def reports_of(results: Sequence[ExperimentResult]) -> List[PerformanceReport]:
+    """Extract the performance reports of a result list."""
+    return [result.report for result in results]
+
+
+def curve_points(results: Sequence[ExperimentResult]) -> List[Tuple[float, float]]:
+    """(throughput, average latency) points of a curve, as plotted in the paper."""
+    return [(result.throughput, result.avg_latency) for result in results]
+
+
+def peak_throughput(results: Sequence[ExperimentResult]) -> float:
+    """Highest measured throughput across a sweep."""
+    if not results:
+        return 0.0
+    return max(result.throughput for result in results)
+
+
+def latency_at_peak(results: Sequence[ExperimentResult]) -> float:
+    """Average latency at the highest measured throughput."""
+    if not results:
+        return 0.0
+    best = max(results, key=lambda result: result.throughput)
+    return best.avg_latency

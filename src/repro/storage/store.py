@@ -1,0 +1,95 @@
+"""An in-memory persistent key-value store (RocksDB substitute).
+
+The store is organised in column families like RocksDB.  It lives outside
+the validator object so that crashing a validator (dropping its in-memory
+protocol state) does not lose the persisted data; recovery re-opens the
+same store instance and replays from it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import StorageError
+
+
+class ColumnFamily:
+    """A named keyspace inside a :class:`PersistentStore`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._data: Dict[Any, Any] = {}
+        self.writes = 0
+        self.reads = 0
+
+    def put(self, key: Any, value: Any) -> None:
+        self.writes += 1
+        self._data[key] = value
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        self.reads += 1
+        return self._data.get(key, default)
+
+    def contains(self, key: Any) -> bool:
+        return key in self._data
+
+    def delete(self, key: Any) -> None:
+        self._data.pop(key, None)
+
+    def keys(self) -> List[Any]:
+        return list(self._data.keys())
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        return iter(list(self._data.items()))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class PersistentStore:
+    """A collection of column families, one store per validator."""
+
+    # Column families used by the validator node.
+    CF_VERTICES = "vertices"
+    CF_CONSENSUS = "consensus"
+    CF_SCHEDULE = "schedule"
+    CF_TRANSACTIONS = "transactions"
+
+    DEFAULT_FAMILIES = (CF_VERTICES, CF_CONSENSUS, CF_SCHEDULE, CF_TRANSACTIONS)
+
+    def __init__(self, owner: Optional[int] = None) -> None:
+        self.owner = owner
+        self._families: Dict[str, ColumnFamily] = {}
+        for name in self.DEFAULT_FAMILIES:
+            self._families[name] = ColumnFamily(name)
+
+    def family(self, name: str) -> ColumnFamily:
+        """Return (creating if needed) the column family called ``name``."""
+        if name not in self._families:
+            self._families[name] = ColumnFamily(name)
+        return self._families[name]
+
+    def open_family(self, name: str) -> ColumnFamily:
+        """Return an existing column family or raise :class:`StorageError`."""
+        family = self._families.get(name)
+        if family is None:
+            raise StorageError(f"column family {name!r} does not exist")
+        return family
+
+    @property
+    def families(self) -> Tuple[str, ...]:
+        return tuple(self._families)
+
+    def total_writes(self) -> int:
+        return sum(family.writes for family in self._families.values())
+
+    def total_keys(self) -> int:
+        return sum(len(family) for family in self._families.values())
+
+    def wipe(self) -> None:
+        """Erase all persisted data (models losing the disk)."""
+        for family in self._families.values():
+            family.clear()

@@ -1,0 +1,64 @@
+"""A write-ahead log for crash-recovery testing.
+
+Every state mutation a validator wants to survive a crash is appended to
+the log before being applied.  On recovery the log is replayed in order.
+The log also exposes a ``truncate`` operation used after checkpoints
+(mirroring how the production system garbage-collects old rounds).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterator, List, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class WalEntry:
+    """One appended record: a tag naming the mutation plus its payload."""
+
+    sequence: int
+    tag: str
+    payload: Any
+
+
+class WriteAheadLog:
+    """An append-only, replayable log of mutations."""
+
+    def __init__(self) -> None:
+        self._entries: List[WalEntry] = []
+        self._next_sequence = 0
+
+    def append(self, tag: str, payload: Any) -> WalEntry:
+        """Append a record and return it."""
+        entry = WalEntry(sequence=self._next_sequence, tag=tag, payload=payload)
+        self._next_sequence += 1
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[WalEntry]:
+        return iter(list(self._entries))
+
+    def replay(self) -> Tuple[WalEntry, ...]:
+        """Return all entries in append order."""
+        return tuple(self._entries)
+
+    def truncate_before(self, sequence: int) -> int:
+        """Drop entries with ``sequence`` strictly below the given value.
+
+        Returns the number of dropped entries.  Sequence numbers are never
+        reused, so replay order is unaffected.
+        """
+        kept = [entry for entry in self._entries if entry.sequence >= sequence]
+        dropped = len(self._entries) - len(kept)
+        self._entries = kept
+        return dropped
+
+    @property
+    def last_sequence(self) -> int:
+        """Sequence number of the most recent entry, or -1 when empty."""
+        if not self._entries:
+            return -1
+        return self._entries[-1].sequence

@@ -1,0 +1,125 @@
+"""Core value types shared across the HammerHead reproduction.
+
+The whole code base manipulates a small number of primitive concepts:
+validators, rounds, stake, and simulated time.  They are given explicit
+types here so that signatures throughout the library read naturally
+(``leader_for_round(round_number) -> ValidatorId``) and so that unit
+tests can use :mod:`hypothesis` strategies over well-defined domains.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator, Tuple
+
+# A validator is identified by a small non-negative integer index.  The
+# committee object (see :mod:`repro.committee`) maps indices to richer
+# metadata (name, stake, region).
+ValidatorId = int
+
+# DAG rounds are non-negative integers.  Round 0 holds the genesis
+# vertices; anchors (leaders) live on even rounds and votes on odd rounds,
+# following the Bullshark wave structure used in the paper (Algorithm 2).
+Round = int
+
+# Stake is measured in arbitrary integer units.
+Stake = int
+
+# Simulated time, in seconds, as used by the discrete-event simulator.
+SimTime = float
+
+
+def is_anchor_round(round_number: Round) -> bool:
+    """Return ``True`` when ``round_number`` carries an anchor (a leader).
+
+    In the paper's formulation (Algorithm 2), anchors are elected on even
+    rounds greater than zero and votes for an anchor live on the following
+    odd round.
+    """
+    return round_number > 0 and round_number % 2 == 0
+
+
+def is_vote_round(round_number: Round) -> bool:
+    """Return ``True`` when vertices of ``round_number`` vote for an anchor."""
+    return round_number % 2 == 1
+
+
+def anchor_rounds_between(start: Round, end: Round) -> Iterator[Round]:
+    """Yield every anchor round in the half-open interval ``(start, end]``.
+
+    Both callers of this helper walk the anchor sequence in increasing
+    order, so the iterator is ascending.
+    """
+    first = start + 1
+    if first % 2 == 1:
+        first += 1
+    if first <= 0:
+        first = 2
+    for round_number in range(first, end + 1, 2):
+        yield round_number
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class VertexId:
+    """Unique identity of a DAG vertex.
+
+    Honest validators issue at most one vertex per round and the reliable
+    broadcast layer guarantees non-equivocation, so the pair
+    ``(round, source)`` identifies a vertex uniquely.  A digest of the
+    vertex contents is carried alongside for integrity checks; it does not
+    participate in ordering or hashing so that identity remains stable
+    across serialization round-trips.
+    """
+
+    round: Round
+    source: ValidatorId
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return f"V(r={self.round}, p={self.source})"
+
+
+@dataclasses.dataclass(frozen=True)
+class Region:
+    """A geographic region used by the latency model.
+
+    The paper's testbed spreads validators over thirteen AWS regions; the
+    simulator reproduces that topology with representative inter-region
+    round-trip times (see :mod:`repro.network.latency`).
+    """
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return self.name
+
+
+def total_stake(stakes: Iterable[Stake]) -> Stake:
+    """Sum an iterable of stake amounts."""
+    return sum(stakes)
+
+
+def quorum_threshold(total: Stake) -> Stake:
+    """Return the 2f+1 stake threshold for a system tolerating f < n/3.
+
+    Expressed over stake, the byzantine quorum threshold is the smallest
+    integer strictly greater than two thirds of the total stake.
+    """
+    return (2 * total) // 3 + 1
+
+
+def validity_threshold(total: Stake) -> Stake:
+    """Return the f+1 stake threshold (at least one honest party)."""
+    return total // 3 + 1
+
+
+def split_evenly(amount: int, parts: int) -> Tuple[int, ...]:
+    """Split ``amount`` into ``parts`` integers that differ by at most one.
+
+    Used to spread validators over regions "as equally as possible", the
+    same policy the paper uses to spread validators over AWS regions.
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    base = amount // parts
+    remainder = amount % parts
+    return tuple(base + (1 if index < remainder else 0) for index in range(parts))

@@ -1,0 +1,12 @@
+"""Workload generation: clients submitting transactions at a fixed rate.
+
+The paper's benchmark clients each submit at most 350 tx/s of simple
+shared-counter increments for ten minutes; the number of clients depends
+on the target load.  :class:`LoadGenerator` reproduces that behaviour in
+virtual time and records submission timestamps with the metrics collector.
+"""
+
+from repro.workload.transactions import Transaction, counter_increment
+from repro.workload.generator import LoadGenerator, spawn_load
+
+__all__ = ["Transaction", "counter_increment", "LoadGenerator", "spawn_load"]

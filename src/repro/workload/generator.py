@@ -1,0 +1,137 @@
+"""Fixed-rate load generators.
+
+Each :class:`LoadGenerator` models one geo-distributed benchmark client:
+it submits transactions at a constant rate to a set of target validators
+(round-robin), adding the client-to-validator network delay before the
+transaction enters the validator's pool.  Mirroring the paper, a single
+client never submits more than ``MAX_RATE_PER_CLIENT`` transactions per
+second; :func:`spawn_load` creates as many clients as needed for a target
+system load.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.network.simulator import Simulator
+from repro.node.validator import ValidatorNode
+from repro.types import SimTime
+from repro.workload.transactions import Transaction, counter_increment
+
+# The paper: "each benchmark client submits at most 350 tx/s".
+MAX_RATE_PER_CLIENT = 350.0
+
+# Callback used to tell the metrics collector about a submission.
+SubmitCallback = Callable[[Transaction], None]
+
+
+class LoadGenerator:
+    """One benchmark client submitting at a fixed rate."""
+
+    _id_counter = itertools.count()
+
+    def __init__(
+        self,
+        client_id: int,
+        simulator: Simulator,
+        targets: Sequence[ValidatorNode],
+        rate: float,
+        duration: SimTime,
+        start_time: SimTime = 0.0,
+        submission_delay: SimTime = 0.040,
+        on_submit: Optional[SubmitCallback] = None,
+    ) -> None:
+        if rate <= 0:
+            raise WorkloadError("the submission rate must be positive")
+        if rate > MAX_RATE_PER_CLIENT + 1e-9:
+            raise WorkloadError(
+                f"a single client submits at most {MAX_RATE_PER_CLIENT} tx/s; "
+                "use spawn_load() to create several clients"
+            )
+        if not targets:
+            raise WorkloadError("a load generator needs at least one target validator")
+        if duration <= 0:
+            raise WorkloadError("the load duration must be positive")
+        self.client_id = client_id
+        self.simulator = simulator
+        self.targets = list(targets)
+        self.rate = rate
+        self.duration = duration
+        self.start_time = start_time
+        self.submission_delay = submission_delay
+        self.on_submit = on_submit
+        self.submitted = 0
+        self._target_cycle = itertools.cycle(self.targets)
+
+    def start(self) -> None:
+        """Schedule all submissions for the configured duration."""
+        interval = 1.0 / self.rate
+        # Stagger clients slightly so submissions do not all land on the
+        # same instant when many clients are created.
+        offset = (self.client_id % 17) * interval / 17.0
+        # Compute submission instants by index rather than by accumulation
+        # so that floating-point drift never adds or drops a transaction.
+        count = int(round(self.rate * self.duration))
+        for index in range(count):
+            self._schedule_submission(self.start_time + offset + index * interval)
+
+    def _schedule_submission(self, at_time: SimTime) -> None:
+        def submit() -> None:
+            target = next(self._target_cycle)
+            transaction = counter_increment(
+                tx_id=next(LoadGenerator._id_counter),
+                client_id=self.client_id,
+                submitted_at=self.simulator.now,
+                target_validator=target.id,
+            )
+            self.submitted += 1
+            if self.on_submit is not None:
+                self.on_submit(transaction)
+            delay = self.submission_delay
+
+            def arrive() -> None:
+                target.submit_transaction(transaction)
+
+            self.simulator.schedule(delay, arrive)
+
+        self.simulator.schedule_at(at_time, submit)
+
+
+def spawn_load(
+    simulator: Simulator,
+    targets: Sequence[ValidatorNode],
+    total_rate: float,
+    duration: SimTime,
+    start_time: SimTime = 0.0,
+    submission_delay: SimTime = 0.040,
+    on_submit: Optional[SubmitCallback] = None,
+) -> List[LoadGenerator]:
+    """Create and start enough clients to reach ``total_rate`` tx/s.
+
+    Clients are added in units of at most 350 tx/s, exactly like the
+    paper's deployment selects the number of load generators.
+    """
+    if total_rate <= 0:
+        raise WorkloadError("the total load must be positive")
+    generators: List[LoadGenerator] = []
+    remaining = total_rate
+    client_index = 0
+    while remaining > 1e-9:
+        rate = min(MAX_RATE_PER_CLIENT, remaining)
+        generator = LoadGenerator(
+            client_id=client_index,
+            simulator=simulator,
+            targets=targets,
+            rate=rate,
+            duration=duration,
+            start_time=start_time,
+            submission_delay=submission_delay,
+            on_submit=on_submit,
+        )
+        generator.start()
+        generators.append(generator)
+        remaining -= rate
+        client_index += 1
+    return generators

@@ -1,0 +1,44 @@
+"""Transactions submitted by benchmark clients.
+
+The paper's benchmark transactions are "simple increments of a shared
+counter"; what matters for the evaluation is their count and timing, not
+their content, so the transaction object carries only identity, timing,
+and a small payload descriptor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.types import SimTime, ValidatorId
+
+
+@dataclasses.dataclass(frozen=True)
+class Transaction:
+    """One client transaction."""
+
+    tx_id: int
+    client_id: int
+    submitted_at: SimTime
+    target_validator: ValidatorId
+    kind: str = "counter_increment"
+    payload_bytes: int = 64
+
+    def canonical_fields(self):
+        """Fields participating in content digests."""
+        return (self.tx_id, self.client_id, self.kind, self.payload_bytes)
+
+
+def counter_increment(
+    tx_id: int,
+    client_id: int,
+    submitted_at: SimTime,
+    target_validator: ValidatorId,
+) -> Transaction:
+    """Build the shared-counter increment transaction used by the paper."""
+    return Transaction(
+        tx_id=tx_id,
+        client_id=client_id,
+        submitted_at=submitted_at,
+        target_validator=target_validator,
+    )

@@ -1,0 +1,136 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import pytest
+
+from repro.committee import Committee, equal_stake
+from repro.consensus.bullshark import BullsharkConsensus
+from repro.core.manager import HammerHeadScheduleManager, StaticScheduleManager
+from repro.dag.store import DagStore
+from repro.dag.vertex import Vertex, genesis_vertices, make_vertex
+from repro.network.latency import UniformLatencyModel
+from repro.network.simulator import Simulator
+from repro.network.transport import Network
+from repro.schedule.round_robin import initial_schedule
+from repro.types import Round, ValidatorId, VertexId
+
+
+@pytest.fixture
+def committee4() -> Committee:
+    """A minimal committee tolerating one fault (n=4, f=1)."""
+    return Committee.build(4)
+
+
+@pytest.fixture
+def committee7() -> Committee:
+    """A committee of seven validators (f=2)."""
+    return Committee.build(7)
+
+
+@pytest.fixture
+def committee10() -> Committee:
+    """The smallest committee size used in the paper's evaluation."""
+    return Committee.build(10)
+
+
+@pytest.fixture
+def simulator() -> Simulator:
+    return Simulator(seed=7)
+
+
+@pytest.fixture
+def network(simulator) -> Network:
+    return Network(simulator, latency_model=UniformLatencyModel(base_delay=0.01, jitter=0.0))
+
+
+# -- DAG construction helpers -------------------------------------------------------
+
+
+def build_round(
+    dag: DagStore,
+    committee: Committee,
+    round_number: Round,
+    sources: Optional[Iterable[ValidatorId]] = None,
+    parent_sources: Optional[Dict[ValidatorId, Iterable[ValidatorId]]] = None,
+) -> List[Vertex]:
+    """Add one full round of vertices to ``dag``.
+
+    ``sources`` selects which validators produce a vertex (default: all).
+    ``parent_sources`` optionally restricts, per source, which previous
+    round vertices are referenced (default: every vertex of the previous
+    round currently in the DAG).
+    """
+    chosen = list(sources) if sources is not None else list(committee.validators)
+    previous = {vertex.source: vertex.id for vertex in dag.vertices_at(round_number - 1)}
+    created = []
+    for source in chosen:
+        if parent_sources is not None and source in parent_sources:
+            parents = [previous[parent] for parent in parent_sources[source] if parent in previous]
+        else:
+            parents = list(previous.values())
+        vertex = make_vertex(round_number, source, edges=parents)
+        dag.add(vertex)
+        created.append(vertex)
+    return created
+
+
+def populate_dag(
+    dag: DagStore,
+    committee: Committee,
+    rounds: int,
+    sources: Optional[Sequence[ValidatorId]] = None,
+) -> None:
+    """Fill ``dag`` with ``rounds`` full rounds on top of genesis."""
+    for vertex in genesis_vertices(committee):
+        dag.add(vertex)
+    for round_number in range(1, rounds + 1):
+        build_round(dag, committee, round_number, sources=sources)
+
+
+def make_consensus(
+    committee: Committee,
+    dynamic: bool = False,
+    commits_per_schedule: int = 10,
+    seed: int = 0,
+) -> BullsharkConsensus:
+    """A consensus engine over a fresh DAG with genesis inserted."""
+    dag = DagStore(committee)
+    for vertex in genesis_vertices(committee):
+        dag.add(vertex)
+    schedule = initial_schedule(committee, seed=seed, permute=False)
+    if dynamic:
+        from repro.core.schedule_change import CommitCountPolicy
+
+        manager = HammerHeadScheduleManager(
+            committee, schedule, policy=CommitCountPolicy(commits_per_schedule)
+        )
+    else:
+        manager = StaticScheduleManager(committee, schedule)
+    return BullsharkConsensus(
+        owner=0,
+        committee=committee,
+        dag=dag,
+        schedule_manager=manager,
+        record_sequence=True,
+    )
+
+
+def drive_rounds(
+    consensus: BullsharkConsensus,
+    committee: Committee,
+    rounds: int,
+    sources: Optional[Sequence[ValidatorId]] = None,
+) -> None:
+    """Grow the consensus engine's DAG round by round, processing commits."""
+    dag = consensus.dag
+    for round_number in range(1, rounds + 1):
+        for vertex in build_round(dag, committee, round_number, sources=sources):
+            consensus.process_vertex(vertex)
+
+
+def vid(round_number: Round, source: ValidatorId) -> VertexId:
+    """Shorthand vertex-id constructor for tests."""
+    return VertexId(round=round_number, source=source)

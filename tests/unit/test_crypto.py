@@ -1,0 +1,130 @@
+"""Unit tests for the simulated cryptography substrate."""
+
+import pytest
+
+from repro.crypto.hashing import digest_hex, digest_of
+from repro.crypto.keys import generate_keypair, keypairs_for_committee
+from repro.crypto.signatures import aggregate, sign, verify, verify_aggregate
+from repro.errors import CryptoError
+
+
+class TestDigests:
+    def test_digest_is_deterministic(self):
+        assert digest_of("hello", 42) == digest_of("hello", 42)
+
+    def test_digest_distinguishes_values(self):
+        assert digest_of("hello", 42) != digest_of("hello", 43)
+
+    def test_digest_distinguishes_types(self):
+        assert digest_of(1) != digest_of("1")
+        assert digest_of(True) != digest_of(1)
+
+    def test_digest_of_dict_is_order_independent(self):
+        assert digest_of({"a": 1, "b": 2}) == digest_of({"b": 2, "a": 1})
+
+    def test_digest_of_set_is_order_independent(self):
+        assert digest_of({3, 1, 2}) == digest_of({2, 3, 1})
+
+    def test_digest_of_list_is_order_dependent(self):
+        assert digest_of([1, 2]) != digest_of([2, 1])
+
+    def test_digest_length_is_32_bytes(self):
+        assert len(digest_of("x")) == 32
+
+    def test_digest_hex_matches_digest(self):
+        assert digest_hex("x") == digest_of("x").hex()
+
+    def test_nested_structures(self):
+        value = {"edges": [(1, 2), (3, 4)], "block": b"abc", "none": None}
+        assert digest_of(value) == digest_of(dict(value))
+
+    def test_unsupported_type_raises(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError):
+            digest_of(Opaque())
+
+    def test_canonical_fields_protocol(self):
+        class WithFields:
+            def canonical_fields(self):
+                return (1, "a")
+
+        assert digest_of(WithFields()) == digest_of((1, "a"))
+
+
+class TestKeys:
+    def test_keypair_is_deterministic_per_validator_and_seed(self):
+        assert generate_keypair(3, seed=1) == generate_keypair(3, seed=1)
+
+    def test_different_validators_have_different_keys(self):
+        assert generate_keypair(1).public != generate_keypair(2).public
+
+    def test_different_seeds_have_different_keys(self):
+        assert generate_keypair(1, seed=0).public != generate_keypair(1, seed=1).public
+
+    def test_committee_keypairs_cover_all_indices(self):
+        keypairs = keypairs_for_committee(5, seed=2)
+        assert sorted(keypairs) == [0, 1, 2, 3, 4]
+        assert all(keypairs[index].validator == index for index in keypairs)
+
+    def test_public_key_short_fingerprint(self):
+        assert len(generate_keypair(0).public.short()) == 12
+
+
+class TestSignatures:
+    def test_sign_and_verify_roundtrip(self):
+        keypair = generate_keypair(1, seed=3)
+        signature = sign(keypair, "message", 7)
+        assert verify(keypair.public, signature, "message", 7)
+
+    def test_verification_fails_for_wrong_message(self):
+        keypair = generate_keypair(1, seed=3)
+        signature = sign(keypair, "message", 7)
+        assert not verify(keypair.public, signature, "message", 8)
+
+    def test_verification_fails_for_wrong_signer(self):
+        alice = generate_keypair(1, seed=3)
+        bob = generate_keypair(2, seed=3)
+        signature = sign(alice, "message")
+        assert not verify(bob.public, signature, "message")
+
+    def test_forged_material_is_rejected(self):
+        keypair = generate_keypair(1, seed=3)
+        signature = sign(keypair, "message")
+        forged = type(signature)(
+            signer=signature.signer,
+            message_digest=signature.message_digest,
+            material=b"\x00" * 32,
+        )
+        assert not verify(keypair.public, forged, "message")
+
+    def test_aggregate_requires_same_message(self):
+        alice = generate_keypair(1)
+        bob = generate_keypair(2)
+        with pytest.raises(CryptoError):
+            aggregate([sign(alice, "a"), sign(bob, "b")])
+
+    def test_aggregate_rejects_duplicates(self):
+        alice = generate_keypair(1)
+        with pytest.raises(CryptoError):
+            aggregate([sign(alice, "a"), sign(alice, "a")])
+
+    def test_aggregate_rejects_empty(self):
+        with pytest.raises(CryptoError):
+            aggregate([])
+
+    def test_aggregate_verification(self):
+        keypairs = [generate_keypair(index) for index in range(4)]
+        signatures = [sign(keypair, "block", 9) for keypair in keypairs]
+        aggregated = aggregate(signatures)
+        assert aggregated.signers == (0, 1, 2, 3)
+        publics = [keypair.public for keypair in keypairs]
+        assert verify_aggregate(publics, aggregated, "block", 9)
+        assert not verify_aggregate(publics, aggregated, "block", 10)
+
+    def test_aggregate_verification_fails_for_unknown_signer(self):
+        keypairs = [generate_keypair(index) for index in range(3)]
+        aggregated = aggregate([sign(keypair, "m") for keypair in keypairs])
+        # Leave out one signer's public key.
+        assert not verify_aggregate([keypair.public for keypair in keypairs[:2]], aggregated, "m")

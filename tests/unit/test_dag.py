@@ -1,0 +1,273 @@
+"""Unit tests for DAG vertices and the DAG store."""
+
+import pytest
+
+from repro.dag.store import DagStore
+from repro.dag.vertex import check_edge_quorum, genesis_vertices, make_vertex
+from repro.errors import DagError, EquivocationError
+from tests.conftest import build_round, populate_dag, vid
+
+
+class TestVertexConstruction:
+    def test_make_vertex_basic(self, committee4):
+        parents = [vid(0, index) for index in range(4)]
+        vertex = make_vertex(1, 2, edges=parents, block=("tx1", "tx2"))
+        assert vertex.round == 1
+        assert vertex.source == 2
+        assert vertex.edges == frozenset(parents)
+        assert vertex.block == ("tx1", "tx2")
+
+    def test_genesis_vertices_have_no_edges(self, committee4):
+        vertices = genesis_vertices(committee4)
+        assert len(vertices) == 4
+        assert all(vertex.round == 0 and not vertex.edges for vertex in vertices)
+
+    def test_genesis_with_edges_rejected(self):
+        with pytest.raises(DagError):
+            make_vertex(0, 0, edges=[vid(0, 1)])
+
+    def test_edges_must_point_to_previous_round(self):
+        with pytest.raises(DagError):
+            make_vertex(3, 0, edges=[vid(1, 0)])
+        with pytest.raises(DagError):
+            make_vertex(3, 0, edges=[vid(3, 1)])
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(DagError):
+            make_vertex(-1, 0, edges=[])
+
+    def test_digest_depends_on_edges(self):
+        vertex_a = make_vertex(1, 0, edges=[vid(0, 0), vid(0, 1), vid(0, 2)])
+        vertex_b = make_vertex(1, 0, edges=[vid(0, 0), vid(0, 1), vid(0, 3)])
+        assert vertex_a.digest != vertex_b.digest
+
+    def test_digest_is_stable_under_edge_ordering(self):
+        edges = [vid(0, 2), vid(0, 0), vid(0, 1)]
+        assert make_vertex(1, 0, edges=edges).digest == make_vertex(1, 0, edges=reversed(edges)).digest
+
+    def test_references(self):
+        vertex = make_vertex(1, 0, edges=[vid(0, 0), vid(0, 1), vid(0, 2)])
+        assert vertex.references(vid(0, 1))
+        assert not vertex.references(vid(0, 3))
+
+    def test_check_edge_quorum(self, committee4):
+        good = make_vertex(1, 0, edges=[vid(0, 0), vid(0, 1), vid(0, 2)])
+        bad = make_vertex(1, 0, edges=[vid(0, 0), vid(0, 1)])
+        assert check_edge_quorum(good, committee4)
+        assert not check_edge_quorum(bad, committee4)
+        assert check_edge_quorum(genesis_vertices(committee4)[0], committee4)
+
+
+class TestDagStoreInsertion:
+    def test_add_genesis_and_rounds(self, committee4):
+        dag = DagStore(committee4)
+        populate_dag(dag, committee4, rounds=3)
+        assert dag.highest_round() == 3
+        assert len(dag) == 4 * 4  # genesis + 3 rounds
+        for round_number in range(4):
+            assert dag.has_quorum_at(round_number)
+
+    def test_duplicate_insert_is_ignored(self, committee4):
+        dag = DagStore(committee4)
+        vertex = genesis_vertices(committee4)[0]
+        assert dag.add(vertex) is True
+        assert dag.add(vertex) is False
+        assert len(dag) == 1
+
+    def test_equivocation_is_detected(self, committee4):
+        dag = DagStore(committee4)
+        populate_dag(dag, committee4, rounds=1)
+        honest = make_vertex(2, 0, edges=[vid(1, 0), vid(1, 1), vid(1, 2)], block=("a",))
+        conflicting = make_vertex(2, 0, edges=[vid(1, 1), vid(1, 2), vid(1, 3)], block=("b",))
+        dag.add(honest)
+        with pytest.raises(EquivocationError):
+            dag.add(conflicting)
+
+    def test_insufficient_edge_quorum_rejected(self, committee4):
+        dag = DagStore(committee4)
+        populate_dag(dag, committee4, rounds=1)
+        with pytest.raises(DagError):
+            dag.add(make_vertex(2, 0, edges=[vid(1, 0), vid(1, 1)]))
+
+    def test_quorum_check_can_be_disabled(self, committee4):
+        dag = DagStore(committee4, require_edge_quorum=False)
+        populate_dag(dag, committee4, rounds=1)
+        assert dag.add(make_vertex(2, 0, edges=[vid(1, 0), vid(1, 1)]))
+
+    def test_missing_parents_are_buffered(self, committee4):
+        dag = DagStore(committee4)
+        for vertex in genesis_vertices(committee4):
+            dag.add(vertex)
+        round1 = [make_vertex(1, index, edges=[vid(0, 0), vid(0, 1), vid(0, 2)]) for index in range(4)]
+        orphan = make_vertex(2, 0, edges=[vertex.id for vertex in round1[:3]])
+        assert dag.add(orphan) is False
+        assert orphan.id not in dag
+        assert dag.pending_count == 1
+        # Parents arrive: the orphan is promoted automatically.
+        for vertex in round1:
+            dag.add(vertex)
+        assert orphan.id in dag
+        assert dag.pending_count == 0
+
+    def test_pending_promotion_cascades(self, committee4):
+        dag = DagStore(committee4)
+        for vertex in genesis_vertices(committee4):
+            dag.add(vertex)
+        round1 = [make_vertex(1, index, edges=[vid(0, 0), vid(0, 1), vid(0, 2)]) for index in range(4)]
+        round2 = [make_vertex(2, index, edges=[vertex.id for vertex in round1[:3]]) for index in range(4)]
+        round3 = [make_vertex(3, index, edges=[vertex.id for vertex in round2[:3]]) for index in range(4)]
+        # Insert out of order: rounds 3, then 2, then 1.
+        for vertex in round3 + round2:
+            assert dag.add(vertex) is False
+        assert dag.pending_count == 8
+        for vertex in round1:
+            dag.add(vertex)
+        assert dag.pending_count == 0
+        assert dag.highest_round() == 3
+
+    def test_pending_missing_lists_blocking_parents(self, committee4):
+        dag = DagStore(committee4)
+        for vertex in genesis_vertices(committee4):
+            dag.add(vertex)
+        round1 = [make_vertex(1, index, edges=[vid(0, 0), vid(0, 1), vid(0, 2)]) for index in range(3)]
+        child = make_vertex(2, 0, edges=[vertex.id for vertex in round1])
+        dag.add(child)
+        assert dag.pending_missing() == {vertex.id for vertex in round1}
+        assert dag.pending_vertices() == (child,)
+
+    def test_insert_callback_fires_for_each_insert(self, committee4):
+        dag = DagStore(committee4)
+        seen = []
+        dag.on_insert(lambda vertex: seen.append(vertex.id))
+        populate_dag(dag, committee4, rounds=2)
+        assert len(seen) == 12
+
+    def test_replace_insert_callbacks(self, committee4):
+        dag = DagStore(committee4)
+        first, second = [], []
+        dag.on_insert(lambda vertex: first.append(vertex.id))
+        dag.replace_insert_callbacks([lambda vertex: second.append(vertex.id)])
+        populate_dag(dag, committee4, rounds=1)
+        assert not first
+        assert len(second) == 8
+
+
+class TestDagStoreQueries:
+    def test_vertex_lookup(self, committee4):
+        dag = DagStore(committee4)
+        populate_dag(dag, committee4, rounds=2)
+        vertex = dag.vertex_of(2, 1)
+        assert vertex is not None
+        assert dag.get(vertex.id) is vertex
+        assert dag.vertex_of(2, 99) is None
+
+    def test_sources_and_stake(self, committee4):
+        dag = DagStore(committee4)
+        populate_dag(dag, committee4, rounds=1)
+        build_round(dag, committee4, 2, sources=[0, 1, 2])
+        assert dag.sources_at(2) == {0, 1, 2}
+        assert dag.stake_at(2) == 3
+        assert dag.has_quorum_at(2)
+        build_round(dag, committee4, 3, sources=[0, 1])
+        assert not dag.has_quorum_at(3)
+
+    def test_path_direct_edge(self, committee4):
+        dag = DagStore(committee4)
+        populate_dag(dag, committee4, rounds=2)
+        assert dag.path(vid(2, 0), vid(1, 1))
+
+    def test_path_multi_round(self, committee4):
+        dag = DagStore(committee4)
+        populate_dag(dag, committee4, rounds=6)
+        assert dag.path(vid(6, 3), vid(1, 0))
+        assert dag.path(vid(6, 3), vid(0, 2))
+
+    def test_path_to_self(self, committee4):
+        dag = DagStore(committee4)
+        populate_dag(dag, committee4, rounds=1)
+        assert dag.path(vid(1, 0), vid(1, 0))
+
+    def test_no_path_forward(self, committee4):
+        dag = DagStore(committee4)
+        populate_dag(dag, committee4, rounds=2)
+        assert not dag.path(vid(1, 0), vid(2, 0))
+
+    def test_no_path_when_disconnected(self, committee4):
+        dag = DagStore(committee4)
+        for vertex in genesis_vertices(committee4):
+            dag.add(vertex)
+        # Round 1 vertices from 0,1,2; round 2 vertex of 3 references only 0,1,2's
+        # round-1 vertices; vertex (1,3) does not exist, so no path to it.
+        build_round(dag, committee4, 1, sources=[0, 1, 2])
+        build_round(dag, committee4, 2, sources=[3])
+        assert not dag.path(vid(2, 3), vid(1, 3))
+
+    def test_path_missing_descendant(self, committee4):
+        dag = DagStore(committee4)
+        populate_dag(dag, committee4, rounds=1)
+        assert not dag.path(vid(5, 0), vid(0, 0))
+
+    def test_causal_history_is_complete_and_sorted(self, committee4):
+        dag = DagStore(committee4)
+        populate_dag(dag, committee4, rounds=4)
+        history = dag.causal_history(vid(4, 0))
+        rounds = [vertex.round for vertex in history]
+        assert rounds == sorted(rounds)
+        # Full DAG: 4 genesis + 4 per round for rounds 1..3, plus the root.
+        assert len(history) == 4 + 4 * 3 + 1
+
+    def test_causal_history_excludes_given_set(self, committee4):
+        dag = DagStore(committee4)
+        populate_dag(dag, committee4, rounds=4)
+        already = {vertex.id for vertex in dag.causal_history(vid(2, 0))}
+        fresh = dag.causal_history(vid(4, 0), exclude=already)
+        assert all(vertex.id not in already for vertex in fresh)
+        assert all(vertex.round >= 1 for vertex in fresh)
+
+    def test_causal_history_of_unknown_vertex_raises(self, committee4):
+        dag = DagStore(committee4)
+        with pytest.raises(DagError):
+            dag.causal_history(vid(1, 0))
+
+    def test_iteration_and_rounds(self, committee4):
+        dag = DagStore(committee4)
+        populate_dag(dag, committee4, rounds=2)
+        assert {vertex.round for vertex in dag} == {0, 1, 2}
+        assert dag.all_rounds() == [0, 1, 2]
+
+
+class TestGarbageCollection:
+    def test_gc_removes_old_rounds(self, committee4):
+        dag = DagStore(committee4)
+        populate_dag(dag, committee4, rounds=6)
+        removed = dag.garbage_collect(before_round=3)
+        assert removed == 4 * 3  # rounds 0, 1, 2
+        assert dag.all_rounds() == [3, 4, 5, 6]
+        assert dag.lowest_round == 3
+
+    def test_gc_is_idempotent(self, committee4):
+        dag = DagStore(committee4)
+        populate_dag(dag, committee4, rounds=4)
+        dag.garbage_collect(before_round=2)
+        assert dag.garbage_collect(before_round=2) == 0
+
+    def test_vertices_below_horizon_do_not_block_insertion(self, committee4):
+        dag = DagStore(committee4)
+        populate_dag(dag, committee4, rounds=4)
+        dag.garbage_collect(before_round=4)
+        # A new vertex referencing pruned round-4 parents... round-5 vertex
+        # references round-4 vertices which are still present.
+        build_round(dag, committee4, 5)
+        # Now prune round 5's parents and insert a round-6 vertex that
+        # references them; the GC horizon treats them as present.
+        dag.garbage_collect(before_round=5)
+        vertex = make_vertex(6, 0, edges=[vid(5, 0), vid(5, 1), vid(5, 2)])
+        dag.garbage_collect(before_round=6)
+        assert dag.add(vertex) is True
+
+    def test_causal_history_stops_at_gc_horizon(self, committee4):
+        dag = DagStore(committee4)
+        populate_dag(dag, committee4, rounds=6)
+        dag.garbage_collect(before_round=3)
+        history = dag.causal_history(vid(6, 0))
+        assert all(vertex.round >= 3 for vertex in history)

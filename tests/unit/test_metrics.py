@@ -1,0 +1,254 @@
+"""Unit tests for metrics: latency stats, execution model, collector, reports."""
+
+import pytest
+
+from repro.consensus.committed import OrderedVertex
+from repro.dag.vertex import make_vertex
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.execution import ExecutionModel
+from repro.metrics.latency import LatencyStats
+from repro.metrics.leader_stats import LeaderUtilizationStats
+from repro.metrics.report import PerformanceReport, format_table
+from repro.consensus.committed import CommittedSubDag
+from repro.errors import ConfigurationError
+from repro.workload.transactions import counter_increment
+from tests.conftest import vid
+
+
+class TestLatencyStats:
+    def test_empty_stats_are_zero(self):
+        stats = LatencyStats()
+        assert stats.count == 0
+        assert stats.average() == 0.0
+        assert stats.p50() == 0.0
+        assert stats.stdev() == 0.0
+        assert stats.maximum() == 0.0
+
+    def test_average_and_max(self):
+        stats = LatencyStats()
+        stats.extend([1.0, 2.0, 3.0])
+        assert stats.average() == pytest.approx(2.0)
+        assert stats.maximum() == 3.0
+
+    def test_percentiles_interpolate(self):
+        stats = LatencyStats()
+        stats.extend([1.0, 2.0, 3.0, 4.0])
+        assert stats.p50() == pytest.approx(2.5)
+        assert stats.percentile(0.0) == 1.0
+        assert stats.percentile(1.0) == 4.0
+
+    def test_p95_close_to_max_for_uniform_samples(self):
+        stats = LatencyStats()
+        stats.extend([float(value) for value in range(1, 101)])
+        assert 95.0 <= stats.p95() <= 96.0
+
+    def test_single_sample(self):
+        stats = LatencyStats()
+        stats.record(5.0)
+        assert stats.p50() == 5.0
+        assert stats.p95() == 5.0
+        assert stats.stdev() == 0.0
+
+    def test_stdev(self):
+        stats = LatencyStats()
+        stats.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stats.stdev() == pytest.approx(2.138, abs=1e-3)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStats().record(-1.0)
+
+    def test_invalid_percentile_rejected(self):
+        stats = LatencyStats()
+        stats.record(1.0)
+        with pytest.raises(ValueError):
+            stats.percentile(1.5)
+
+    def test_summary_contains_all_fields(self):
+        stats = LatencyStats()
+        stats.extend([1.0, 2.0])
+        summary = stats.summary()
+        assert set(summary) == {"count", "avg", "stdev", "p50", "p95", "p99", "max"}
+
+
+class TestExecutionModel:
+    def test_below_capacity_adds_only_service_time(self):
+        model = ExecutionModel(capacity_tps=100.0)
+        finish = model.execute(ordered_at=10.0)
+        assert finish == pytest.approx(10.01)
+
+    def test_saturation_builds_a_queue(self):
+        model = ExecutionModel(capacity_tps=10.0)
+        finishes = [model.execute(ordered_at=0.0) for _ in range(10)]
+        assert finishes[-1] == pytest.approx(1.0)
+        assert model.backlog_delay(0.0) == pytest.approx(1.0)
+
+    def test_idle_periods_drain_the_queue(self):
+        model = ExecutionModel(capacity_tps=10.0)
+        model.execute(ordered_at=0.0)
+        finish = model.execute(ordered_at=5.0)
+        assert finish == pytest.approx(5.1)
+
+    def test_executed_counter(self):
+        model = ExecutionModel(capacity_tps=10.0)
+        for _ in range(3):
+            model.execute(0.0)
+        assert model.executed == 3
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionModel(0.0)
+
+
+def ordered_record(transactions, ordered_at, source=1, round_number=3, position=0):
+    vertex = make_vertex(
+        round_number,
+        source,
+        edges=[vid(round_number - 1, index) for index in range(3)],
+        block=transactions,
+    )
+    return OrderedVertex(vertex=vertex, ordered_at=ordered_at, anchor_round=4, position=position)
+
+
+class TestMetricsCollector:
+    def test_latency_includes_confirmation_delay(self):
+        collector = MetricsCollector(confirmation_delay=0.1)
+        transaction = counter_increment(1, 0, submitted_at=1.0, target_validator=0)
+        collector.on_transaction_submitted(transaction)
+        collector.on_vertex_ordered(ordered_record((transaction,), ordered_at=2.0))
+        assert collector.committed == 1
+        assert collector.average_latency() == pytest.approx(1.1)
+
+    def test_duplicate_orderings_count_once(self):
+        collector = MetricsCollector()
+        transaction = counter_increment(1, 0, submitted_at=1.0, target_validator=0)
+        collector.on_transaction_submitted(transaction)
+        collector.on_vertex_ordered(ordered_record((transaction,), ordered_at=2.0))
+        collector.on_vertex_ordered(ordered_record((transaction,), ordered_at=3.0, source=2))
+        assert collector.committed == 1
+        assert collector.duplicate_commits == 1
+
+    def test_unknown_transactions_are_ignored(self):
+        collector = MetricsCollector()
+        transaction = counter_increment(5, 0, submitted_at=1.0, target_validator=0)
+        collector.on_vertex_ordered(ordered_record((transaction,), ordered_at=2.0))
+        assert collector.committed == 0
+
+    def test_warmup_excludes_early_transactions(self):
+        collector = MetricsCollector(warmup=10.0)
+        early = counter_increment(1, 0, submitted_at=5.0, target_validator=0)
+        late = counter_increment(2, 0, submitted_at=15.0, target_validator=0)
+        for transaction in (early, late):
+            collector.on_transaction_submitted(transaction)
+        collector.on_vertex_ordered(ordered_record((early, late), ordered_at=16.0))
+        assert collector.committed == 1
+        assert collector.latency.count == 1
+
+    def test_throughput_counts_only_transactions_finalized_within_run(self):
+        collector = MetricsCollector(
+            confirmation_delay=0.0, execution=ExecutionModel(capacity_tps=1.0)
+        )
+        transactions = [
+            counter_increment(index, 0, submitted_at=1.0, target_validator=0) for index in range(10)
+        ]
+        for transaction in transactions:
+            collector.on_transaction_submitted(transaction)
+        collector.on_vertex_ordered(ordered_record(tuple(transactions), ordered_at=2.0))
+        # Execution takes 1 s per transaction: only 3 finish by t=5.
+        assert collector.throughput(duration=5.0) == pytest.approx(3 / 5.0)
+
+    def test_commit_ratio(self):
+        collector = MetricsCollector()
+        transactions = [
+            counter_increment(index, 0, submitted_at=1.0, target_validator=0) for index in range(4)
+        ]
+        for transaction in transactions:
+            collector.on_transaction_submitted(transaction)
+        collector.on_vertex_ordered(ordered_record(tuple(transactions[:2]), ordered_at=2.0))
+        assert collector.commit_ratio() == pytest.approx(0.5)
+
+    def test_summary_fields(self):
+        collector = MetricsCollector()
+        summary = collector.summary(duration=10.0)
+        assert "throughput_tps" in summary
+        assert "commit_ratio" in summary
+
+    def test_non_transaction_payloads_are_skipped(self):
+        collector = MetricsCollector()
+        collector.on_vertex_ordered(ordered_record(("opaque",), ordered_at=2.0))
+        assert collector.committed == 0
+
+
+class TestLeaderUtilizationStats:
+    def _subdag(self, round_number, leader):
+        anchor = make_vertex(
+            round_number, leader, edges=[vid(round_number - 1, index) for index in range(3)]
+        )
+        return CommittedSubDag(anchor=anchor, vertices=(anchor,), committed_at=1.0, direct=True)
+
+    def test_commits_and_skips(self):
+        stats = LeaderUtilizationStats()
+        stats.record_commit(self._subdag(2, leader=0))
+        stats.record_commit(self._subdag(6, leader=2))
+        stats.finalize_skips(6, leader_of=lambda round_number: (round_number // 2 - 1) % 4)
+        assert stats.commits == 2
+        assert stats.skips == 1
+        assert stats.skipped_rounds == {4: 1}
+        assert stats.skip_ratio() == pytest.approx(1 / 3)
+
+    def test_commits_per_leader(self):
+        stats = LeaderUtilizationStats()
+        stats.record_commit(self._subdag(2, leader=0))
+        stats.record_commit(self._subdag(4, leader=0))
+        stats.record_commit(self._subdag(6, leader=1))
+        assert stats.commits_per_leader() == {0: 2, 1: 1}
+        assert stats.leaders_with_commits() == [0, 1]
+
+    def test_no_commits(self):
+        stats = LeaderUtilizationStats()
+        stats.finalize_skips(0, leader_of=lambda round_number: 0)
+        assert stats.skip_ratio() == 0.0
+
+
+class TestPerformanceReport:
+    def _report(self, **overrides):
+        values = dict(
+            system="hammerhead",
+            committee_size=10,
+            faults=3,
+            input_load_tps=1000.0,
+            duration=60.0,
+            throughput_tps=950.0,
+            avg_latency_s=1.8,
+            p50_latency_s=1.7,
+            p95_latency_s=2.4,
+            stdev_latency_s=0.3,
+            committed_transactions=57000,
+            submitted_transactions=60000,
+            commits=80,
+            skipped_anchor_rounds=5,
+            leader_timeouts=12,
+            schedule_changes=7,
+        )
+        values.update(overrides)
+        return PerformanceReport(**values)
+
+    def test_label_mentions_faults(self):
+        assert "3 faulty" in self._report().label()
+        assert "faulty" not in self._report(faults=0).label()
+
+    def test_as_dict_includes_extra(self):
+        report = self._report(extra={"events_fired": 123.0})
+        assert report.as_dict()["events_fired"] == 123.0
+
+    def test_format_table_contains_all_rows(self):
+        reports = [self._report(system="bullshark"), self._report(system="hammerhead")]
+        table = format_table(reports, title="Figure 2")
+        assert "Figure 2" in table
+        assert "bullshark" in table
+        assert "hammerhead" in table
+        assert table.count("\n") >= 4
+
+    def test_format_table_empty(self):
+        table = format_table([])
+        assert "System" in table

@@ -1,0 +1,222 @@
+"""Unit tests for latency models, synchrony models, and the transport."""
+
+import random
+
+import pytest
+
+from repro.committee.committee import DEFAULT_REGIONS
+from repro.errors import NetworkError
+from repro.network.latency import GeoLatencyModel, UniformLatencyModel
+from repro.network.simulator import Simulator
+from repro.network.synchrony import AlwaysSynchronous, PartialSynchrony
+from repro.network.transport import Network
+from repro.types import Region
+
+
+class TestUniformLatencyModel:
+    def test_delay_close_to_base(self):
+        model = UniformLatencyModel(base_delay=0.05, jitter=0.0)
+        delay = model.one_way_delay(Region("a"), Region("b"), random.Random(0))
+        assert delay == pytest.approx(0.05)
+
+    def test_same_region_is_faster(self):
+        model = UniformLatencyModel(base_delay=0.05, jitter=0.0)
+        local = model.one_way_delay(Region("a"), Region("a"), random.Random(0))
+        remote = model.one_way_delay(Region("a"), Region("b"), random.Random(0))
+        assert local < remote
+
+    def test_jitter_bounds(self):
+        model = UniformLatencyModel(base_delay=0.05, jitter=0.01)
+        rng = random.Random(1)
+        for _ in range(100):
+            delay = model.one_way_delay(Region("a"), Region("b"), rng)
+            assert 0.04 <= delay <= 0.06
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(NetworkError):
+            UniformLatencyModel(base_delay=-0.1)
+
+
+class TestGeoLatencyModel:
+    def test_intra_region_is_fast(self):
+        model = GeoLatencyModel(jitter_fraction=0.0)
+        region = Region("us-east-1")
+        assert model.base_delay(region, region) < 0.02
+
+    def test_transpacific_is_slow(self):
+        model = GeoLatencyModel(jitter_fraction=0.0)
+        delay = model.base_delay(Region("eu-west-1"), Region("ap-southeast-2"))
+        assert delay > 0.10
+
+    def test_all_paper_region_pairs_have_latencies(self):
+        model = GeoLatencyModel(jitter_fraction=0.0)
+        for source in DEFAULT_REGIONS:
+            for destination in DEFAULT_REGIONS:
+                delay = model.base_delay(Region(source), Region(destination))
+                assert 0.0 < delay < 0.5
+
+    def test_base_delay_is_deterministic(self):
+        model_a = GeoLatencyModel(jitter_fraction=0.0)
+        model_b = GeoLatencyModel(jitter_fraction=0.0)
+        pair = (Region("us-east-1"), Region("ap-south-1"))
+        assert model_a.base_delay(*pair) == model_b.base_delay(*pair)
+
+    def test_unknown_region_gets_default_wan_delay(self):
+        model = GeoLatencyModel(jitter_fraction=0.0)
+        assert model.base_delay(Region("moon-base-1"), Region("us-east-1")) == pytest.approx(0.060)
+
+    def test_extra_latency_degrades_region(self):
+        slow = GeoLatencyModel(jitter_fraction=0.0, extra_latency={"us-east-1": 0.5})
+        fast = GeoLatencyModel(jitter_fraction=0.0)
+        rng = random.Random(0)
+        pair = (Region("us-east-1"), Region("eu-west-1"))
+        assert slow.one_way_delay(*pair, rng) > fast.one_way_delay(*pair, random.Random(0)) + 0.4
+
+    def test_delay_is_never_negative(self):
+        model = GeoLatencyModel(jitter_fraction=0.9)
+        rng = random.Random(3)
+        for _ in range(200):
+            delay = model.one_way_delay(Region("eu-west-1"), Region("eu-west-2"), rng)
+            assert delay > 0.0
+
+
+class TestSynchronyModels:
+    def test_always_synchronous_caps_at_delta(self):
+        model = AlwaysSynchronous(delta=1.0)
+        assert model.adjust_delay(0.0, 5.0, random.Random(0)) == 1.0
+        assert model.adjust_delay(0.0, 0.5, random.Random(0)) == 0.5
+
+    def test_partial_synchrony_respects_delta_after_gst(self):
+        model = PartialSynchrony(gst=10.0, delta=1.0)
+        rng = random.Random(0)
+        assert model.adjust_delay(11.0, 5.0, rng) == 1.0
+        assert model.adjust_delay(11.0, 0.2, rng) == 0.2
+
+    def test_partial_synchrony_can_stretch_before_gst(self):
+        model = PartialSynchrony(gst=10.0, delta=1.0, adversarial_probability=1.0)
+        rng = random.Random(0)
+        delays = [model.adjust_delay(0.0, 0.1, rng) for _ in range(50)]
+        assert max(delays) > 0.1
+
+    def test_pre_gst_messages_arrive_by_gst_plus_delta(self):
+        model = PartialSynchrony(gst=10.0, delta=1.0, adversarial_probability=1.0)
+        rng = random.Random(1)
+        for send_time in (0.0, 3.0, 9.9):
+            for _ in range(50):
+                delay = model.adjust_delay(send_time, 0.1, rng)
+                assert send_time + delay <= 10.0 + 1.0 + 1e-9
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(NetworkError):
+            PartialSynchrony(gst=-1.0)
+        with pytest.raises(NetworkError):
+            PartialSynchrony(delta=0.0)
+        with pytest.raises(NetworkError):
+            AlwaysSynchronous(delta=0.0)
+        with pytest.raises(NetworkError):
+            PartialSynchrony(adversarial_probability=1.5)
+
+
+class TestTransport:
+    def _build(self, node_count=3, base_delay=0.01):
+        simulator = Simulator(seed=1)
+        network = Network(simulator, latency_model=UniformLatencyModel(base_delay, jitter=0.0))
+        inboxes = {index: [] for index in range(node_count)}
+        for index in range(node_count):
+            network.register(
+                index,
+                Region(f"region-{index}"),
+                lambda sender, message, index=index: inboxes[index].append((sender, message)),
+            )
+        return simulator, network, inboxes
+
+    def test_send_delivers_to_recipient(self):
+        simulator, network, inboxes = self._build()
+        network.send(0, 1, "hello")
+        simulator.run()
+        assert inboxes[1] == [(0, "hello")]
+        assert inboxes[2] == []
+
+    def test_broadcast_delivers_to_everyone(self):
+        simulator, network, inboxes = self._build()
+        network.broadcast(0, "hi")
+        simulator.run()
+        assert all(inboxes[index] == [(0, "hi")] for index in inboxes)
+
+    def test_broadcast_can_exclude_self(self):
+        simulator, network, inboxes = self._build()
+        network.broadcast(0, "hi", include_self=False)
+        simulator.run()
+        assert inboxes[0] == []
+        assert inboxes[1] == [(0, "hi")]
+
+    def test_multicast_targets_subset(self):
+        simulator, network, inboxes = self._build(node_count=4)
+        network.multicast(0, [1, 3], "m")
+        simulator.run()
+        assert inboxes[1] and inboxes[3]
+        assert not inboxes[2]
+
+    def test_crashed_sender_drops_messages(self):
+        simulator, network, inboxes = self._build()
+        network.set_crashed(0)
+        network.send(0, 1, "lost")
+        simulator.run()
+        assert inboxes[1] == []
+        assert network.stats.messages_dropped == 1
+
+    def test_crashed_recipient_drops_messages(self):
+        simulator, network, inboxes = self._build()
+        network.set_crashed(1)
+        network.send(0, 1, "lost")
+        simulator.run()
+        assert inboxes[1] == []
+
+    def test_crash_during_flight_drops_message(self):
+        simulator, network, inboxes = self._build(base_delay=0.5)
+        network.send(0, 1, "in flight")
+        simulator.schedule(0.1, lambda: network.set_crashed(1))
+        simulator.run()
+        assert inboxes[1] == []
+
+    def test_recovered_recipient_receives_again(self):
+        simulator, network, inboxes = self._build()
+        network.set_crashed(1)
+        network.set_crashed(1, False)
+        network.send(0, 1, "back")
+        simulator.run()
+        assert inboxes[1] == [(0, "back")]
+
+    def test_unregistered_recipient_rejected(self):
+        simulator, network, _ = self._build()
+        with pytest.raises(NetworkError):
+            network.send(0, 99, "x")
+
+    def test_duplicate_registration_rejected(self):
+        simulator, network, _ = self._build()
+        with pytest.raises(NetworkError):
+            network.register(0, Region("r"), lambda sender, message: None)
+
+    def test_messages_are_counted(self):
+        simulator, network, _ = self._build()
+        network.send(0, 1, "a")
+        network.broadcast(1, "b")
+        simulator.run()
+        assert network.stats.messages_sent == 4
+        assert network.stats.messages_delivered == 4
+        assert network.stats.broadcasts == 1
+
+    def test_link_degradation_slows_delivery(self):
+        simulator, network, inboxes = self._build()
+        network.set_link_degradation(1, inbound_extra=0.5)
+        network.send(0, 1, "slow")
+        network.send(0, 2, "fast")
+        simulator.run()
+        # Both delivered, but the degraded node received later; verify via
+        # the simulator clock having advanced past the degradation delay.
+        assert simulator.now >= 0.5
+
+    def test_processing_delay_must_be_non_negative(self):
+        _, network, _ = self._build()
+        with pytest.raises(NetworkError):
+            network.set_processing_delay(0, -0.1)

@@ -1,0 +1,265 @@
+"""Unit tests for the validator node over a small simulated network."""
+
+import pytest
+
+from repro.committee import Committee
+from repro.core.manager import StaticScheduleManager
+from repro.network.latency import UniformLatencyModel
+from repro.network.simulator import Simulator
+from repro.network.transport import Network
+from repro.node.config import NodeConfig
+from repro.node.messages import FetchRequest
+from repro.node.validator import ValidatorNode
+from repro.schedule.round_robin import initial_schedule
+from repro.storage.store import PersistentStore
+from repro.errors import ConfigurationError
+from repro.workload.transactions import counter_increment
+
+
+def build_cluster(size=4, seed=1, config=None, dynamic=False, commits_per_schedule=4):
+    committee = Committee.build(size)
+    simulator = Simulator(seed=seed)
+    network = Network(simulator, latency_model=UniformLatencyModel(base_delay=0.01, jitter=0.002))
+    node_config = config if config is not None else NodeConfig(
+        max_batch_size=50,
+        min_round_interval=0.05,
+        leader_timeout=0.5,
+        record_sequence=True,
+    )
+
+    def manager_factory():
+        schedule = initial_schedule(committee, seed=seed, permute=False)
+        if dynamic:
+            from repro.core.manager import HammerHeadScheduleManager
+            from repro.core.schedule_change import CommitCountPolicy
+
+            return HammerHeadScheduleManager(
+                committee, schedule, policy=CommitCountPolicy(commits_per_schedule)
+            )
+        return StaticScheduleManager(committee, schedule)
+
+    nodes = {}
+    for validator in committee.validators:
+        nodes[validator] = ValidatorNode(
+            validator_id=validator,
+            committee=committee,
+            network=network,
+            schedule_manager=manager_factory(),
+            config=node_config,
+            schedule_manager_factory=manager_factory,
+        )
+    return committee, simulator, network, nodes
+
+
+class TestNodeLifecycle:
+    def test_nodes_make_progress(self):
+        committee, simulator, network, nodes = build_cluster()
+        for node in nodes.values():
+            node.start()
+        simulator.run(until=5.0)
+        for node in nodes.values():
+            assert node.current_round > 10
+            assert node.commit_count > 0
+            assert node.proposals_made > 10
+
+    def test_double_start_rejected(self):
+        committee, simulator, network, nodes = build_cluster()
+        nodes[0].start()
+        with pytest.raises(ConfigurationError):
+            nodes[0].start()
+
+    def test_max_round_stops_progress(self):
+        config = NodeConfig(
+            max_batch_size=10, min_round_interval=0.05, leader_timeout=0.5, max_round=6
+        )
+        committee, simulator, network, nodes = build_cluster(config=config)
+        for node in nodes.values():
+            node.start()
+        simulator.run(until=5.0)
+        assert all(node.current_round <= 6 for node in nodes.values())
+
+    def test_all_nodes_order_the_same_prefix(self):
+        committee, simulator, network, nodes = build_cluster()
+        for node in nodes.values():
+            node.start()
+        simulator.run(until=5.0)
+        sequences = [node.consensus.ordered_ids() for node in nodes.values()]
+        shortest = min(len(sequence) for sequence in sequences)
+        assert shortest > 0
+        reference = sequences[0][:shortest]
+        for sequence in sequences[1:]:
+            assert sequence[:shortest] == reference
+
+    def test_transactions_flow_into_blocks(self):
+        committee, simulator, network, nodes = build_cluster()
+        for node in nodes.values():
+            node.start()
+        for index in range(100):
+            nodes[0].submit_transaction(counter_increment(index, 0, 0.0, 0))
+        simulator.run(until=5.0)
+        assert nodes[0].transactions_proposed == 100
+        assert nodes[0].pool_size == 0
+
+    def test_pool_respects_batch_size(self):
+        config = NodeConfig(max_batch_size=5, min_round_interval=0.05, leader_timeout=0.5)
+        committee, simulator, network, nodes = build_cluster(config=config)
+        for index in range(12):
+            nodes[0].submit_transaction(counter_increment(index, 0, 0.0, 0))
+        nodes[0].start()
+        # Only the first batch of five was proposed with the round-1 vertex.
+        assert nodes[0].transactions_proposed == 5
+        assert nodes[0].pool_size == 7
+
+    def test_crashed_node_rejects_transactions(self):
+        committee, simulator, network, nodes = build_cluster()
+        nodes[0].start()
+        nodes[0].crash()
+        nodes[0].submit_transaction(counter_increment(1, 0, 0.0, 0))
+        assert nodes[0].transactions_submitted == 0
+
+    def test_describe(self):
+        committee, simulator, network, nodes = build_cluster()
+        nodes[0].start()
+        assert "validator 0" in nodes[0].describe()
+
+
+class TestLeaderTimeouts:
+    def test_crashed_leader_causes_timeouts(self):
+        committee, simulator, network, nodes = build_cluster()
+        for node in nodes.values():
+            node.start()
+        # Validator 0 leads round 2 under the non-permuted schedule; crash it
+        # immediately so every anchor round it owns forces a timeout.
+        nodes[0].crash()
+        simulator.run(until=6.0)
+        alive_timeouts = sum(
+            node.leader_timeouts_suffered for node in nodes.values() if not node.crashed
+        )
+        assert alive_timeouts > 0
+
+    def test_no_timeouts_when_all_leaders_alive(self):
+        committee, simulator, network, nodes = build_cluster()
+        for node in nodes.values():
+            node.start()
+        simulator.run(until=5.0)
+        assert all(node.leader_timeouts_suffered == 0 for node in nodes.values())
+
+    def test_progress_despite_crashed_leader(self):
+        committee, simulator, network, nodes = build_cluster()
+        for node in nodes.values():
+            node.start()
+        nodes[0].crash()
+        simulator.run(until=8.0)
+        for validator, node in nodes.items():
+            if validator == 0:
+                continue
+            assert node.commit_count > 0
+            assert node.current_round > 8
+
+
+class TestCrashRecovery:
+    def test_recovered_node_rejoins_and_catches_up(self):
+        committee, simulator, network, nodes = build_cluster()
+        for node in nodes.values():
+            node.start()
+        simulator.schedule_at(2.0, nodes[3].crash)
+        simulator.schedule_at(4.0, nodes[3].recover)
+        simulator.run(until=10.0)
+        assert nodes[3].recoveries == 1
+        assert not nodes[3].crashed
+        # The recovered node keeps up with the rest of the committee.
+        max_round = max(node.current_round for node in nodes.values())
+        assert nodes[3].current_round >= max_round - 6
+        assert nodes[3].commit_count > 0
+
+    def test_recovery_preserves_total_order_prefix(self):
+        committee, simulator, network, nodes = build_cluster()
+        for node in nodes.values():
+            node.start()
+        simulator.schedule_at(2.0, nodes[2].crash)
+        simulator.schedule_at(3.5, nodes[2].recover)
+        simulator.run(until=10.0)
+        recovered = nodes[2].consensus.ordered_ids()
+        reference = nodes[0].consensus.ordered_ids()
+        shortest = min(len(recovered), len(reference))
+        assert shortest > 0
+        assert recovered[:shortest] == reference[:shortest]
+
+    def test_recovery_without_crash_is_a_no_op(self):
+        committee, simulator, network, nodes = build_cluster()
+        nodes[0].start()
+        nodes[0].recover()
+        assert nodes[0].recoveries == 0
+
+    def test_store_retains_vertices_across_crash(self):
+        committee, simulator, network, nodes = build_cluster()
+        for node in nodes.values():
+            node.start()
+        simulator.run(until=2.0)
+        persisted_before = len(nodes[1].store.family(PersistentStore.CF_VERTICES))
+        nodes[1].crash()
+        assert len(nodes[1].store.family(PersistentStore.CF_VERTICES)) == persisted_before
+        nodes[1].recover()
+        simulator.run(until=4.0)
+        assert len(nodes[1].store.family(PersistentStore.CF_VERTICES)) >= persisted_before
+
+    def test_recovered_node_does_not_equivocate(self):
+        committee, simulator, network, nodes = build_cluster()
+        for node in nodes.values():
+            node.start()
+        simulator.schedule_at(1.0, nodes[1].crash)
+        simulator.schedule_at(2.0, nodes[1].recover)
+        # If the recovered node equivocated, honest DAG stores would raise
+        # EquivocationError and the run would crash.
+        simulator.run(until=8.0)
+        assert nodes[0].commit_count > 0
+
+
+class TestSynchronizer:
+    def test_fetch_request_answered_with_causal_history(self):
+        committee, simulator, network, nodes = build_cluster()
+        for node in nodes.values():
+            node.start()
+        simulator.run(until=3.0)
+        recent_round = nodes[0].consensus.last_ordered_anchor_round
+        target_vertex = nodes[0].dag.vertex_of(recent_round, 0)
+        assert target_vertex is not None
+        responses = []
+        network.register(
+            99,
+            committee.region_of(0),
+            lambda sender, message: responses.append(message),
+        )
+        request = FetchRequest(requester=99, missing=(target_vertex.id,), deep=True)
+        network.send(99, 0, request)
+        simulator.run(until=4.0)
+        assert responses
+        fetched = responses[0].vertices
+        assert target_vertex.id in {vertex.id for vertex in fetched}
+        # Deep fetch includes ancestors.
+        assert any(vertex.round < recent_round for vertex in fetched)
+
+    def test_shallow_fetch_returns_only_requested(self):
+        committee, simulator, network, nodes = build_cluster()
+        for node in nodes.values():
+            node.start()
+        simulator.run(until=3.0)
+        recent_round = nodes[0].consensus.last_ordered_anchor_round + 1
+        target_vertex = nodes[0].dag.vertex_of(recent_round, 1)
+        assert target_vertex is not None
+        responses = []
+        network.register(98, committee.region_of(0), lambda sender, message: responses.append(message))
+        network.send(98, 0, FetchRequest(requester=98, missing=(target_vertex.id,), deep=False))
+        simulator.run(until=4.0)
+        assert len(responses[0].vertices) == 1
+
+    def test_unknown_vertices_yield_no_response(self):
+        committee, simulator, network, nodes = build_cluster()
+        nodes[0].start()
+        responses = []
+        network.register(97, committee.region_of(0), lambda sender, message: responses.append(message))
+        from repro.types import VertexId
+
+        network.send(97, 0, FetchRequest(requester=97, missing=(VertexId(500, 2),)))
+        simulator.run(until=1.0)
+        assert responses == []

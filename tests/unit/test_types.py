@@ -1,0 +1,121 @@
+"""Unit tests for repro.types."""
+
+import pytest
+
+from repro.types import (
+    VertexId,
+    anchor_rounds_between,
+    is_anchor_round,
+    is_vote_round,
+    quorum_threshold,
+    split_evenly,
+    total_stake,
+    validity_threshold,
+)
+
+
+class TestRoundClassification:
+    def test_round_zero_is_not_an_anchor_round(self):
+        assert not is_anchor_round(0)
+
+    def test_even_rounds_are_anchor_rounds(self):
+        assert is_anchor_round(2)
+        assert is_anchor_round(4)
+        assert is_anchor_round(100)
+
+    def test_odd_rounds_are_not_anchor_rounds(self):
+        assert not is_anchor_round(1)
+        assert not is_anchor_round(3)
+        assert not is_anchor_round(99)
+
+    def test_odd_rounds_are_vote_rounds(self):
+        assert is_vote_round(1)
+        assert is_vote_round(3)
+
+    def test_even_rounds_are_not_vote_rounds(self):
+        assert not is_vote_round(0)
+        assert not is_vote_round(2)
+
+    def test_anchor_and_vote_rounds_partition_positive_rounds(self):
+        for round_number in range(1, 50):
+            assert is_anchor_round(round_number) != is_vote_round(round_number)
+
+
+class TestAnchorRoundsBetween:
+    def test_interval_is_half_open_on_the_left(self):
+        assert list(anchor_rounds_between(2, 6)) == [4, 6]
+
+    def test_starts_at_round_two_at_the_earliest(self):
+        assert list(anchor_rounds_between(0, 6)) == [2, 4, 6]
+
+    def test_empty_when_no_anchor_rounds_in_range(self):
+        assert list(anchor_rounds_between(4, 5)) == []
+        assert list(anchor_rounds_between(4, 4)) == []
+
+    def test_odd_start_rounds_up_to_next_even(self):
+        assert list(anchor_rounds_between(3, 8)) == [4, 6, 8]
+
+
+class TestStakeThresholds:
+    def test_quorum_threshold_for_equal_stake(self):
+        # n = 3f + 1 validators of stake 1: quorum must be 2f + 1.
+        for f in range(1, 10):
+            total = 3 * f + 1
+            assert quorum_threshold(total) == 2 * f + 1
+
+    def test_validity_threshold_for_equal_stake(self):
+        for f in range(1, 10):
+            total = 3 * f + 1
+            assert validity_threshold(total) == f + 1
+
+    def test_quorum_and_validity_always_intersect(self):
+        # Any quorum and any validity set must share stake: 2f+1 + f+1 > n.
+        for total in range(1, 200):
+            assert quorum_threshold(total) + validity_threshold(total) > total
+
+    def test_two_quorums_always_intersect_in_an_honest_party(self):
+        # 2 * (2f+1) - n >= f + 1 for n = 3f + 1.
+        for f in range(1, 30):
+            total = 3 * f + 1
+            overlap = 2 * quorum_threshold(total) - total
+            assert overlap >= validity_threshold(total) - 1
+            assert overlap >= f + 1
+
+    def test_total_stake_sums(self):
+        assert total_stake([1, 2, 3]) == 6
+        assert total_stake([]) == 0
+
+
+class TestSplitEvenly:
+    def test_even_split(self):
+        assert split_evenly(10, 5) == (2, 2, 2, 2, 2)
+
+    def test_remainder_distributed_to_first_parts(self):
+        assert split_evenly(10, 3) == (4, 3, 3)
+
+    def test_more_parts_than_amount(self):
+        assert split_evenly(2, 4) == (1, 1, 0, 0)
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ValueError):
+            split_evenly(5, 0)
+
+    def test_total_is_preserved(self):
+        for amount in range(0, 40):
+            for parts in range(1, 15):
+                assert sum(split_evenly(amount, parts)) == amount
+
+
+class TestVertexId:
+    def test_equality_is_structural(self):
+        assert VertexId(3, 1) == VertexId(3, 1)
+        assert VertexId(3, 1) != VertexId(3, 2)
+        assert VertexId(3, 1) != VertexId(4, 1)
+
+    def test_ordering_is_by_round_then_source(self):
+        assert VertexId(2, 5) < VertexId(3, 0)
+        assert VertexId(2, 1) < VertexId(2, 2)
+
+    def test_usable_as_dict_key(self):
+        mapping = {VertexId(1, 0): "a", VertexId(1, 1): "b"}
+        assert mapping[VertexId(1, 0)] == "a"

@@ -1,0 +1,154 @@
+"""Unit tests for transactions and load generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.generator import MAX_RATE_PER_CLIENT, LoadGenerator, spawn_load
+from repro.workload.transactions import counter_increment
+
+
+class FakeValidator:
+    """Minimal stand-in for a ValidatorNode as a load target."""
+
+    def __init__(self, validator_id):
+        self.id = validator_id
+        self.received = []
+
+    def submit_transaction(self, transaction):
+        self.received.append(transaction)
+
+
+class TestTransactions:
+    def test_counter_increment_fields(self):
+        transaction = counter_increment(7, client_id=2, submitted_at=1.5, target_validator=3)
+        assert transaction.tx_id == 7
+        assert transaction.client_id == 2
+        assert transaction.submitted_at == 1.5
+        assert transaction.target_validator == 3
+        assert transaction.kind == "counter_increment"
+
+    def test_transactions_are_hashable_and_frozen(self):
+        transaction = counter_increment(1, 0, 0.0, 0)
+        assert hash(transaction) is not None
+        with pytest.raises(Exception):
+            transaction.tx_id = 9
+
+    def test_canonical_fields_exclude_timing(self):
+        first = counter_increment(1, 0, 0.0, 0)
+        second = counter_increment(1, 0, 5.0, 0)
+        assert first.canonical_fields() == second.canonical_fields()
+
+
+class TestLoadGenerator:
+    def test_submits_at_requested_rate(self, simulator):
+        target = FakeValidator(0)
+        generator = LoadGenerator(
+            client_id=0,
+            simulator=simulator,
+            targets=[target],
+            rate=100.0,
+            duration=2.0,
+            submission_delay=0.0,
+        )
+        generator.start()
+        simulator.run()
+        assert generator.submitted == 200
+        assert len(target.received) == 200
+
+    def test_round_robin_over_targets(self, simulator):
+        targets = [FakeValidator(index) for index in range(4)]
+        generator = LoadGenerator(
+            client_id=0,
+            simulator=simulator,
+            targets=targets,
+            rate=40.0,
+            duration=1.0,
+            submission_delay=0.0,
+        )
+        generator.start()
+        simulator.run()
+        counts = [len(target.received) for target in targets]
+        assert sum(counts) == 40
+        assert max(counts) - min(counts) <= 1
+
+    def test_submission_delay_is_applied(self, simulator):
+        target = FakeValidator(0)
+        generator = LoadGenerator(
+            client_id=0,
+            simulator=simulator,
+            targets=[target],
+            rate=10.0,
+            duration=0.5,
+            submission_delay=0.2,
+        )
+        generator.start()
+        simulator.run()
+        assert simulator.now >= 0.2
+
+    def test_on_submit_callback(self, simulator):
+        seen = []
+        target = FakeValidator(0)
+        generator = LoadGenerator(
+            client_id=0,
+            simulator=simulator,
+            targets=[target],
+            rate=10.0,
+            duration=1.0,
+            on_submit=seen.append,
+        )
+        generator.start()
+        simulator.run()
+        assert len(seen) == 10
+        assert all(transaction.client_id == 0 for transaction in seen)
+
+    def test_rate_above_per_client_cap_rejected(self, simulator):
+        with pytest.raises(WorkloadError):
+            LoadGenerator(0, simulator, [FakeValidator(0)], rate=500.0, duration=1.0)
+
+    def test_zero_rate_rejected(self, simulator):
+        with pytest.raises(WorkloadError):
+            LoadGenerator(0, simulator, [FakeValidator(0)], rate=0.0, duration=1.0)
+
+    def test_empty_targets_rejected(self, simulator):
+        with pytest.raises(WorkloadError):
+            LoadGenerator(0, simulator, [], rate=10.0, duration=1.0)
+
+    def test_transaction_ids_are_unique(self, simulator):
+        seen = []
+        targets = [FakeValidator(0)]
+        for client in range(2):
+            LoadGenerator(
+                client_id=client,
+                simulator=simulator,
+                targets=targets,
+                rate=50.0,
+                duration=1.0,
+                on_submit=seen.append,
+            ).start()
+        simulator.run()
+        ids = [transaction.tx_id for transaction in seen]
+        assert len(ids) == len(set(ids)) == 100
+
+
+class TestSpawnLoad:
+    def test_spawns_enough_clients_for_total_rate(self, simulator):
+        generators = spawn_load(
+            simulator, [FakeValidator(0)], total_rate=1000.0, duration=1.0
+        )
+        assert len(generators) == 3  # 350 + 350 + 300
+        assert sum(generator.rate for generator in generators) == pytest.approx(1000.0)
+        assert all(generator.rate <= MAX_RATE_PER_CLIENT for generator in generators)
+
+    def test_single_client_for_small_rate(self, simulator):
+        generators = spawn_load(simulator, [FakeValidator(0)], total_rate=100.0, duration=1.0)
+        assert len(generators) == 1
+
+    def test_total_submissions_match_rate(self, simulator):
+        target = FakeValidator(0)
+        spawn_load(simulator, [target], total_rate=700.0, duration=2.0, submission_delay=0.0)
+        simulator.run()
+        assert len(target.received) == pytest.approx(1400, abs=5)
+
+    def test_zero_rate_rejected(self, simulator):
+        with pytest.raises(WorkloadError):
+            spawn_load(simulator, [FakeValidator(0)], total_rate=0.0, duration=1.0)
