@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Hot-path microbenchmark: events/sec per figure-1 point, sweep speedup.
+
+Measures the two things this repo's performance work optimizes:
+
+* **Single-run speed** — wall-clock and simulator events/sec for each
+  figure-1 faultless point (committee of 10, increasing load up to the
+  saturation peak).  This exercises the event loop, the broadcast layer,
+  the incremental commit scan, and the reachability cache together.
+* **Sweep speed** — wall-clock for a 4-point latency/throughput curve run
+  serially versus through the parallel :class:`SweepEngine`.
+
+Results are written to ``BENCH_PR1.json`` at the repository root so that
+future PRs can diff the perf trajectory (``benchmarks/run_bench.py``
+wraps this together with the tier-2 qualitative suite).
+
+Run with::
+
+    python benchmarks/bench_hotpaths.py
+    python benchmarks/bench_hotpaths.py --duration 30 --output my_bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+# Allow running as a plain script from a source checkout.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.sim.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.sim.sweep import SweepEngine, default_parallelism
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR1.json")
+
+# The figure-1 faultless preset: the paper's smallest committee under
+# increasing load, with the peak (4,000 tx/s) as the last point.
+FIG1_COMMITTEE = 10
+FIG1_LOADS = (1000.0, 2000.0, 3000.0, 4000.0)
+
+
+def fig1_config(load: float, duration: float, warmup: float) -> ExperimentConfig:
+    return ExperimentConfig(
+        committee_size=FIG1_COMMITTEE,
+        faults=0,
+        input_load_tps=load,
+        duration=duration,
+        warmup=warmup,
+        seed=2,
+        commits_per_schedule=10,
+        latency_model="geo",
+    )
+
+
+def measure_point(config: ExperimentConfig) -> Dict[str, float]:
+    """Run one experiment and report wall-clock and events/sec."""
+    start = time.perf_counter()
+    result: ExperimentResult = run_experiment(config)
+    wall = time.perf_counter() - start
+    events = result.report.extra.get("events_fired", 0.0)
+    return {
+        "input_load_tps": config.input_load_tps,
+        "wall_s": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+        "throughput_tps": round(result.throughput, 2),
+        "avg_latency_s": round(result.avg_latency, 4),
+        "commits": float(result.report.commits),
+    }
+
+
+def measure_sweep(duration: float, warmup: float, parallelism: int) -> Dict[str, float]:
+    """Wall-clock of a 4-point curve, serial vs parallel engine."""
+    configs = [fig1_config(load, duration, warmup) for load in FIG1_LOADS]
+    start = time.perf_counter()
+    serial = SweepEngine(parallelism=1).run(configs)
+    serial_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = SweepEngine(parallelism=parallelism).run(configs)
+    parallel_wall = time.perf_counter() - start
+    # Sanity: parallel execution must not change any result.
+    for serial_result, parallel_result in zip(serial, parallel):
+        if serial_result.ordering_digests != parallel_result.ordering_digests:
+            raise AssertionError("parallel sweep diverged from serial results")
+    return {
+        "points": len(configs),
+        "parallelism": parallelism,
+        "serial_wall_s": round(serial_wall, 4),
+        "parallel_wall_s": round(parallel_wall, 4),
+        "speedup": round(serial_wall / parallel_wall, 3) if parallel_wall > 0 else 0.0,
+    }
+
+
+def run_benchmarks(
+    duration: float = 20.0,
+    warmup: float = 5.0,
+    parallelism: Optional[int] = None,
+    include_sweep: bool = True,
+) -> Dict[str, object]:
+    """Run the microbenchmark suite and return the results document."""
+    workers = default_parallelism() if parallelism is None else max(1, parallelism)
+    points: List[Dict[str, float]] = []
+    for load in FIG1_LOADS:
+        point = measure_point(fig1_config(load, duration, warmup))
+        points.append(point)
+        print(
+            f"  load {load:7.0f} tx/s: {point['wall_s']:7.3f}s wall, "
+            f"{point['events_per_sec']:11.0f} events/s, "
+            f"{point['throughput_tps']:8.1f} tx/s committed"
+        )
+    document: Dict[str, object] = {
+        "benchmark": "bench_hotpaths",
+        "preset": f"figure-1 faultless, committee {FIG1_COMMITTEE}",
+        "duration_s": duration,
+        "warmup_s": warmup,
+        "points": points,
+        "environment": {
+            "cpu_count": os.cpu_count() or 1,
+            "python": platform.python_version(),
+        },
+    }
+    if include_sweep:
+        print(f"  sweeping {len(FIG1_LOADS)} points, parallelism {workers} ...")
+        document["sweep"] = measure_sweep(duration, warmup, workers)
+    return document
+
+
+def write_results(document: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=20.0)
+    parser.add_argument("--warmup", type=float, default=5.0)
+    parser.add_argument("--parallelism", type=int, default=None)
+    parser.add_argument("--no-sweep", action="store_true", help="skip the sweep comparison")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    print(f"bench_hotpaths: figure-1 faultless preset, committee {FIG1_COMMITTEE}")
+    document = run_benchmarks(
+        duration=args.duration,
+        warmup=args.warmup,
+        parallelism=args.parallelism,
+        include_sweep=not args.no_sweep,
+    )
+    write_results(document, args.output)
+
+
+if __name__ == "__main__":
+    main()

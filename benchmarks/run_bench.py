@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Run the benchmark suite under a time budget and emit ``BENCH_PR1.json``.
+
+Two stages, both optional and both budgeted:
+
+1. The hot-path microbenchmark (``benchmarks/bench_hotpaths.py``):
+   events/sec and wall-clock per figure-1 point plus the parallel-sweep
+   speedup.
+2. The tier-2 qualitative suite (``benchmarks/test_bench_*.py`` under
+   pytest), run at ``REPRO_BENCH_SCALE=quick`` so it fits the budget;
+   only the pass/fail outcome and wall-clock are recorded.
+
+The merged document is written to ``BENCH_PR1.json`` at the repository
+root so future PRs can diff the performance trajectory.
+
+Run with::
+
+    python benchmarks/run_bench.py                  # both stages
+    python benchmarks/run_bench.py --skip-suite     # microbenchmark only
+    python benchmarks/run_bench.py --budget 120     # tighter budget (s)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+# Allow running as a plain script from a source checkout.
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for _path in (_SRC, _HERE):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from bench_hotpaths import DEFAULT_OUTPUT, REPO_ROOT, run_benchmarks, write_results
+
+# Default wall-clock budget for the whole invocation, overridable with
+# ``--budget`` or the ``REPRO_BENCH_BUDGET_S`` environment variable.
+DEFAULT_BUDGET_S = 600.0
+
+
+def run_tier2_suite(budget_s: float) -> dict:
+    """Run the pytest benchmark suite at quick scale within ``budget_s``."""
+    env = dict(os.environ)
+    env.setdefault("REPRO_BENCH_SCALE", "quick")
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    command = [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider", "benchmarks"]
+    start = time.perf_counter()
+    try:
+        completed = subprocess.run(
+            command,
+            cwd=REPO_ROOT,
+            env=env,
+            timeout=max(1.0, budget_s),
+            capture_output=True,
+            text=True,
+        )
+        outcome = "passed" if completed.returncode == 0 else "failed"
+        tail = (completed.stdout or "").strip().splitlines()[-1:]
+    except subprocess.TimeoutExpired:
+        outcome = "timeout"
+        tail = []
+    wall = time.perf_counter() - start
+    return {
+        "scale": env["REPRO_BENCH_SCALE"],
+        "outcome": outcome,
+        "wall_s": round(wall, 2),
+        "summary": tail[0] if tail else "",
+    }
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_BUDGET_S", DEFAULT_BUDGET_S)),
+        help="total wall-clock budget in seconds",
+    )
+    parser.add_argument("--duration", type=float, default=20.0, help="virtual seconds per point")
+    parser.add_argument("--parallelism", type=int, default=None)
+    parser.add_argument("--skip-suite", action="store_true", help="skip the tier-2 pytest suite")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    return parser.parse_args()
+
+
+def main() -> int:
+    args = parse_args()
+    start = time.perf_counter()
+    print(f"run_bench: budget {args.budget:.0f}s")
+    document = run_benchmarks(duration=args.duration, parallelism=args.parallelism)
+    document["budget_s"] = args.budget
+    if not args.skip_suite:
+        remaining = args.budget - (time.perf_counter() - start)
+        if remaining > 30.0:
+            print(f"running tier-2 suite (quick scale, {remaining:.0f}s left) ...")
+            document["tier2_suite"] = run_tier2_suite(remaining)
+        else:
+            print("budget exhausted, skipping the tier-2 suite")
+            document["tier2_suite"] = {"outcome": "skipped", "reason": "budget exhausted"}
+    document["total_wall_s"] = round(time.perf_counter() - start, 2)
+    write_results(document, args.output)
+    suite = document.get("tier2_suite", {})
+    return 1 if suite.get("outcome") == "failed" else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,24 +12,31 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.bench_common import base_config, current_scale, run_point, save_and_print
+from benchmarks.bench_common import base_config, current_scale, run_points, save_and_print
 
 
 def _run_figure1():
     scale = current_scale()
-    reports = []
-    curves = {}
-    for committee_size in scale.committee_sizes:
-        for protocol in ("hammerhead", "bullshark"):
-            series = []
-            for load in scale.faultless_loads:
-                config = base_config(scale, committee_size).with_overrides(
-                    protocol=protocol, input_load_tps=load
-                )
-                result = run_point(config)
-                reports.append(result.report)
-                series.append(result)
-            curves[(protocol, committee_size)] = series
+    # One flat batch for the sweep engine; results come back in order.
+    keys = [
+        (protocol, committee_size)
+        for committee_size in scale.committee_sizes
+        for protocol in ("hammerhead", "bullshark")
+    ]
+    configs = [
+        base_config(scale, committee_size).with_overrides(
+            protocol=protocol, input_load_tps=load
+        )
+        for protocol, committee_size in keys
+        for load in scale.faultless_loads
+    ]
+    results = run_points(configs)
+    reports = [result.report for result in results]
+    loads_per_curve = len(scale.faultless_loads)
+    curves = {
+        key: results[index * loads_per_curve : (index + 1) * loads_per_curve]
+        for index, key in enumerate(keys)
+    }
     return reports, curves
 
 

@@ -35,6 +35,13 @@ def parse_args() -> argparse.Namespace:
         action="store_true",
         help="use the paper's committee sizes (10, 50, 100) and longer runs",
     )
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=None,
+        help="worker processes for the sweep (default: REPRO_SWEEP_PARALLELISM "
+        "or the CPU count); results are identical at any setting",
+    )
     return parser.parse_args()
 
 
@@ -55,7 +62,7 @@ def main() -> None:
             commits_per_schedule=10,
         )
         print(f"Sweeping committee of {committee_size} validators ...")
-        curves = compare_systems(base, loads=args.loads)
+        curves = compare_systems(base, loads=args.loads, parallelism=args.parallelism)
         for protocol, results in curves.items():
             for result in results:
                 all_reports.append(result.report)

@@ -39,6 +39,13 @@ def parse_args() -> argparse.Namespace:
     )
     parser.add_argument("--seed", type=int, default=2)
     parser.add_argument("--paper-scale", action="store_true")
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=None,
+        help="worker processes for the sweep (default: REPRO_SWEEP_PARALLELISM "
+        "or the CPU count); results are identical at any setting",
+    )
     return parser.parse_args()
 
 
@@ -60,7 +67,7 @@ def main() -> None:
             commits_per_schedule=10,
         )
         print(f"Sweeping committee of {committee_size} validators with {faults} crashed ...")
-        curves = compare_systems(base, loads=args.loads)
+        curves = compare_systems(base, loads=args.loads, parallelism=args.parallelism)
         for protocol, results in curves.items():
             for result in results:
                 all_reports.append(result.report)

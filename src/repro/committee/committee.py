@@ -64,6 +64,11 @@ class Committee:
             raise CommitteeError("every validator must hold positive stake")
         self._members: Tuple[ValidatorInfo, ...] = tuple(members)
         self._total_stake: Stake = sum(member.stake for member in members)
+        # Hot-path lookups: stakes indexable by validator id, thresholds
+        # precomputed (the consensus engine queries them per insertion).
+        self._stakes: Tuple[Stake, ...] = tuple(member.stake for member in members)
+        self._quorum_threshold: Stake = quorum_threshold(self._total_stake)
+        self._validity_threshold: Stake = validity_threshold(self._total_stake)
 
     # -- construction ------------------------------------------------------
 
@@ -133,7 +138,9 @@ class Committee:
         return self._members[validator]
 
     def stake_of(self, validator: ValidatorId) -> Stake:
-        return self.info(validator).stake
+        if not 0 <= validator < len(self._stakes):
+            raise CommitteeError(f"unknown validator {validator}")
+        return self._stakes[validator]
 
     def region_of(self, validator: ValidatorId) -> Region:
         return self.info(validator).region
@@ -150,12 +157,12 @@ class Committee:
     @property
     def quorum_threshold(self) -> Stake:
         """The 2f+1 threshold expressed in stake."""
-        return quorum_threshold(self._total_stake)
+        return self._quorum_threshold
 
     @property
     def validity_threshold(self) -> Stake:
         """The f+1 threshold expressed in stake."""
-        return validity_threshold(self._total_stake)
+        return self._validity_threshold
 
     @property
     def max_faulty(self) -> int:
@@ -164,7 +171,16 @@ class Committee:
 
     def stake(self, validators: Iterable[ValidatorId]) -> Stake:
         """Total stake held by ``validators`` (duplicates counted once)."""
-        return sum(self.stake_of(validator) for validator in set(validators))
+        stakes = self._stakes
+        size = len(stakes)
+        if not isinstance(validators, (set, frozenset)):
+            validators = set(validators)
+        total = 0
+        for validator in validators:
+            if not 0 <= validator < size:
+                raise CommitteeError(f"unknown validator {validator}")
+            total += stakes[validator]
+        return total
 
     def has_quorum(self, validators: Iterable[ValidatorId]) -> bool:
         return self.stake(validators) >= self.quorum_threshold

@@ -20,6 +20,14 @@ Differences from the pseudocode that matter for the reproduction:
   schedule application described in Section 3.1: rounds after the change
   must be interpreted under the new schedule, so anchors selected for
   those rounds under the old schedule are recomputed.
+* Commit attempts are incremental: instead of rescanning every candidate
+  anchor round between ``lastOrderedRound`` and the DAG frontier on every
+  insertion (quadratic over a run), the engine drains the set of anchor
+  rounds dirtied by insertions from the DAG store and re-evaluates only
+  those.  Schedule changes and state sync invalidate affected candidates
+  (see ``_invalidate_candidates_from`` / ``reset_candidates``).  The
+  original rescan survives behind ``incremental=False`` and the property
+  suite checks both produce byte-identical ordering digests.
 """
 
 from __future__ import annotations
@@ -50,12 +58,25 @@ class BullsharkConsensus:
         dag: DagStore,
         schedule_manager: ScheduleManager,
         record_sequence: bool = True,
+        incremental: bool = True,
     ) -> None:
         self.owner = owner
         self.committee = committee
         self.dag = dag
         self.schedule_manager = schedule_manager
         self.record_sequence = record_sequence
+        # When set (the default), commit attempts only re-evaluate anchor
+        # rounds dirtied by insertions since the previous attempt; when
+        # cleared, every attempt rescans all candidate rounds like the
+        # original implementation (kept as the differential-testing
+        # oracle).  Both paths order identically.
+        self.incremental = incremental
+        # Candidate tracking for the incremental scan: anchor rounds that
+        # currently satisfy the f+1 direct-vote rule, and anchor rounds
+        # that need (re-)evaluation.  Entries at or below the last ordered
+        # anchor round are purged lazily.
+        self._committable_rounds: Set[Round] = set()
+        self._dirty_anchor_rounds: Set[Round] = set()
 
         # ``lastOrderedRound`` from Algorithm 2 (tracks anchor rounds).
         self.last_ordered_anchor_round: Round = 0
@@ -137,6 +158,20 @@ class BullsharkConsensus:
 
     def _find_directly_committable_anchor(self) -> Optional[Vertex]:
         """The highest uncommitted anchor with an ``f+1`` stake of votes."""
+        if self.incremental:
+            return self._find_committable_incremental()
+        return self._find_committable_rescan()
+
+    def _find_committable_rescan(self) -> Optional[Vertex]:
+        """The seed implementation: rescan every candidate anchor round.
+
+        O(rounds) per call; kept as the reference oracle for the
+        incremental scan (the property suite checks both produce identical
+        orderings) and selectable via ``incremental=False``.
+        """
+        # Keep the store-side dirty set drained so it cannot grow without
+        # bound while the rescan oracle is selected.
+        self.dag.drain_dirty_anchor_rounds()
         highest_round = self.dag.highest_round()
         best: Optional[Vertex] = None
         round_number = self.last_ordered_anchor_round + 2
@@ -151,6 +186,77 @@ class BullsharkConsensus:
                     best = anchor
             round_number += 2
         return best
+
+    def _find_committable_incremental(self) -> Optional[Vertex]:
+        """Dirty-set variant: amortized O(1) per insertion.
+
+        An anchor round's direct-vote stake only changes when a vertex is
+        inserted at that round (the anchor itself) or the round above (a
+        vote), and its leader only changes on a schedule switch or state
+        sync; those events dirty the round (see
+        :meth:`DagStore.drain_dirty_anchor_rounds`,
+        :meth:`_invalidate_candidates_from` and :meth:`reset_candidates`).
+        Once a round satisfies the f+1 rule it stays satisfied — votes are
+        never removed above the GC horizon — so it parks in
+        ``_committable_rounds`` until ordered or invalidated.
+        """
+        last_ordered = self.last_ordered_anchor_round
+        self._dirty_anchor_rounds |= self.dag.drain_dirty_anchor_rounds()
+        if self._dirty_anchor_rounds:
+            threshold = self.committee.validity_threshold
+            for round_number in self._dirty_anchor_rounds:
+                if round_number <= last_ordered:
+                    continue
+                anchor = self._get_anchor(round_number)
+                if anchor is not None and self._direct_vote_stake(anchor) >= threshold:
+                    self._committable_rounds.add(round_number)
+            self._dirty_anchor_rounds.clear()
+        while self._committable_rounds:
+            best_round = max(self._committable_rounds)
+            if best_round <= last_ordered:
+                self._committable_rounds = {
+                    r for r in self._committable_rounds if r > last_ordered
+                }
+                continue
+            anchor = self._get_anchor(best_round)
+            if anchor is None:
+                # Only possible after an external schedule mutation that
+                # bypassed the invalidation hooks; drop and re-derive.
+                self._committable_rounds.discard(best_round)
+                continue
+            return anchor
+        return None
+
+    def _invalidate_candidates_from(self, from_round: Round) -> None:
+        """Re-evaluate candidates at or after ``from_round``.
+
+        Called when a schedule change takes effect: rounds covered by the
+        new schedule may have a different leader, so both their committable
+        status and their prior negative evaluations are void.
+        """
+        if not self.incremental:
+            # The rescan oracle re-derives everything per call; tracking
+            # dirty rounds here would only accumulate without a consumer.
+            return
+        self._committable_rounds = {
+            r for r in self._committable_rounds if r < from_round
+        }
+        start = max(from_round, self.last_ordered_anchor_round + 2)
+        if start % 2 != 0:
+            start += 1
+        for round_number in range(max(start, 2), self.dag.highest_round() + 1, 2):
+            self._dirty_anchor_rounds.add(round_number)
+
+    def reset_candidates(self) -> None:
+        """Drop all candidate state and re-derive it from the DAG.
+
+        Needed after state sync (``adopt_state`` replaces the schedule
+        history wholesale, so any round's leader may have changed).
+        """
+        self._committable_rounds.clear()
+        self._dirty_anchor_rounds.clear()
+        self.dag.drain_dirty_anchor_rounds()
+        self._invalidate_candidates_from(self.last_ordered_anchor_round + 2)
 
     # -- ordering (``orderAnchors`` / ``orderHistory``) -----------------------------------
 
@@ -183,13 +289,18 @@ class BullsharkConsensus:
                 next_anchor, direct=next_anchor.id == directly_committed.id
             )
             committed.append(subdag)
-            schedule_changed = self._notify_commit(next_anchor)
-            if schedule_changed and stack:
-                # The schedule now active starts after ``next_anchor.round``;
-                # the anchors still on the stack belong to later rounds and
-                # were chosen under the superseded schedule, so they must be
-                # re-derived.  ``try_commit`` restarts the scan.
-                break
+            new_schedule = self.schedule_manager.on_anchor_committed(next_anchor)
+            if new_schedule is not None:
+                # Leaders of rounds covered by the new schedule may differ,
+                # so candidate evaluations for those rounds are void.
+                self._invalidate_candidates_from(new_schedule.initial_round)
+                if stack:
+                    # The schedule now active starts after
+                    # ``next_anchor.round``; the anchors still on the stack
+                    # belong to later rounds and were chosen under the
+                    # superseded schedule, so they must be re-derived.
+                    # ``try_commit`` restarts the scan.
+                    break
         return committed
 
     def _commit_anchor(self, anchor: Vertex, direct: bool) -> CommittedSubDag:
@@ -242,11 +353,6 @@ class BullsharkConsensus:
         for callback in self._ordered_callbacks:
             callback(record)
 
-    def _notify_commit(self, anchor: Vertex) -> bool:
-        """Tell the schedule manager about the commit; ``True`` on a switch."""
-        new_schedule = self.schedule_manager.on_anchor_committed(anchor)
-        return new_schedule is not None
-
     # -- state sync -------------------------------------------------------------------------
 
     def fast_forward(self, horizon_round: Round) -> Optional[Round]:
@@ -258,12 +364,32 @@ class BullsharkConsensus:
         The simulation models it by advancing ``lastOrderedRound`` to the
         horizon: ordering resumes from the first anchor round at or after
         it, and the skipped interval is recorded in ``state_sync_gaps``.
+
+        Anchor rounds strictly inside the jumped interval are reported
+        through ``schedule_manager.on_anchor_skipped``, mirroring what
+        ``_commit_anchor`` does for gaps below a committed anchor: from
+        this validator's commit rule's perspective those anchors were
+        passed without a local commit.  The target round itself is *not*
+        reported — it is the serving peer's last committed anchor round,
+        so its leader performed.  In the full state-sync path the node
+        adopts the serving peer's authoritative scores right after this
+        call (``adopt_state``), which overwrites the local estimate;
+        reporting here keeps Shoal-style scoring consistent for callers
+        that fast-forward *without* adopting remote scores, instead of
+        silently leaving the gap unscored.
+
         Returns the new last-ordered round, or ``None`` when no jump was
         needed.
         """
         target = horizon_round if horizon_round % 2 == 0 else horizon_round + 1
         if target <= self.last_ordered_anchor_round:
             return None
+        skipped_round = self.last_ordered_anchor_round + 2
+        if skipped_round < 2:
+            skipped_round = 2
+        while skipped_round < target:
+            self.schedule_manager.on_anchor_skipped(skipped_round)
+            skipped_round += 2
         self.state_sync_gaps.append((self.last_ordered_anchor_round, target))
         self.last_ordered_anchor_round = target
         return target

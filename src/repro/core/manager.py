@@ -19,6 +19,7 @@ Two managers implement the same interface:
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 from typing import Dict, List, Optional
 
@@ -53,6 +54,13 @@ class ScheduleManager:
     def __init__(self, committee: Committee, initial: LeaderSchedule) -> None:
         self.committee = committee
         self.history: List[LeaderSchedule] = [initial]
+        # ``initial_round`` of every schedule in ``history``, kept sorted so
+        # that ``schedule_for_round`` can binary-search instead of scanning
+        # the whole history (it is called for every ordered vertex).  The
+        # cache is rebuilt lazily whenever it falls out of sync with
+        # ``history`` (append on schedule change, wholesale replacement on
+        # state sync).
+        self._history_keys: List[Round] = [initial.initial_round]
 
     # -- leader lookup ---------------------------------------------------------
 
@@ -70,17 +78,16 @@ class ScheduleManager:
         """
         if not is_anchor_round(round_number):
             raise ScheduleError(f"round {round_number} is not an anchor round")
-        chosen: Optional[LeaderSchedule] = None
-        for schedule in self.history:
-            if schedule.initial_round <= round_number:
-                chosen = schedule
-            else:
-                break
-        if chosen is None:
+        history = self.history
+        keys = self._history_keys
+        if len(keys) != len(history) or (keys and keys[-1] != history[-1].initial_round):
+            keys = self._history_keys = [schedule.initial_round for schedule in history]
+        index = bisect.bisect_right(keys, round_number) - 1
+        if index < 0:
             # Rounds before the very first schedule fall back to it; this
             # only happens for the first anchor round of the DAG.
-            chosen = self.history[0]
-        return chosen
+            index = 0
+        return history[index]
 
     def leader_for_round(self, round_number: Round) -> ValidatorId:
         """``getLeader(round, activeSchedule)`` from Algorithm 1."""
@@ -240,6 +247,7 @@ class HammerHeadScheduleManager(ScheduleManager):
         """
         if schedules:
             self.history = list(schedules)
+            self._history_keys = [schedule.initial_round for schedule in self.history]
         self.scores.reset()
         for validator, value in scores.items():
             if value:

@@ -36,6 +36,11 @@ def _canonical_bytes(value: Any) -> bytes:
         return b"S" + str(len(encoded)).encode("ascii") + b":" + encoded
     if isinstance(value, (bytes, bytearray)):
         return b"Y" + str(len(value)).encode("ascii") + b":" + bytes(value)
+    # Objects declaring canonical fields take precedence over the tuple
+    # branch: named tuples like Transaction deliberately exclude fields
+    # (e.g. submission time) from their content identity.
+    if hasattr(value, "canonical_fields"):
+        return _canonical_bytes(value.canonical_fields())
     if isinstance(value, (list, tuple)):
         parts = [_canonical_bytes(item) for item in value]
         return b"L(" + b",".join(parts) + b")"
@@ -48,8 +53,6 @@ def _canonical_bytes(value: Any) -> bytes:
             for key, item in value.items()
         )
         return b"D(" + b",".join(parts) + b")"
-    if hasattr(value, "canonical_fields"):
-        return _canonical_bytes(value.canonical_fields())
     raise TypeError(f"cannot canonicalize value of type {type(value)!r}")
 
 

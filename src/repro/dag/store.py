@@ -7,12 +7,36 @@ The store enforces two invariants the correctness proofs rely on:
   still missing are parked in a pending buffer and promoted automatically.
 * **Non-equivocation**: at most one vertex per (round, source) pair is
   ever accepted; conflicting vertices raise :class:`EquivocationError`.
+
+Reachability cache
+------------------
+
+``path()`` queries are issued by the commit rule while walking anchor
+chains, and a naive BFS repeats the same downward walk for every probe.
+The store therefore memoizes, per vertex and per target round, the set of
+*sources* whose round-``r`` vertex is reachable (``reachable_sources``).
+Identity of a vertex is its ``(round, source)`` pair, so membership of the
+ancestor's source in that set is exactly path reachability.
+
+The cache stays correct under the store's mutation pattern:
+
+* The DAG grows at the frontier: a vertex is only inserted once every
+  parent at or above the GC horizon is present, so a new insertion can
+  never add paths *between* previously inserted vertices — cached entries
+  stay valid.  The single exception is a straggler delivered *below* the
+  horizon (its parents count as present), which can reconnect previously
+  blocked walks; such an insertion clears the whole cache (rare: it only
+  happens after state sync).
+* ``garbage_collect`` drops cache lines keyed by pruned vertices and all
+  cached target rounds below the new horizon.  Entries for surviving
+  vertices with targets at or above the horizon only ever traversed
+  rounds above the pruned region, so they remain valid.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.committee import Committee
 from repro.dag.vertex import Vertex, check_edge_quorum
@@ -23,11 +47,23 @@ from repro.types import Round, ValidatorId, VertexId
 class DagStore:
     """In-memory DAG with pending-parent buffering and reachability queries."""
 
-    def __init__(self, committee: Committee, require_edge_quorum: bool = True) -> None:
+    def __init__(
+        self,
+        committee: Committee,
+        require_edge_quorum: bool = True,
+        cache_reachability: bool = True,
+    ) -> None:
         self.committee = committee
         self.require_edge_quorum = require_edge_quorum
+        # ``False`` disables the reachability cache; every ``path()`` query
+        # then runs the reference BFS (used as the differential oracle by
+        # the property tests, and as an escape hatch).
+        self.cache_reachability = cache_reachability
         # rounds[r][source] -> Vertex
         self._rounds: Dict[Round, Dict[ValidatorId, Vertex]] = {}
+        # Total stake present per round, maintained on insert/GC so the
+        # per-insertion quorum checks are O(1) instead of summing stakes.
+        self._round_stake: Dict[Round, int] = {}
         self._by_id: Dict[VertexId, Vertex] = {}
         # Vertices waiting for missing parents, keyed by the missing parent.
         self._pending: Dict[VertexId, Vertex] = {}
@@ -35,6 +71,22 @@ class DagStore:
         # Callbacks invoked whenever a vertex is actually inserted.
         self._on_insert: List[Callable[[Vertex], None]] = []
         self._lowest_round = 0
+        # Cached ``max(self._rounds)``; queried on every round advance.
+        self._highest_round = 0
+        # vertex id -> {target round -> sources reachable at that round}.
+        self._reach_cache: Dict[VertexId, Dict[Round, FrozenSet[ValidatorId]]] = {}
+        # Anchor rounds whose commit-rule status may have changed since the
+        # consensus engine last drained this set: an insertion at an even
+        # round r is a (potential) anchor for r, an insertion at an odd
+        # round r is a (potential) vote for the anchor of r - 1.  Tracking
+        # this at the store keeps the incremental commit scan correct no
+        # matter how vertices enter the DAG (broadcast, promotion of parked
+        # vertices, GC-triggered promotion, recovery replay).
+        self._dirty_anchor_rounds: Set[Round] = set()
+        # Set when a vertex is inserted below the GC horizon; tells the
+        # next garbage_collect that a sweep is needed even if the horizon
+        # did not move.
+        self._stale_below_horizon = False
 
     # -- observers ------------------------------------------------------------
 
@@ -105,8 +157,24 @@ class DagStore:
             self._waiting_on.setdefault(parent, set()).add(vertex.id)
 
     def _insert(self, vertex: Vertex) -> None:
+        if vertex.round < self._lowest_round:
+            # A straggler below the GC horizon can reconnect walks that
+            # previously stopped at its (absent) id, so cached reachability
+            # is no longer trustworthy.  This only happens for deliveries
+            # of already-pruned history after a state sync.
+            self._reach_cache.clear()
+            self._stale_below_horizon = True
         self._by_id[vertex.id] = vertex
         self._rounds.setdefault(vertex.round, {})[vertex.source] = vertex
+        self._round_stake[vertex.round] = self._round_stake.get(
+            vertex.round, 0
+        ) + self.committee.stake_of(vertex.source)
+        if vertex.round > self._highest_round:
+            self._highest_round = vertex.round
+        round_number = vertex.round
+        anchor_round = round_number if round_number % 2 == 0 else round_number - 1
+        if anchor_round >= 2:
+            self._dirty_anchor_rounds.add(anchor_round)
         for callback in self._on_insert:
             callback(vertex)
 
@@ -144,15 +212,15 @@ class DagStore:
 
     def stake_at(self, round_number: Round) -> int:
         """Total stake of the sources with a vertex in ``round_number``."""
-        return self.committee.stake(self.sources_at(round_number))
+        return self._round_stake.get(round_number, 0)
 
     def has_quorum_at(self, round_number: Round) -> bool:
-        return self.committee.has_quorum(self.sources_at(round_number))
+        return self._round_stake.get(round_number, 0) >= self.committee.quorum_threshold
 
     def highest_round(self) -> Round:
         if not self._rounds:
             return 0
-        return max(self._rounds)
+        return self._highest_round
 
     def __len__(self) -> int:
         return len(self._by_id)
@@ -175,21 +243,38 @@ class DagStore:
         """Vertices parked while waiting for missing parents."""
         return tuple(self._pending.values())
 
+    def drain_dirty_anchor_rounds(self) -> Set[Round]:
+        """Anchor rounds touched by insertions since the last drain.
+
+        The consensus engine uses this to re-evaluate only the anchor
+        rounds whose direct-vote quorum can actually have changed, instead
+        of rescanning every candidate round on every insertion.
+        """
+        dirty = self._dirty_anchor_rounds
+        self._dirty_anchor_rounds = set()
+        return dirty
+
     # -- reachability (``path`` in Algorithm 1) ---------------------------------------
 
     def path(self, descendant: VertexId, ancestor: VertexId) -> bool:
         """``True`` when a directed path exists from ``descendant`` to ``ancestor``.
 
         Edges point from a round-``r`` vertex to round-``r-1`` vertices, so
-        the search walks rounds downwards and stops as soon as the
-        ancestor's round is passed.
+        the walk always moves downwards in rounds.  An ancestor counts as
+        reached when an edge names its id, whether or not the ancestor
+        vertex itself is still stored (it may have been pruned).
         """
         if descendant == ancestor:
             return descendant in self._by_id
         start = self._by_id.get(descendant)
-        target = ancestor
-        if start is None or target.round >= start.round:
+        if start is None or ancestor.round >= start.round:
             return False
+        if self.cache_reachability:
+            return ancestor.source in self._reachable_sources(start, ancestor.round)
+        return self._path_bfs(descendant, start, ancestor)
+
+    def _path_bfs(self, descendant: VertexId, start: Vertex, target: VertexId) -> bool:
+        """Reference breadth-first search (the seed implementation)."""
         frontier: Set[VertexId] = {descendant}
         current_round = start.round
         while frontier and current_round > target.round:
@@ -206,6 +291,82 @@ class DagStore:
             frontier = next_frontier
             current_round -= 1
         return False
+
+    def reachable_sources(self, vertex_id: VertexId, target_round: Round) -> FrozenSet[ValidatorId]:
+        """Sources whose ``target_round`` vertex is reachable from ``vertex_id``.
+
+        A source ``s`` is included exactly when :meth:`path` from
+        ``vertex_id`` to ``VertexId(target_round, s)`` holds.  Results are
+        memoized per (vertex, target round); see the module docstring for
+        the invalidation argument.
+        """
+        vertex = self._by_id.get(vertex_id)
+        if vertex is None or vertex.round <= target_round:
+            return frozenset()
+        if not self.cache_reachability:
+            # Escape hatch / oracle mode: answer from the reference BFS
+            # without building memoized state.
+            return frozenset(
+                source
+                for source in self.committee.validators
+                if self._path_bfs(vertex_id, vertex, VertexId(target_round, source))
+            )
+        return self._reachable_sources(vertex, target_round)
+
+    def _reachable_sources(self, root: Vertex, target_round: Round) -> FrozenSet[ValidatorId]:
+        cache = self._reach_cache
+        entry = cache.get(root.id)
+        if entry is not None:
+            cached = entry.get(target_round)
+            if cached is not None:
+                return cached
+        by_id = self._by_id
+        # Phase 1: collect the not-yet-memoized region reachable from the
+        # root, grouped by round.  The walk stops early at vertices whose
+        # set is already cached and at round ``target_round + 1``.
+        region: Dict[Round, List[Vertex]] = {}
+        seen: Set[VertexId] = {root.id}
+        queue = deque([root])
+        while queue:
+            vertex = queue.popleft()
+            entry = cache.get(vertex.id)
+            if entry is not None and target_round in entry:
+                continue
+            region.setdefault(vertex.round, []).append(vertex)
+            if vertex.round == target_round + 1:
+                continue
+            for edge in vertex.edges:
+                if edge in seen:
+                    continue
+                seen.add(edge)
+                parent = by_id.get(edge)
+                # Absent parents (pruned or never received) block the walk,
+                # exactly like the reference BFS skips unknown ids.
+                if parent is not None:
+                    queue.append(parent)
+        # Phase 2: rounds strictly decrease along edges, so computing in
+        # ascending round order guarantees every parent's set is ready
+        # (either memoized earlier or produced by a lower level).
+        for round_number in sorted(region):
+            for vertex in region[round_number]:
+                entry = cache.setdefault(vertex.id, {})
+                if target_round in entry:
+                    continue
+                if vertex.round == target_round + 1:
+                    # Base case: edges point straight at the target round;
+                    # an edge names the target vertex whether or not that
+                    # vertex is still stored.
+                    entry[target_round] = frozenset(edge.source for edge in vertex.edges)
+                    continue
+                reachable: Set[ValidatorId] = set()
+                for edge in vertex.edges:
+                    parent_entry = cache.get(edge)
+                    if parent_entry is not None:
+                        parent_set = parent_entry.get(target_round)
+                        if parent_set:
+                            reachable |= parent_set
+                entry[target_round] = frozenset(reachable)
+        return cache[root.id][target_round]
 
     def causal_history(
         self,
@@ -254,12 +415,18 @@ class DagStore:
         progress = True
         while progress:
             progress = False
+            # Promotion fires insertion callbacks that may re-enter this
+            # method (a node's callback runs consensus, whose GC calls back
+            # into the store), so entries from this snapshot may already
+            # have been handled by a nested pass: remove with pop(), never
+            # an unguarded del.
             for vertex_id, vertex in list(self._pending.items()):
                 if vertex_id in self._by_id:
-                    del self._pending[vertex_id]
+                    self._pending.pop(vertex_id, None)
                     continue
                 if not self.missing_parents(vertex):
-                    del self._pending[vertex_id]
+                    if self._pending.pop(vertex_id, None) is None:
+                        continue
                     self._insert(vertex)
                     promoted += 1
                     progress = True
@@ -280,15 +447,57 @@ class DagStore:
         Committed and ordered history no longer needs to be kept for
         reachability queries; the production system similarly prunes old
         rounds from RocksDB.  Returns the number of vertices removed.
+
+        Raising the horizon also re-evaluates the pending buffer: parked
+        vertices whose missing parents all fell below the horizon are
+        promoted into the DAG, parked vertices *below* the horizon (their
+        sub-DAG is already ordered history) are dropped, and wait
+        registrations keyed by pruned parents are purged.  Without this the
+        buffer leaks on long runs and vertices parked on pruned parents
+        stay stranded forever.
         """
+        if before_round <= self._lowest_round and not self._stale_below_horizon:
+            # The horizon did not move and no straggler arrived below it:
+            # nothing to prune.  The consensus engine calls this on every
+            # insertion, so the early-out matters.
+            return 0
         removed = 0
         for round_number in [r for r in self._rounds if r < before_round]:
             for vertex in self._rounds[round_number].values():
                 del self._by_id[vertex.id]
+                self._reach_cache.pop(vertex.id, None)
                 removed += 1
             del self._rounds[round_number]
+            self._round_stake.pop(round_number, None)
+        if not self._rounds:
+            # GC swallowed every round (the horizon overtook the frontier);
+            # match ``max(self._rounds) or 0`` semantics.
+            self._highest_round = 0
         self._lowest_round = max(self._lowest_round, before_round)
+        self._stale_below_horizon = False
+        # Cached sets for targets below the horizon may now reference
+        # pruned rounds; entries at or above it never traversed them.
+        for entry in self._reach_cache.values():
+            for target_round in [r for r in entry if r < before_round]:
+                del entry[target_round]
+        self._prune_pending(before_round)
+        self.reconsider_pending()
         return removed
+
+    def _prune_pending(self, before_round: Round) -> None:
+        """Drop parked vertices and wait registrations below the horizon."""
+        for vertex_id in [v for v in self._pending if v.round < before_round]:
+            del self._pending[vertex_id]
+        for parent in [p for p in self._waiting_on if p.round < before_round]:
+            del self._waiting_on[parent]
+        # Registrations whose waiter was just dropped (or promoted by an
+        # earlier pass) are stale as well.
+        for parent in list(self._waiting_on):
+            waiters = {w for w in self._waiting_on[parent] if w in self._pending}
+            if waiters:
+                self._waiting_on[parent] = waiters
+            else:
+                del self._waiting_on[parent]
 
     @property
     def lowest_round(self) -> Round:

@@ -63,22 +63,29 @@ class MetricsCollector:
 
     def on_vertex_ordered(self, record: OrderedVertex) -> None:
         """Record commit times for the transactions of an ordered vertex."""
+        # Local bindings: this loop runs once per committed transaction.
+        commit_times = self._commit_times
+        submit_times = self._submit_times
+        execution = self.execution
+        confirmation_delay = self.confirmation_delay
+        warmup = self.warmup
+        ordered_at = record.ordered_at
         for transaction in record.vertex.block:
             if not isinstance(transaction, Transaction):
                 continue
             tx_id = transaction.tx_id
-            if tx_id in self._commit_times:
+            if tx_id in commit_times:
                 self.duplicate_commits += 1
                 continue
-            submit_time = self._submit_times.get(tx_id)
+            submit_time = submit_times.get(tx_id)
             if submit_time is None:
                 continue
-            commit_time = record.ordered_at
-            if self.execution is not None:
-                commit_time = self.execution.execute(commit_time)
-            finality_time = commit_time + self.confirmation_delay
-            self._commit_times[tx_id] = finality_time
-            if submit_time < self.warmup:
+            commit_time = ordered_at
+            if execution is not None:
+                commit_time = execution.execute(commit_time)
+            finality_time = commit_time + confirmation_delay
+            commit_times[tx_id] = finality_time
+            if submit_time < warmup:
                 continue
             self.committed += 1
             self._finality_samples.append((submit_time, finality_time))

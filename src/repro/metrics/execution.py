@@ -40,7 +40,8 @@ class ExecutionModel:
 
         Returns the completion (finality) time.
         """
-        start = max(ordered_at, self._busy_until)
+        busy_until = self._busy_until
+        start = ordered_at if ordered_at > busy_until else busy_until
         finish = start + self.service_time
         self._busy_until = finish
         self.executed += 1

@@ -1,9 +1,16 @@
-"""Latency sample aggregation (average, standard deviation, percentiles)."""
+"""Latency sample aggregation (average, standard deviation, percentiles).
+
+The sorted view of the samples is computed lazily and cached: recording a
+sample invalidates the cache, and every percentile query (or a full
+``summary()``) reuses the same sorted list instead of re-sorting per
+call.  ``summary()`` additionally computes all of its statistics in one
+pass over that single sorted view.
+"""
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 class LatencyStats:
@@ -11,11 +18,14 @@ class LatencyStats:
 
     def __init__(self) -> None:
         self._samples: List[float] = []
+        # Cached ascending view of ``_samples``; ``None`` when stale.
+        self._sorted: Optional[List[float]] = None
 
     def record(self, latency: float) -> None:
         if latency < 0:
             raise ValueError("latency samples must be non-negative")
         self._samples.append(latency)
+        self._sorted = None
 
     def extend(self, latencies: Sequence[float]) -> None:
         for latency in latencies:
@@ -29,6 +39,11 @@ class LatencyStats:
     def samples(self) -> List[float]:
         return list(self._samples)
 
+    def _sorted_samples(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return self._sorted
+
     def average(self) -> float:
         if not self._samples:
             return 0.0
@@ -37,17 +52,22 @@ class LatencyStats:
     def stdev(self) -> float:
         if len(self._samples) < 2:
             return 0.0
-        mean = self.average()
+        return self._stdev_given_mean(self.average())
+
+    def _stdev_given_mean(self, mean: float) -> float:
         variance = sum((sample - mean) ** 2 for sample in self._samples) / (len(self._samples) - 1)
         return math.sqrt(variance)
 
     def percentile(self, fraction: float) -> float:
         """Linear-interpolated percentile, ``fraction`` in [0, 1]."""
-        if not self._samples:
-            return 0.0
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("percentile fraction must lie in [0, 1]")
-        ordered = sorted(self._samples)
+        if not self._samples:
+            return 0.0
+        return self._percentile_of(self._sorted_samples(), fraction)
+
+    @staticmethod
+    def _percentile_of(ordered: List[float], fraction: float) -> float:
         if len(ordered) == 1:
             return ordered[0]
         position = fraction * (len(ordered) - 1)
@@ -71,15 +91,30 @@ class LatencyStats:
         return self.percentile(0.99)
 
     def maximum(self) -> float:
-        return max(self._samples) if self._samples else 0.0
+        if not self._samples:
+            return 0.0
+        return self._sorted_samples()[-1]
 
     def summary(self) -> Dict[str, float]:
+        """All summary statistics from a single sorted view of the samples."""
+        if not self._samples:
+            return {
+                "count": 0.0,
+                "avg": 0.0,
+                "stdev": 0.0,
+                "p50": 0.0,
+                "p95": 0.0,
+                "p99": 0.0,
+                "max": 0.0,
+            }
+        ordered = self._sorted_samples()
+        mean = sum(ordered) / len(ordered)
         return {
-            "count": float(self.count),
-            "avg": self.average(),
-            "stdev": self.stdev(),
-            "p50": self.p50(),
-            "p95": self.p95(),
-            "p99": self.p99(),
-            "max": self.maximum(),
+            "count": float(len(ordered)),
+            "avg": mean,
+            "stdev": self._stdev_given_mean(mean) if len(ordered) >= 2 else 0.0,
+            "p50": self._percentile_of(ordered, 0.50),
+            "p95": self._percentile_of(ordered, 0.95),
+            "p99": self._percentile_of(ordered, 0.99),
+            "max": ordered[-1],
         }

@@ -143,20 +143,31 @@ class GeoLatencyModel(LatencyModel):
             raise NetworkError("jitter_fraction must be non-negative")
         self.jitter_fraction = jitter_fraction
         self.extra_latency = dict(extra_latency or {})
+        # Per-pair base delays are pure functions of the region names;
+        # memoized because one is computed per message sent.  The dynamic
+        # ``extra_latency`` penalties are applied outside the cache.
+        self._base_cache: Dict[Tuple[str, str], SimTime] = {}
 
     def base_delay(self, sender_region: Region, recipient_region: Region) -> SimTime:
+        key = (sender_region.name, recipient_region.name)
+        cached = self._base_cache.get(key)
+        if cached is not None:
+            return cached
         area_a = _AREA_OF_REGION.get(sender_region.name)
         area_b = _AREA_OF_REGION.get(recipient_region.name)
         if area_a is None or area_b is None:
             # Unknown (synthetic) regions fall back to a moderate WAN delay.
-            return 0.060
-        base = _area_pair_latency(area_a, area_b)
-        # Perturb deterministically per region pair so links are not all
-        # identical inside an area pair.  A stable checksum is used instead
-        # of ``hash`` so the value does not depend on PYTHONHASHSEED.
-        checksum = zlib.crc32(f"{sender_region.name}|{recipient_region.name}".encode("ascii"))
-        perturbation = (checksum % 7) * 0.001
-        return base + perturbation
+            base = 0.060
+        else:
+            base = _area_pair_latency(area_a, area_b)
+            # Perturb deterministically per region pair so links are not all
+            # identical inside an area pair.  A stable checksum is used
+            # instead of ``hash`` so the value does not depend on
+            # PYTHONHASHSEED.
+            checksum = zlib.crc32(f"{sender_region.name}|{recipient_region.name}".encode("ascii"))
+            base += (checksum % 7) * 0.001
+        self._base_cache[key] = base
+        return base
 
     def one_way_delay(
         self,

@@ -9,6 +9,7 @@ execute in seconds of wall-clock time.
 from __future__ import annotations
 
 import random
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
@@ -45,7 +46,7 @@ class Simulator:
         """Schedule ``callback`` to fire ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule an event {delay}s in the past")
-        return self._queue.push(self._now + delay, callback)
+        return self._push(self._now + delay, callback)
 
     def schedule_at(self, time: SimTime, callback: Callable[[], Any]) -> EventHandle:
         """Schedule ``callback`` to fire at absolute virtual time ``time``."""
@@ -53,7 +54,20 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule an event at {time}, the clock is already at {self._now}"
             )
-        return self._queue.push(time, callback)
+        return self._push(time, callback)
+
+    def _push(self, time: SimTime, callback: Callable[[], Any]) -> EventHandle:
+        # Inlined EventQueue.push: scheduling happens once or twice per
+        # event fired, so the extra call layer is measurable.
+        if callback is None:
+            raise SimulationError("cannot schedule a None callback")
+        queue = self._queue
+        sequence = queue._next_sequence
+        queue._next_sequence = sequence + 1
+        handle = EventHandle(time, sequence, callback)
+        _heappush(queue._heap, (time, sequence, handle))
+        queue._live += 1
+        return handle
 
     def cancel(self, handle: EventHandle) -> None:
         """Cancel a previously scheduled event."""
@@ -89,16 +103,33 @@ class Simulator:
             raise SimulationError("the simulator is already running")
         self._running = True
         fired = 0
+        queue = self._queue
+        # The loop below reaches into the queue's heap directly: this is
+        # the single hottest path of every experiment (hundreds of
+        # thousands of iterations per run) and the method-call overhead of
+        # peek_time()/pop() is measurable there.  step() remains the
+        # encapsulated one-event variant.
+        heap = queue._heap
+        heappop = _heappop
         try:
             while True:
                 if max_events is not None and fired >= max_events:
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                while heap and heap[0][2].callback is None:
+                    heappop(heap)
+                if not heap:
                     break
-                if until is not None and next_time > until:
+                entry = heap[0]
+                if until is not None and entry[0] > until:
                     break
-                self.step()
+                heappop(heap)
+                queue._live -= 1
+                handle = entry[2]
+                self._now = entry[0]
+                callback = handle.callback
+                handle.callback = None
+                self._events_fired += 1
+                callback()
                 fired += 1
         finally:
             self._running = False

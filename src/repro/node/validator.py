@@ -515,6 +515,9 @@ class ValidatorNode:
         self.schedule_manager.adopt_state(
             list(snapshot.schedules), dict(snapshot.scores), snapshot.commits_in_epoch
         )
+        # The adopted schedule history can change any round's leader, so
+        # the incremental commit scan must re-derive its candidates.
+        self.consensus.reset_candidates()
         self.dag.garbage_collect(snapshot.gc_round)
         self.dag.reconsider_pending()
         self._fetch_requested.clear()

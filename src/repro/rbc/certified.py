@@ -22,6 +22,7 @@ fetcher.
 
 from __future__ import annotations
 
+from hashlib import sha256
 from typing import Any, Dict, Set, Tuple
 
 from repro.committee import Committee
@@ -52,11 +53,44 @@ class CertifiedBroadcast(BroadcastProtocol):
         self._certified: Set[Round] = set()
         # First proposal digest acknowledged per (origin, round).
         self._acked: Dict[Tuple[ValidatorId, Round], bytes] = {}
+        # Memoized expected broadcast digests, keyed by
+        # (origin, round, payload fingerprint): a validator recomputes the
+        # same digest for every certificate (and re-broadcast) it receives
+        # for one (origin, round).  Old rounds are pruned once the cache
+        # outgrows a window, keeping memory bounded on long runs.
+        self._digest_cache: Dict[Tuple[ValidatorId, Round, Any], bytes] = {}
+
+    # Cache sizing: prune oldest rounds down to half this when exceeded.
+    _DIGEST_CACHE_LIMIT = 4096
+
+    def _broadcast_digest(self, origin: ValidatorId, round_number: Round, payload: Any) -> bytes:
+        fingerprint = _payload_digest(payload)
+        key = (origin, round_number, fingerprint)
+        digest = self._digest_cache.get(key)
+        if digest is None:
+            if len(self._digest_cache) >= self._DIGEST_CACHE_LIMIT:
+                # Evict oldest rounds down to half the budget.  Size-driven
+                # (not a fixed round cutoff) so pruning always makes
+                # progress even when the live window of a large committee
+                # exceeds the limit; evicted live entries just recompute.
+                by_age = sorted(self._digest_cache, key=lambda entry: entry[1])
+                for stale in by_age[: len(by_age) - self._DIGEST_CACHE_LIMIT // 2]:
+                    del self._digest_cache[stale]
+            # Domain-separated binding of (origin, round, payload
+            # fingerprint); hashed directly rather than through the
+            # general canonical serializer — this runs once per
+            # (origin, round) per validator.
+            raw = fingerprint if isinstance(fingerprint, bytes) else repr(fingerprint).encode()
+            digest = sha256(
+                b"certified-broadcast|%d|%d|%b" % (origin, round_number, raw)
+            ).digest()
+            self._digest_cache[key] = digest
+        return digest
 
     # -- broadcasting -----------------------------------------------------------
 
     def broadcast(self, payload: Any, round_number: Round) -> None:
-        digest = digest_of("certified-broadcast", self.node_id, round_number, _payload_digest(payload))
+        digest = self._broadcast_digest(self.node_id, round_number, payload)
         if round_number in self._own_payloads:
             raise BroadcastError(
                 f"validator {self.node_id} already broadcast for round {round_number}"
@@ -131,9 +165,7 @@ class CertifiedBroadcast(BroadcastProtocol):
         if not self.committee.has_quorum(message.signers):
             # An invalid certificate cannot trigger delivery.
             return
-        expected = digest_of(
-            "certified-broadcast", message.origin, message.round, _payload_digest(message.payload)
-        )
+        expected = self._broadcast_digest(message.origin, message.round, message.payload)
         if expected != message.digest:
             return
         self._deliver(message.payload, message.round, message.origin)

@@ -12,13 +12,14 @@ system load.
 from __future__ import annotations
 
 import itertools
+from functools import partial
 from typing import Callable, List, Optional, Sequence
 
 from repro.errors import WorkloadError
 from repro.network.simulator import Simulator
 from repro.node.validator import ValidatorNode
 from repro.types import SimTime
-from repro.workload.transactions import Transaction, counter_increment
+from repro.workload.transactions import Transaction
 
 # The paper: "each benchmark client submits at most 350 tx/s".
 MAX_RATE_PER_CLIENT = 350.0
@@ -64,39 +65,59 @@ class LoadGenerator:
         self.on_submit = on_submit
         self.submitted = 0
         self._target_cycle = itertools.cycle(self.targets)
+        # Submission-chain state, initialized by start().
+        self._interval: SimTime = 0.0
+        self._first_time: SimTime = start_time
+        self._count = 0
+        self._next_index = 0
 
     def start(self) -> None:
-        """Schedule all submissions for the configured duration."""
+        """Schedule the submission chain for the configured duration.
+
+        Submissions are scheduled just-in-time (each one schedules its
+        successor) instead of being pushed into the event queue up front: a
+        peak-load sweep point would otherwise start with tens of thousands
+        of pre-scheduled events, making every heap operation of the whole
+        run pay the log of that bulk.  Submission instants are still
+        computed by index rather than by accumulation so that
+        floating-point drift never adds or drops a transaction.
+        """
         interval = 1.0 / self.rate
         # Stagger clients slightly so submissions do not all land on the
         # same instant when many clients are created.
         offset = (self.client_id % 17) * interval / 17.0
-        # Compute submission instants by index rather than by accumulation
-        # so that floating-point drift never adds or drops a transaction.
-        count = int(round(self.rate * self.duration))
-        for index in range(count):
-            self._schedule_submission(self.start_time + offset + index * interval)
+        self._interval = interval
+        self._first_time = self.start_time + offset
+        self._count = int(round(self.rate * self.duration))
+        self._next_index = 0
+        if self._count > 0:
+            self.simulator.schedule_at(self._first_time, self._submit_next)
 
-    def _schedule_submission(self, at_time: SimTime) -> None:
-        def submit() -> None:
-            target = next(self._target_cycle)
-            transaction = counter_increment(
-                tx_id=next(LoadGenerator._id_counter),
-                client_id=self.client_id,
-                submitted_at=self.simulator.now,
-                target_validator=target.id,
+    def _submit_next(self) -> None:
+        """Submit one transaction and schedule the next submission.
+
+        A bound method rather than per-transaction closures: this runs once
+        per transaction at peak load, where the cost of materializing two
+        function objects per submission is measurable.
+        """
+        self._next_index += 1
+        if self._next_index < self._count:
+            self.simulator.schedule_at(
+                self._first_time + self._next_index * self._interval, self._submit_next
             )
-            self.submitted += 1
-            if self.on_submit is not None:
-                self.on_submit(transaction)
-            delay = self.submission_delay
-
-            def arrive() -> None:
-                target.submit_transaction(transaction)
-
-            self.simulator.schedule(delay, arrive)
-
-        self.simulator.schedule_at(at_time, submit)
+        target = next(self._target_cycle)
+        transaction = Transaction(
+            next(LoadGenerator._id_counter),
+            self.client_id,
+            self.simulator.now,
+            target.id,
+        )
+        self.submitted += 1
+        if self.on_submit is not None:
+            self.on_submit(transaction)
+        self.simulator.schedule(
+            self.submission_delay, partial(target.submit_transaction, transaction)
+        )
 
 
 def spawn_load(

@@ -8,14 +8,19 @@ and a small payload descriptor.
 
 from __future__ import annotations
 
-import dataclasses
+from typing import NamedTuple
 
 from repro.types import SimTime, ValidatorId
 
 
-@dataclasses.dataclass(frozen=True)
-class Transaction:
-    """One client transaction."""
+class Transaction(NamedTuple):
+    """One client transaction.
+
+    A ``NamedTuple`` rather than a frozen dataclass: transactions are
+    created once per submission on the workload hot path, and tuple
+    construction avoids the per-field ``object.__setattr__`` cost of
+    frozen dataclasses.
+    """
 
     tx_id: int
     client_id: int

@@ -70,6 +70,36 @@ class TestLatencyStats:
         summary = stats.summary()
         assert set(summary) == {"count", "avg", "stdev", "p50", "p95", "p99", "max"}
 
+    def test_sorted_cache_invalidated_by_record(self):
+        stats = LatencyStats()
+        stats.extend([3.0, 1.0])
+        # Populate the sorted cache, then record out-of-order samples; a
+        # stale cache would return the old percentiles.
+        assert stats.p50() == 2.0
+        assert stats.maximum() == 3.0
+        stats.record(0.5)
+        assert stats.p50() == 1.0
+        assert stats.maximum() == 3.0
+        stats.record(9.0)
+        assert stats.maximum() == 9.0
+        assert stats.percentile(0.0) == 0.5
+
+    def test_summary_matches_individual_statistics(self):
+        stats = LatencyStats()
+        stats.extend([0.4, 2.5, 1.1, 0.9, 3.3, 0.2])
+        summary = stats.summary()
+        assert summary["count"] == float(stats.count)
+        assert summary["avg"] == pytest.approx(stats.average())
+        assert summary["stdev"] == pytest.approx(stats.stdev())
+        assert summary["p50"] == pytest.approx(stats.p50())
+        assert summary["p95"] == pytest.approx(stats.p95())
+        assert summary["p99"] == pytest.approx(stats.p99())
+        assert summary["max"] == stats.maximum()
+
+    def test_empty_summary_is_zero(self):
+        summary = LatencyStats().summary()
+        assert all(value == 0.0 for value in summary.values())
+
 
 class TestExecutionModel:
     def test_below_capacity_adds_only_service_time(self):
