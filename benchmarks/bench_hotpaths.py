@@ -10,9 +10,10 @@ Measures the two things this repo's performance work optimizes:
 * **Sweep speed** — wall-clock for a 4-point latency/throughput curve run
   serially versus through the parallel :class:`SweepEngine`.
 
-Results are written to ``BENCH_PR1.json`` at the repository root so that
+Results are written to ``BENCH_PR2.json`` at the repository root so that
 future PRs can diff the perf trajectory (``benchmarks/run_bench.py``
-wraps this together with the tier-2 qualitative suite).
+wraps this together with a scenario smoke run and the tier-2 qualitative
+suite; ``BENCH_PR1.json`` holds the previous PR's trajectory).
 
 Run with::
 
@@ -39,7 +40,7 @@ from repro.sim.experiment import ExperimentConfig, ExperimentResult, run_experim
 from repro.sim.sweep import SweepEngine, default_parallelism
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR1.json")
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR2.json")
 
 # The figure-1 faultless preset: the paper's smallest committee under
 # increasing load, with the peak (4,000 tx/s) as the last point.

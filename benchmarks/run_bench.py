@@ -1,22 +1,26 @@
 #!/usr/bin/env python3
-"""Run the benchmark suite under a time budget and emit ``BENCH_PR1.json``.
+"""Run the benchmark suite under a time budget and emit ``BENCH_PR2.json``.
 
-Two stages, both optional and both budgeted:
+Three stages, all optional and all budgeted:
 
 1. The hot-path microbenchmark (``benchmarks/bench_hotpaths.py``):
    events/sec and wall-clock per figure-1 point plus the parallel-sweep
    speedup.
-2. The tier-2 qualitative suite (``benchmarks/test_bench_*.py`` under
+2. A **scenario smoke run**: one adversarial scenario from the registry
+   (``mixed-adversary``) at smoke scale through the full scenario
+   pipeline (spec → compile → sweep → artifact), so the perf trajectory
+   always covers the scenario layer and at least one adversarial run.
+3. The tier-2 qualitative suite (``benchmarks/test_bench_*.py`` under
    pytest), run at ``REPRO_BENCH_SCALE=quick`` so it fits the budget;
    only the pass/fail outcome and wall-clock are recorded.
 
-The merged document is written to ``BENCH_PR1.json`` at the repository
+The merged document is written to ``BENCH_PR2.json`` at the repository
 root so future PRs can diff the performance trajectory.
 
 Run with::
 
-    python benchmarks/run_bench.py                  # both stages
-    python benchmarks/run_bench.py --skip-suite     # microbenchmark only
+    python benchmarks/run_bench.py                  # all stages
+    python benchmarks/run_bench.py --skip-suite     # no tier-2 pytest
     python benchmarks/run_bench.py --budget 120     # tighter budget (s)
 """
 
@@ -41,6 +45,31 @@ from bench_hotpaths import DEFAULT_OUTPUT, REPO_ROOT, run_benchmarks, write_resu
 # Default wall-clock budget for the whole invocation, overridable with
 # ``--budget`` or the ``REPRO_BENCH_BUDGET_S`` environment variable.
 DEFAULT_BUDGET_S = 600.0
+
+
+def run_scenario_smoke(name: str = "mixed-adversary") -> dict:
+    """Smoke-run one adversarial scenario through the scenario engine."""
+    from repro.scenarios import get_scenario, run_scenario
+
+    spec = get_scenario(name).smoke()
+    start = time.perf_counter()
+    artifact = run_scenario(spec, parallelism=1)
+    wall = time.perf_counter() - start
+    return {
+        "scenario": name,
+        "scenario_digest": artifact["scenario_digest"],
+        "wall_s": round(wall, 3),
+        "points": [
+            {
+                "label": point["label"],
+                "throughput_tps": round(point["report"]["throughput_tps"], 2),
+                "avg_latency_s": round(point["report"]["avg_latency_s"], 4),
+                "committed": point["report"]["committed_transactions"],
+                "ordering_digest": point["ordering_digest"],
+            }
+            for point in artifact["points"]
+        ],
+    }
 
 
 def run_tier2_suite(budget_s: float) -> dict:
@@ -85,6 +114,9 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument("--duration", type=float, default=20.0, help="virtual seconds per point")
     parser.add_argument("--parallelism", type=int, default=None)
     parser.add_argument("--skip-suite", action="store_true", help="skip the tier-2 pytest suite")
+    parser.add_argument(
+        "--skip-scenario", action="store_true", help="skip the scenario smoke stage"
+    )
     parser.add_argument("--output", default=DEFAULT_OUTPUT)
     return parser.parse_args()
 
@@ -95,6 +127,18 @@ def main() -> int:
     print(f"run_bench: budget {args.budget:.0f}s")
     document = run_benchmarks(duration=args.duration, parallelism=args.parallelism)
     document["budget_s"] = args.budget
+    if args.skip_scenario:
+        document["scenario_smoke"] = {"outcome": "skipped", "reason": "--skip-scenario"}
+    elif args.budget - (time.perf_counter() - start) < 10.0:
+        print("budget exhausted, skipping the scenario smoke")
+        document["scenario_smoke"] = {"outcome": "skipped", "reason": "budget exhausted"}
+    else:
+        print("running scenario smoke (mixed-adversary, smoke scale) ...")
+        try:
+            document["scenario_smoke"] = run_scenario_smoke()
+        except Exception as error:  # the bench document must still be written
+            print(f"scenario smoke failed: {error!r}")
+            document["scenario_smoke"] = {"outcome": "failed", "error": repr(error)}
     if not args.skip_suite:
         remaining = args.budget - (time.perf_counter() - start)
         if remaining > 30.0:
@@ -106,7 +150,9 @@ def main() -> int:
     document["total_wall_s"] = round(time.perf_counter() - start, 2)
     write_results(document, args.output)
     suite = document.get("tier2_suite", {})
-    return 1 if suite.get("outcome") == "failed" else 0
+    smoke = document.get("scenario_smoke", {})
+    failed = suite.get("outcome") == "failed" or smoke.get("outcome") == "failed"
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,57 @@
+"""Scenario-engine smoke benchmark (tier 2).
+
+Runs one adversarial scenario from the registry at smoke scale (tiny
+committee, short horizon) through the full scenario pipeline — spec →
+compile → sweep → artifact — so the perf trajectory covers the scenario
+layer and at least one adversarial run.  Asserts the artifact carries the
+reproducibility fields (spec echo, scenario digest, ordering digests)
+and that the system made progress under adversity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_common import save_and_print
+from repro.metrics.report import PerformanceReport
+from repro.scenarios import get_scenario, run_scenario
+
+SMOKE_SCENARIO = "mixed-adversary"
+
+
+def _run_smoke():
+    spec = get_scenario(SMOKE_SCENARIO).smoke()
+    return spec, run_scenario(spec, parallelism=1)
+
+
+@pytest.mark.benchmark(group="scenarios")
+def test_scenario_smoke_mixed_adversary(benchmark):
+    spec, artifact = benchmark.pedantic(_run_smoke, rounds=1, iterations=1)
+    assert artifact["scenario"]["name"] == SMOKE_SCENARIO
+    assert artifact["scenario_digest"] == spec.scenario_digest()
+    assert artifact["points"], "the smoke scenario compiled to no points"
+    reports = []
+    for point in artifact["points"]:
+        assert point["ordering_digest"], "every point must carry an ordering digest"
+        data = point["report"]
+        kwargs = {
+            key: value
+            for key, value in data.items()
+            if key in PerformanceReport.__dataclass_fields__ and key != "extra"
+        }
+        reports.append(PerformanceReport(**kwargs))
+    save_and_print(
+        "scenario_smoke",
+        f"Scenario smoke - {SMOKE_SCENARIO} at smoke scale",
+        reports,
+    )
+    # Adversity notwithstanding, the run must commit transactions.
+    assert all(point["report"]["committed_transactions"] > 0 for point in artifact["points"])
+    # Determinism: identical seeds and spec yield identical ordering digests
+    # across the protocol axis only when protocols agree; instead check the
+    # digest is reproducible by re-running one point.
+    spec2, artifact2 = _run_smoke()
+    assert artifact2["scenario_digest"] == artifact["scenario_digest"]
+    assert [p["ordering_digest"] for p in artifact2["points"]] == [
+        p["ordering_digest"] for p in artifact["points"]
+    ]

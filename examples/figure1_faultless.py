@@ -3,22 +3,25 @@
 
 The paper runs HammerHead and Bullshark with 10, 50, and 100 honest
 validators under increasing load.  This script regenerates the same
-series on the simulator.  By default it uses reduced committee sizes and
-durations so it finishes in a few minutes; pass ``--paper-scale`` for the
-full committee sizes of the paper (much slower).
+series on the simulator by compiling the registered ``faultless``
+scenario — by default with reduced committee sizes and durations so it
+finishes in a few minutes; pass ``--paper-scale`` for the full committee
+sizes of the paper (much slower).
 
 Run with::
 
     python examples/figure1_faultless.py
     python examples/figure1_faultless.py --committees 10 50 --loads 1000 3000 4500
+    python -m repro.scenarios run faultless           # the raw scenario
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro import ExperimentConfig, format_table
-from repro.sim.sweep import compare_systems
+from repro import format_table
+from repro.scenarios import compile_spec, get_scenario
+from repro.sim.sweep import run_sweep
 
 
 def parse_args() -> argparse.Namespace:
@@ -45,27 +48,32 @@ def parse_args() -> argparse.Namespace:
     return parser.parse_args()
 
 
-def main() -> None:
-    args = parse_args()
-    committees = [10, 50, 100] if args.paper_scale else args.committees
+def build_spec(args: argparse.Namespace):
+    """The faultless scenario with this invocation's overrides."""
+    committees = (10, 50, 100) if args.paper_scale else tuple(args.committees)
     duration = 120.0 if args.paper_scale else args.duration
     warmup = 20.0 if args.paper_scale else args.warmup
+    return get_scenario("faultless").with_overrides(
+        committee_sizes=committees,
+        loads=tuple(args.loads),
+        duration=duration,
+        warmup=warmup,
+        seed=args.seed,
+    )
+
+
+def main() -> None:
+    args = parse_args()
+    spec = build_spec(args)
 
     all_reports = []
-    for committee_size in committees:
-        base = ExperimentConfig(
-            committee_size=committee_size,
-            faults=0,
-            duration=duration,
-            warmup=warmup,
-            seed=args.seed,
-            commits_per_schedule=10,
-        )
+    for committee_size in spec.committee_sizes:
+        points = compile_spec(spec.with_overrides(committee_sizes=(committee_size,)))
         print(f"Sweeping committee of {committee_size} validators ...")
-        curves = compare_systems(base, loads=args.loads, parallelism=args.parallelism)
-        for protocol, results in curves.items():
-            for result in results:
-                all_reports.append(result.report)
+        results = run_sweep(
+            [point.config for point in points], parallelism=args.parallelism
+        )
+        all_reports.extend(result.report for result in results)
 
     print()
     print(
@@ -77,6 +85,7 @@ def main() -> None:
     print()
     print("Expected shape (paper, Figure 1): both systems reach the same peak")
     print("throughput; HammerHead's latency is no worse than Bullshark's.")
+    print(f"(scenario_digest: {spec.scenario_digest()})")
 
 
 if __name__ == "__main__":

@@ -4,24 +4,24 @@
 The paper crashes the maximum tolerable number of validators (3/16/33 for
 committees of 10/50/100) and shows that baseline Bullshark loses 25-40%
 throughput and 2-3x latency, while HammerHead keeps its fault-free
-performance.  This script regenerates those series on the simulator.
+performance.  This script regenerates those series by compiling the
+registered ``figure2-faults`` scenario, whose fault timeline crashes the
+maximum tolerable ``f`` at t=0 for every committee size.
 
 Run with::
 
     python examples/figure2_faults.py
     python examples/figure2_faults.py --committees 10 --loads 1000 2500 4000
+    python -m repro.scenarios run figure2-faults      # the raw scenario
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro import ExperimentConfig, format_table
-from repro.sim.sweep import compare_systems
-
-
-def max_faults(committee_size: int) -> int:
-    return (committee_size - 1) // 3
+from repro import format_table
+from repro.scenarios import compile_spec, get_scenario
+from repro.sim.sweep import run_sweep
 
 
 def parse_args() -> argparse.Namespace:
@@ -49,28 +49,33 @@ def parse_args() -> argparse.Namespace:
     return parser.parse_args()
 
 
-def main() -> None:
-    args = parse_args()
-    committees = [10, 50, 100] if args.paper_scale else args.committees
+def build_spec(args: argparse.Namespace):
+    """The figure2-faults scenario with this invocation's overrides."""
+    committees = (10, 50, 100) if args.paper_scale else tuple(args.committees)
     duration = 180.0 if args.paper_scale else args.duration
     warmup = 80.0 if args.paper_scale else args.warmup
+    return get_scenario("figure2-faults").with_overrides(
+        committee_sizes=committees,
+        loads=tuple(args.loads),
+        duration=duration,
+        warmup=warmup,
+        seed=args.seed,
+    )
+
+
+def main() -> None:
+    args = parse_args()
+    spec = build_spec(args)
 
     all_reports = []
-    for committee_size in committees:
-        faults = max_faults(committee_size)
-        base = ExperimentConfig(
-            committee_size=committee_size,
-            faults=faults,
-            duration=duration,
-            warmup=warmup,
-            seed=args.seed,
-            commits_per_schedule=10,
-        )
+    for committee_size in spec.committee_sizes:
+        points = compile_spec(spec.with_overrides(committee_sizes=(committee_size,)))
+        faults = points[0].config.faults
         print(f"Sweeping committee of {committee_size} validators with {faults} crashed ...")
-        curves = compare_systems(base, loads=args.loads, parallelism=args.parallelism)
-        for protocol, results in curves.items():
-            for result in results:
-                all_reports.append(result.report)
+        results = run_sweep(
+            [point.config for point in points], parallelism=args.parallelism
+        )
+        all_reports.extend(result.report for result in results)
 
     print()
     print(
@@ -83,6 +88,7 @@ def main() -> None:
     print("Expected shape (paper, Figure 2): Bullshark suffers a large latency")
     print("increase and a throughput drop; HammerHead stays close to its")
     print("fault-free performance because crashed validators lose their slots.")
+    print(f"(scenario_digest: {spec.scenario_digest()})")
 
 
 if __name__ == "__main__":

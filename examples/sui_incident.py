@@ -8,18 +8,20 @@ static leader schedule kept electing the degraded validators.  This
 script reproduces the scenario at low load and shows how HammerHead
 removes the degraded validators from the schedule and restores latency.
 
-Run with::
+The incident is a registered scenario — this script is a thin wrapper
+over the declarative spec, comparing it against its healthy twin::
 
     python examples/sui_incident.py
     python examples/sui_incident.py --committee 26 --extra-delay 0.8
+    python -m repro.scenarios run sui-incident        # the raw scenario
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro import Committee, ExperimentConfig, format_table, run_experiment
-from repro.faults.slow import degrade_fraction
+from repro import format_table, run_experiment
+from repro.scenarios import FaultSpec, compile_spec, get_scenario
 
 
 def parse_args() -> argparse.Namespace:
@@ -34,30 +36,34 @@ def parse_args() -> argparse.Namespace:
     return parser.parse_args()
 
 
+def build_spec(args: argparse.Namespace):
+    """The sui-incident scenario with this invocation's overrides."""
+    return get_scenario("sui-incident").with_overrides(
+        committee_sizes=(args.committee,),
+        loads=(args.load,),
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=args.seed,
+        faults=(
+            FaultSpec(kind="slow", fraction=args.fraction, extra_delay=args.extra_delay),
+        ),
+    )
+
+
 def main() -> None:
     args = parse_args()
-    committee = Committee.build(args.committee)
+    spec = build_spec(args)
+    degraded_configs = {
+        point.protocol: point.config for point in compile_spec(spec)
+    }
+    healthy_configs = {
+        point.protocol: point.config for point in compile_spec(spec.without_faults())
+    }
     reports = []
     results = {}
-    for protocol in ("bullshark", "hammerhead"):
+    for protocol in spec.protocols:
         for degraded in (False, True):
-            extra_faults = ()
-            if degraded:
-                extra_faults = (
-                    degrade_fraction(
-                        committee, fraction=args.fraction, extra_delay=args.extra_delay
-                    ),
-                )
-            config = ExperimentConfig(
-                protocol=protocol,
-                committee_size=args.committee,
-                input_load_tps=args.load,
-                duration=args.duration,
-                warmup=args.warmup,
-                seed=args.seed,
-                commits_per_schedule=10,
-                extra_faults=extra_faults,
-            )
+            config = (degraded_configs if degraded else healthy_configs)[protocol]
             label = f"{protocol}, {'degraded' if degraded else 'healthy'}"
             print(f"Running {label} ...")
             result = run_experiment(config)
@@ -78,6 +84,7 @@ def main() -> None:
     print("As in the incident, the static schedule's tail latency rises even at")
     print("low load; HammerHead demotes the degraded validators after the first")
     print("schedule epoch and latency returns close to the healthy baseline.")
+    print(f"(scenario_digest: {spec.scenario_digest()})")
 
 
 if __name__ == "__main__":

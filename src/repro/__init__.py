@@ -10,7 +10,10 @@ Kokoris-Kogias; ICDCS 2024).  It contains:
   contribution) and the static round-robin baseline;
 * fault injection, workload generation, and metrics;
 * an experiment harness regenerating every figure of the paper's
-  evaluation.
+  evaluation;
+* a scenario engine (:mod:`repro.scenarios`): declarative, serializable
+  adversarial/network scenario specs, a registry of curated scenarios,
+  and a CLI runner.
 
 Quickstart::
 
@@ -24,6 +27,14 @@ Quickstart::
         duration=20.0,
     ))
     print(result.report.throughput_tps, result.report.avg_latency_s)
+
+Scenarios (see :mod:`repro.scenarios` for the full catalogue)::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios run sui-incident
+
+    from repro import get_scenario, run_scenario
+    artifact = run_scenario(get_scenario("mixed-adversary").smoke())
 """
 
 from repro.committee import Committee, equal_stake, geometric_stake, zipfian_stake
@@ -65,9 +76,18 @@ from repro.sim import (
     latency_throughput_curve,
     run_experiment,
 )
-from repro.workload import LoadGenerator, Transaction, spawn_load
+from repro.workload import LoadGenerator, LoadPhase, Transaction, spawn_load, spawn_phased_load
 
-__version__ = "1.0.0"
+# Imported last: the scenario engine builds on every layer above.
+from repro.scenarios import (
+    ScenarioSpec,
+    compile_spec,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
+
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -110,6 +130,8 @@ __all__ = [
     "Transaction",
     "LoadGenerator",
     "spawn_load",
+    "LoadPhase",
+    "spawn_phased_load",
     # Metrics
     "MetricsCollector",
     "ExecutionModel",
@@ -124,4 +146,10 @@ __all__ = [
     "run_experiment",
     "latency_throughput_curve",
     "compare_systems",
+    # Scenarios
+    "ScenarioSpec",
+    "compile_spec",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
 ]

@@ -25,8 +25,10 @@ The cache stays correct under the store's mutation pattern:
   never add paths *between* previously inserted vertices — cached entries
   stay valid.  The single exception is a straggler delivered *below* the
   horizon (its parents count as present), which can reconnect previously
-  blocked walks; such an insertion clears the whole cache (rare: it only
-  happens after state sync).
+  blocked walks; such an insertion invalidates, per subtree, only the
+  entries of vertices that can reach the straggler, and only their target
+  rounds at or below it (rare: it only happens after state sync), keeping
+  warm entries elsewhere alive.
 * ``garbage_collect`` drops cache lines keyed by pruned vertices and all
   cached target rounds below the new horizon.  Entries for surviving
   vertices with targets at or above the horizon only ever traversed
@@ -159,10 +161,12 @@ class DagStore:
     def _insert(self, vertex: Vertex) -> None:
         if vertex.round < self._lowest_round:
             # A straggler below the GC horizon can reconnect walks that
-            # previously stopped at its (absent) id, so cached reachability
-            # is no longer trustworthy.  This only happens for deliveries
-            # of already-pruned history after a state sync.
-            self._reach_cache.clear()
+            # previously stopped at its (absent) id.  Only cache entries of
+            # vertices that can actually reach the straggler — and only
+            # their targets at or below its round — can change, so those
+            # are invalidated surgically instead of clearing the whole
+            # cache; warm entries elsewhere survive state sync.
+            self._invalidate_straggler_reachers(vertex)
             self._stale_below_horizon = True
         self._by_id[vertex.id] = vertex
         self._rounds.setdefault(vertex.round, {})[vertex.source] = vertex
@@ -177,6 +181,37 @@ class DagStore:
             self._dirty_anchor_rounds.add(anchor_round)
         for callback in self._on_insert:
             callback(vertex)
+
+    def _invalidate_straggler_reachers(self, vertex: Vertex) -> None:
+        """Invalidate cache entries a below-horizon straggler can affect.
+
+        New paths opened by the straggler all pass *through* it, so the
+        only stale entries are those of vertices from which the
+        straggler's id is reachable, and only for target rounds at or
+        below the straggler's round (sets for higher targets never
+        depended on its presence: an edge naming a round-``t`` vertex
+        counts for target ``t`` whether or not that vertex is stored).
+        The reacher set is found by one upward sweep over the stored
+        rounds above the straggler; this runs only on the rare state-sync
+        path, never on frontier insertions.
+        """
+        cache = self._reach_cache
+        if not cache:
+            return
+        reacher_ids: Set[VertexId] = {vertex.id}
+        for round_number in sorted(r for r in self._rounds if r > vertex.round):
+            for candidate in self._rounds[round_number].values():
+                if any(edge in reacher_ids for edge in candidate.edges):
+                    reacher_ids.add(candidate.id)
+        reacher_ids.discard(vertex.id)
+        for reacher_id in reacher_ids:
+            entry = cache.get(reacher_id)
+            if not entry:
+                continue
+            for target_round in [t for t in entry if t <= vertex.round]:
+                del entry[target_round]
+            if not entry:
+                del cache[reacher_id]
 
     def _promote_pending(self, arrived: VertexId) -> None:
         """Promote pending vertices whose last missing parent just arrived."""
@@ -379,11 +414,22 @@ class DagStore:
         The result is returned in a deterministic order (ascending round,
         then source) so that every validator linearizes a committed
         sub-DAG identically (Algorithm 2, line 35).
+
+        Exclusion-free queries (the deep fetch responder's whole-history
+        requests) are answered from the round-indexed reachability cache
+        instead of a raw stack walk: the history at each stored round is
+        exactly the cached ``reachable_sources`` set, so repeated fetches
+        for nearby roots share memoized per-round sets with the commit
+        rule.  Queries with an ``exclude`` set keep the walk, because
+        pruning *during* traversal differs from filtering afterwards
+        whenever the excluded set is not causally closed downwards.
         """
         excluded = exclude if exclude is not None else set()
         root_vertex = self._by_id.get(root)
         if root_vertex is None:
             raise DagError(f"vertex {root} is not in the DAG")
+        if self.cache_reachability and not excluded:
+            return self._causal_history_cached(root_vertex, include_root)
         seen: Set[VertexId] = set()
         collected: List[Vertex] = []
         stack = [root]
@@ -400,6 +446,27 @@ class DagStore:
                 collected.append(vertex)
             stack.extend(vertex.edges)
         collected.sort(key=lambda vertex: (vertex.round, vertex.source))
+        return collected
+
+    def _causal_history_cached(self, root_vertex: Vertex, include_root: bool) -> List[Vertex]:
+        """Cache-backed :meth:`causal_history` for exclusion-free queries.
+
+        Ascending rounds with sorted sources reproduce the walk's
+        deterministic (round, source) order without a final sort.
+        """
+        collected: List[Vertex] = []
+        rounds = self._rounds
+        # Iterate the rounds actually stored (not the horizon range): a
+        # state-sync straggler may sit below the GC horizon yet still be
+        # stored and reachable.
+        for round_number in sorted(r for r in rounds if r < root_vertex.round):
+            level = rounds[round_number]
+            for source in sorted(self._reachable_sources(root_vertex, round_number)):
+                vertex = level.get(source)
+                if vertex is not None:
+                    collected.append(vertex)
+        if include_root:
+            collected.append(root_vertex)
         return collected
 
     # -- garbage collection ----------------------------------------------------------------

@@ -9,6 +9,11 @@ from repro.faults.base import FaultPlan, FaultInjector
 from repro.faults.crash import CrashFault, CrashRecoveryFault, crash_last_f
 from repro.faults.slow import SlowValidatorFault, degrade_fraction
 from repro.faults.byzantine import VoteWithholdingFault
+from repro.faults.partition import (
+    NetworkDisturbanceFault,
+    PartitionPlan,
+    isolate_tail_fraction,
+)
 
 __all__ = [
     "FaultPlan",
@@ -19,4 +24,7 @@ __all__ = [
     "SlowValidatorFault",
     "degrade_fraction",
     "VoteWithholdingFault",
+    "PartitionPlan",
+    "NetworkDisturbanceFault",
+    "isolate_tail_fraction",
 ]

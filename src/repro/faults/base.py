@@ -2,12 +2,31 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
+from repro.committee import Committee
 from repro.network.simulator import Simulator
 from repro.network.transport import Network
 from repro.node.validator import ValidatorNode
 from repro.types import ValidatorId
+
+
+def tail_validators(
+    committee: Committee,
+    count: int,
+    protect: Sequence[ValidatorId] = (0,),
+) -> Tuple[ValidatorId, ...]:
+    """The ``count`` highest-indexed validators, observer protected.
+
+    The single definition of the benchmarking convention every selector in
+    this package follows (crash-last-f, degrade-fraction, isolate-tail,
+    and the scenario compiler): pick from the top of the index range,
+    never selecting validators in ``protect``.
+    """
+    candidates = [
+        validator for validator in reversed(committee.validators) if validator not in protect
+    ]
+    return tuple(candidates[:count])
 
 
 class FaultPlan:

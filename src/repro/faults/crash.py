@@ -12,7 +12,7 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence
 
 from repro.committee import Committee
-from repro.faults.base import FaultPlan
+from repro.faults.base import FaultPlan, tail_validators
 from repro.network.simulator import Simulator
 from repro.network.transport import Network
 from repro.node.validator import ValidatorNode
@@ -102,7 +102,4 @@ def crash_last_f(
             f"cannot crash {count} validators, the committee only tolerates "
             f"{committee.max_faulty}"
         )
-    candidates: List[ValidatorId] = [
-        validator for validator in reversed(committee.validators) if validator not in protect
-    ]
-    return CrashFault(validators=tuple(candidates[:count]), at_time=at_time)
+    return CrashFault(validators=tail_validators(committee, count, protect), at_time=at_time)

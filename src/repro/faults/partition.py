@@ -1,0 +1,152 @@
+"""Network-level disturbances: partitions and jitter/loss windows.
+
+Unlike the per-validator faults (crash, slow, Byzantine), these plans
+disturb the network fabric itself for a bounded window of virtual time:
+
+* :class:`PartitionPlan` splits the committee into groups; messages
+  crossing a group boundary are dropped until the partition heals.
+* :class:`NetworkDisturbanceFault` adds random jitter to every delivery
+  and/or drops messages with a fixed probability.
+
+Both restore the healthy network when their window closes; the
+synchronizer's fetch-retry path then repairs any missing DAG history, so
+liveness resumes after the window (the partial-synchrony story of the
+paper, acted out by the adversary).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.committee import Committee
+from repro.faults.base import FaultPlan, tail_validators
+from repro.network.simulator import Simulator
+from repro.network.transport import Network
+from repro.node.validator import ValidatorNode
+from repro.types import SimTime, ValidatorId
+
+
+@dataclasses.dataclass
+class PartitionPlan(FaultPlan):
+    """Partition the committee into ``groups`` from ``start`` to ``end``.
+
+    Validators not listed in any group form one implicit extra group (they
+    keep talking to each other but to nobody else).  ``end=None`` leaves
+    the partition in place for the rest of the run.
+    """
+
+    groups: Sequence[Sequence[ValidatorId]]
+    start: SimTime = 0.0
+    end: Optional[SimTime] = None
+
+    def __post_init__(self) -> None:
+        if self.end is not None and self.end <= self.start:
+            raise ValueError("a partition must heal after it forms")
+        seen = set()
+        for group in self.groups:
+            for validator in group:
+                if validator in seen:
+                    raise ValueError(f"validator {validator} appears in two groups")
+                seen.add(validator)
+
+    def affected_validators(self) -> Sequence[ValidatorId]:
+        return tuple(validator for group in self.groups for validator in group)
+
+    def schedule(
+        self,
+        simulator: Simulator,
+        network: Network,
+        nodes: Dict[ValidatorId, ValidatorNode],
+    ) -> None:
+        def split() -> None:
+            network.set_partition([tuple(group) for group in self.groups])
+
+        def heal() -> None:
+            network.clear_partition()
+
+        simulator.schedule_at(max(self.start, simulator.now), split)
+        if self.end is not None:
+            simulator.schedule_at(max(self.end, simulator.now), heal)
+
+    def describe(self) -> str:
+        shape = " | ".join(str(list(group)) for group in self.groups)
+        window = f"from t={self.start:.1f}s"
+        if self.end is not None:
+            window += f" to t={self.end:.1f}s"
+        return f"partition {shape} {window}"
+
+
+@dataclasses.dataclass
+class NetworkDisturbanceFault(FaultPlan):
+    """Add jitter and/or message loss to the whole fabric for a window."""
+
+    jitter: SimTime = 0.0
+    loss_rate: float = 0.0
+    start: SimTime = 0.0
+    end: Optional[SimTime] = None
+
+    def __post_init__(self) -> None:
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("the loss rate must lie in [0, 1)")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError("a disturbance window must close after it opens")
+
+    def affected_validators(self) -> Sequence[ValidatorId]:
+        # The disturbance is fabric-wide, not tied to specific validators.
+        return ()
+
+    def schedule(
+        self,
+        simulator: Simulator,
+        network: Network,
+        nodes: Dict[ValidatorId, ValidatorNode],
+    ) -> None:
+        # Token-based so overlapping disturbance windows compose: closing
+        # this window removes only its own contribution.
+        token_box: Dict[str, int] = {}
+
+        def disturb() -> None:
+            token_box["token"] = network.add_disturbance(
+                jitter=self.jitter, loss_rate=self.loss_rate
+            )
+
+        def calm() -> None:
+            if "token" in token_box:
+                network.remove_disturbance(token_box.pop("token"))
+
+        simulator.schedule_at(max(self.start, simulator.now), disturb)
+        if self.end is not None:
+            simulator.schedule_at(max(self.end, simulator.now), calm)
+
+    def describe(self) -> str:
+        parts = []
+        if self.jitter > 0:
+            parts.append(f"jitter {self.jitter:.2f}s")
+        if self.loss_rate > 0:
+            parts.append(f"loss {self.loss_rate:.0%}")
+        window = f"from t={self.start:.1f}s"
+        if self.end is not None:
+            window += f" to t={self.end:.1f}s"
+        return f"{' + '.join(parts) or 'no-op disturbance'} {window}"
+
+
+def isolate_tail_fraction(
+    committee: Committee,
+    fraction: float = 0.25,
+    start: SimTime = 0.0,
+    end: Optional[SimTime] = None,
+    protect: Sequence[ValidatorId] = (0,),
+) -> PartitionPlan:
+    """Asymmetric partition: cut the tail ``fraction`` of the committee off.
+
+    The highest-indexed validators (never those in ``protect``) form the
+    minority side; everyone else stays in the implicit majority group, so
+    the majority keeps a quorum and continues committing while the
+    minority stalls until the partition heals.
+    """
+    count = max(1, int(round(fraction * committee.size)))
+    minority: Tuple[ValidatorId, ...] = tail_validators(committee, count, protect)
+    return PartitionPlan(groups=(minority,), start=start, end=end)

@@ -13,7 +13,7 @@ import dataclasses
 from typing import Dict, Optional, Sequence
 
 from repro.committee import Committee
-from repro.faults.base import FaultPlan
+from repro.faults.base import FaultPlan, tail_validators
 from repro.network.simulator import Simulator
 from repro.network.transport import Network
 from repro.node.validator import ValidatorNode
@@ -71,11 +71,8 @@ def degrade_fraction(
 ) -> SlowValidatorFault:
     """Degrade roughly ``fraction`` of the committee (the Sui incident shape)."""
     count = max(1, int(round(fraction * committee.size)))
-    candidates = [
-        validator for validator in reversed(committee.validators) if validator not in protect
-    ]
     return SlowValidatorFault(
-        validators=tuple(candidates[:count]),
+        validators=tail_validators(committee, count, protect),
         extra_delay=extra_delay,
         start=start,
         end=end,

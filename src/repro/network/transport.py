@@ -8,12 +8,26 @@ reliable and authenticated, matching the QUIC channels of the production
 implementation: messages are never corrupted, reordering can only arise
 from differing delays, and the sender identity attached to a delivery is
 trustworthy.
+
+Scenario hooks
+--------------
+
+Fault plans (see :mod:`repro.faults`) can additionally disturb the whole
+fabric for bounded windows of virtual time:
+
+* :meth:`Network.set_partition` splits the nodes into groups; messages
+  crossing a group boundary are dropped until :meth:`clear_partition`.
+* :meth:`Network.set_jitter` adds a uniformly random extra delay to every
+  delivery (drawn from the simulator RNG, so runs stay deterministic).
+* :meth:`Network.set_loss_rate` drops each message independently with the
+  given probability.  The reliable-channel abstraction is restored by the
+  synchronizer: missing vertices are re-fetched once the window closes.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, Iterable, Optional
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
 from repro.errors import NetworkError
 from repro.network.latency import LatencyModel, UniformLatencyModel
@@ -33,6 +47,8 @@ class NetworkStats:
     messages_delivered: int = 0
     messages_dropped: int = 0
     broadcasts: int = 0
+    partition_drops: int = 0
+    loss_drops: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dataclasses.asdict(self)
@@ -65,6 +81,18 @@ class Network:
         self.synchrony = synchrony if synchrony is not None else AlwaysSynchronous(delta=2.0)
         self.stats = NetworkStats()
         self._endpoints: Dict[int, _Endpoint] = {}
+        # Scenario disturbances (see the module docstring).  Windows stack:
+        # each active disturbance holds a token slot, the effective jitter
+        # is the maximum over active windows and the effective loss rate
+        # composes as independent drops, so overlapping windows never stomp
+        # each other when one of them closes.
+        self._partition_groups: Optional[Dict[int, int]] = None
+        self._base_jitter: SimTime = 0.0
+        self._base_loss_rate: float = 0.0
+        self._disturbances: Dict[int, Tuple[SimTime, float]] = {}
+        self._next_disturbance_token = 0
+        self._jitter: SimTime = 0.0
+        self._loss_rate: float = 0.0
 
     # -- registration --------------------------------------------------------
 
@@ -111,6 +139,84 @@ class Network:
         endpoint.inbound_extra_delay = inbound_extra
         endpoint.outbound_extra_delay = outbound_extra
 
+    def set_partition(self, groups: Iterable[Iterable[int]]) -> None:
+        """Partition the network into ``groups`` of nodes.
+
+        While a partition is active, messages between nodes of different
+        groups are dropped.  Nodes not listed in any group form one
+        implicit extra group together (they can still talk to each other,
+        but to nobody else).  A later call replaces the previous
+        partition wholesale.
+        """
+        mapping: Dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for node_id in group:
+                if node_id in mapping:
+                    raise NetworkError(f"node {node_id} appears in two partition groups")
+                mapping[node_id] = index
+        self._partition_groups = mapping
+
+    def clear_partition(self) -> None:
+        """Heal any active partition."""
+        self._partition_groups = None
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition_groups is not None
+
+    def set_jitter(self, amplitude: SimTime) -> None:
+        """Add up to ``amplitude`` seconds of random delay to every delivery."""
+        if amplitude < 0:
+            raise NetworkError("jitter amplitude must be non-negative")
+        self._base_jitter = amplitude
+        self._recompute_disturbance()
+
+    def set_loss_rate(self, rate: float) -> None:
+        """Drop each message independently with probability ``rate``."""
+        if not 0.0 <= rate < 1.0:
+            raise NetworkError("the loss rate must lie in [0, 1)")
+        self._base_loss_rate = rate
+        self._recompute_disturbance()
+
+    def add_disturbance(self, jitter: SimTime = 0.0, loss_rate: float = 0.0) -> int:
+        """Open a disturbance window; returns a token for its removal.
+
+        Windows compose instead of overwriting each other: the effective
+        jitter is the maximum over active windows (and the base knob), and
+        losses combine as independent drop probabilities.
+        """
+        if jitter < 0:
+            raise NetworkError("jitter amplitude must be non-negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise NetworkError("the loss rate must lie in [0, 1)")
+        token = self._next_disturbance_token
+        self._next_disturbance_token += 1
+        self._disturbances[token] = (jitter, loss_rate)
+        self._recompute_disturbance()
+        return token
+
+    def remove_disturbance(self, token: int) -> None:
+        """Close the disturbance window identified by ``token``."""
+        self._disturbances.pop(token, None)
+        self._recompute_disturbance()
+
+    def _recompute_disturbance(self) -> None:
+        jitter = self._base_jitter
+        keep = 1.0 - self._base_loss_rate
+        for window_jitter, window_loss in self._disturbances.values():
+            if window_jitter > jitter:
+                jitter = window_jitter
+            keep *= 1.0 - window_loss
+        self._jitter = jitter
+        self._loss_rate = 1.0 - keep
+
+    def _crosses_partition(self, sender: int, recipient: int) -> bool:
+        groups = self._partition_groups
+        if groups is None or sender == recipient:
+            return False
+        # Unlisted nodes share the implicit group -1.
+        return groups.get(sender, -1) != groups.get(recipient, -1)
+
     # -- sending ---------------------------------------------------------------
 
     def send(self, sender: int, recipient: int, message: Any) -> None:
@@ -126,6 +232,18 @@ class Network:
         self.stats.messages_sent += 1
         if source.crashed:
             self.stats.messages_dropped += 1
+            return
+        if self._crosses_partition(sender, recipient):
+            self.stats.messages_dropped += 1
+            self.stats.partition_drops += 1
+            return
+        if (
+            self._loss_rate > 0.0
+            and sender != recipient
+            and self.simulator.rng.random() < self._loss_rate
+        ):
+            self.stats.messages_dropped += 1
+            self.stats.loss_drops += 1
             return
         destination = self._endpoints[recipient]
         delay = self._delivery_delay(source, destination)
@@ -166,6 +284,8 @@ class Network:
             base = self.latency_model.one_way_delay(source.region, destination.region, rng)
         base += source.outbound_extra_delay + destination.inbound_extra_delay
         base += destination.processing_delay
+        if self._jitter > 0.0 and source.node_id != destination.node_id:
+            base += rng.uniform(0.0, self._jitter)
         adjusted = self.synchrony.adjust_delay(self.simulator.now, base, rng)
         return max(0.0, adjusted)
 

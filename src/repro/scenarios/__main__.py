@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.scenarios``."""
+
+import sys
+
+from repro.scenarios.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

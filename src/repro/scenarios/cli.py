@@ -1,0 +1,186 @@
+"""The ``python -m repro.scenarios`` command-line runner.
+
+Subcommands::
+
+    list                       show the registered scenarios
+    describe NAME              print a scenario's JSON spec and digest
+    run NAME                   run a scenario, print the report table,
+                               and write the reproducibility artifact
+    sweep NAME --seeds 1 2 3   run a scenario across several seeds
+
+``run`` and ``sweep`` accept ``--spec FILE`` instead of a registered
+name, so ad-hoc scenarios can be described in JSON and executed without
+touching the registry.  Every run writes an artifact JSON (``--output``,
+default ``scenario-<name>.json``) containing the spec echo, the
+``scenario_digest``, and the per-point reports and ordering digests.
+
+``--smoke`` shrinks any scenario to a tiny committee and a short horizon
+(CI smoke runs; see :meth:`ScenarioSpec.smoke`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.metrics.report import format_table
+from repro.scenarios.registry import get_scenario, all_scenarios
+from repro.scenarios.runner import (
+    default_artifact_path,
+    run_scenario,
+    write_artifact,
+)
+from repro.scenarios.spec import ScenarioSpec, compile_spec
+
+
+def _load_spec(args: argparse.Namespace) -> ScenarioSpec:
+    if getattr(args, "spec", None):
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            spec = ScenarioSpec.from_json(handle.read())
+    else:
+        spec = get_scenario(args.name)
+    if getattr(args, "smoke", False):
+        spec = spec.smoke()
+    return spec
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    scenarios = all_scenarios()
+    width = max(len(name) for name in scenarios)
+    print(f"{len(scenarios)} registered scenarios:")
+    for name, spec in scenarios.items():
+        print(f"  {name.ljust(width)}  {spec.description}")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    spec = _load_spec(args)
+    print(spec.to_json())
+    print(f"scenario_digest: {spec.scenario_digest()}")
+    points = compile_spec(spec)
+    print(f"compiles to {len(points)} experiment point(s):")
+    for point in points:
+        print(f"  {point.config.label()}")
+        for plan in point.config.extra_faults:
+            print(f"    - {plan.describe()}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _load_spec(args)
+    seeds = args.seeds if getattr(args, "seeds", None) else None
+    label = f"seeds {seeds}" if seeds else f"seed {spec.seed}"
+    print(f"Running scenario {spec.name!r} ({label}) ...")
+    artifact = run_scenario(spec, seeds=seeds, parallelism=args.parallelism)
+    _print_artifact_table(spec, artifact)
+    suffix = "-smoke" if args.smoke else ""
+    path = args.output or default_artifact_path(spec, suffix=suffix)
+    write_artifact(artifact, path)
+    print(f"wrote {path}")
+    return 0
+
+
+def _print_artifact_table(spec: ScenarioSpec, artifact: dict) -> None:
+    from repro.metrics.report import PerformanceReport
+
+    reports = []
+    for point in artifact["points"]:
+        data = dict(point["report"])
+        extra = {
+            key: value
+            for key, value in data.items()
+            if key not in PerformanceReport.__dataclass_fields__
+        }
+        kwargs = {
+            key: value
+            for key, value in data.items()
+            if key in PerformanceReport.__dataclass_fields__ and key != "extra"
+        }
+        reports.append(PerformanceReport(extra=extra, **kwargs))
+    print()
+    print(format_table(reports, title=f"Scenario {spec.name} - {spec.description}"))
+    print()
+    print(f"scenario_digest: {artifact['scenario_digest']}")
+    for point in artifact["points"]:
+        print(
+            f"  {point['label']} seed {point['seed']}: "
+            f"ordering_digest {point['ordering_digest'][:16]}... "
+            f"({point['ordered_count']} ordered)"
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="show the registered scenarios")
+
+    describe = commands.add_parser("describe", help="print a scenario spec and digest")
+    _add_spec_arguments(describe)
+
+    run = commands.add_parser("run", help="run a scenario and write its artifact")
+    _add_spec_arguments(run)
+    _add_run_arguments(run)
+
+    sweep = commands.add_parser("sweep", help="run a scenario across several seeds")
+    _add_spec_arguments(sweep)
+    _add_run_arguments(sweep)
+    return parser
+
+
+def _add_spec_arguments(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument("name", nargs="?", help="a registered scenario name")
+    subparser.add_argument("--spec", help="path to a scenario spec JSON file")
+    subparser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink to a tiny committee and short horizon (CI smoke run)",
+    )
+
+
+def _add_run_arguments(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        help="seeds to fan out over (default: the spec's own seed)",
+    )
+    subparser.add_argument(
+        "--parallelism",
+        type=int,
+        default=None,
+        help="sweep worker processes (default: REPRO_SWEEP_PARALLELISM or CPU count)",
+    )
+    subparser.add_argument("--output", default=None, help="artifact JSON path")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in ("describe", "run", "sweep") and not (args.name or args.spec):
+        parser.error("give a scenario name or --spec FILE")
+    handlers = {
+        "list": _cmd_list,
+        "describe": _cmd_describe,
+        "run": _cmd_run,
+        "sweep": _cmd_run,  # sweep is run with --seeds made prominent
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

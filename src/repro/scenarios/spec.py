@@ -1,0 +1,751 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` describes a complete adversarial/network scenario
+— committee and load presets, a phased timeline of fault injections,
+network disturbances, and a workload shape — independent of the
+simulator objects that enact it.  Specs serialize to and from plain-JSON
+dictionaries (with schema validation on the way in), and hash to a
+deterministic :meth:`ScenarioSpec.scenario_digest` so that experiment
+artifacts can state precisely *which* scenario produced them.
+
+The compiler (:func:`compile_spec`) lowers a spec into the existing
+experiment layer: one :class:`~repro.sim.experiment.ExperimentConfig` per
+(committee size, protocol, load) point, with fault timelines materialized
+as :class:`~repro.faults.base.FaultPlan` objects.  Compilation is exactly
+faithful to the hand-written configurations the ``examples/`` scripts
+used before the scenario engine existed — the test suite pins this — so
+a scenario run reproduces those reports byte for byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.committee import Committee, equal_stake, geometric_stake, zipfian_stake
+from repro.crypto.hashing import digest_hex
+from repro.errors import ConfigurationError
+from repro.faults.base import FaultPlan, tail_validators
+from repro.faults.byzantine import VoteWithholdingFault
+from repro.faults.crash import CrashFault, CrashRecoveryFault
+from repro.faults.partition import (
+    NetworkDisturbanceFault,
+    PartitionPlan,
+    isolate_tail_fraction,
+)
+from repro.faults.slow import SlowValidatorFault, degrade_fraction
+from repro.sim.experiment import ExperimentConfig, PROTOCOL_BULLSHARK, PROTOCOL_HAMMERHEAD
+from repro.workload.phases import (
+    LoadPhase,
+    average_tps,
+    burst_phases,
+    diurnal_phases,
+    ramp_phases,
+    validate_phases,
+)
+
+# Fault kinds understood by the timeline.
+FAULT_KINDS = ("crash", "crash-recovery", "slow", "vote-withholding")
+# Workload shapes understood by the compiler.
+WORKLOAD_KINDS = ("constant", "burst", "ramp", "diurnal")
+
+# Version tag embedded in serialized specs; bump on incompatible changes.
+SPEC_VERSION = 1
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One fault-injection entry on the scenario timeline.
+
+    The affected validators are chosen by exactly one selector:
+
+    * ``validators`` — explicit ids;
+    * ``count`` — the ``count`` highest-indexed validators (benchmarking
+      convention, observer protected);
+    * ``fraction`` — like ``count`` but as a committee fraction;
+    * ``max_faulty`` — the maximum tolerable ``f``.
+    """
+
+    kind: str
+    validators: Tuple[int, ...] = ()
+    count: Optional[int] = None
+    fraction: Optional[float] = None
+    max_faulty: bool = False
+    at: float = 0.0
+    recover_at: Optional[float] = None  # crash-recovery only
+    extra_delay: float = 0.5  # slow only
+    end: Optional[float] = None  # slow only
+
+    def validate(self) -> "FaultSpec":
+        _require(self.kind in FAULT_KINDS, f"unknown fault kind {self.kind!r}")
+        selectors = [
+            bool(self.validators),
+            self.count is not None,
+            self.fraction is not None,
+            self.max_faulty,
+        ]
+        _require(
+            sum(selectors) == 1,
+            f"fault {self.kind!r} needs exactly one selector "
+            "(validators, count, fraction, or max_faulty)",
+        )
+        if self.count is not None:
+            _require(self.count >= 1, "a fault count must be at least 1")
+        if self.fraction is not None:
+            _require(0.0 < self.fraction <= 1.0, "a fault fraction must lie in (0, 1]")
+        _require(self.at >= 0.0, "fault times must be non-negative")
+        if self.kind == "crash-recovery":
+            _require(
+                self.recover_at is not None and self.recover_at > self.at,
+                "crash-recovery needs recover_at after the crash time",
+            )
+        else:
+            _require(self.recover_at is None, f"{self.kind!r} does not take recover_at")
+        if self.kind == "slow":
+            _require(self.extra_delay > 0.0, "a slow fault needs a positive extra delay")
+            if self.end is not None:
+                _require(self.end > self.at, "a slow window must close after it opens")
+        else:
+            _require(self.end is None, f"{self.kind!r} does not take an end time")
+        return self
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionSpec:
+    """A network partition window.
+
+    Either explicit ``groups`` or ``isolate_fraction`` (cut the tail
+    fraction of the committee off as a minority group).
+    """
+
+    groups: Tuple[Tuple[int, ...], ...] = ()
+    isolate_fraction: Optional[float] = None
+    start: float = 0.0
+    end: Optional[float] = None
+
+    def validate(self) -> "PartitionSpec":
+        _require(
+            bool(self.groups) != (self.isolate_fraction is not None),
+            "a partition needs exactly one of groups or isolate_fraction",
+        )
+        if self.isolate_fraction is not None:
+            _require(
+                0.0 < self.isolate_fraction < 1.0,
+                "isolate_fraction must lie in (0, 1)",
+            )
+        _require(self.start >= 0.0, "partition times must be non-negative")
+        if self.end is not None:
+            _require(self.end > self.start, "a partition must heal after it forms")
+        return self
+
+
+@dataclasses.dataclass(frozen=True)
+class DisturbanceSpec:
+    """A fabric-wide jitter and/or loss window."""
+
+    jitter: float = 0.0
+    loss_rate: float = 0.0
+    start: float = 0.0
+    end: Optional[float] = None
+
+    def validate(self) -> "DisturbanceSpec":
+        _require(self.jitter >= 0.0, "jitter must be non-negative")
+        _require(0.0 <= self.loss_rate < 1.0, "the loss rate must lie in [0, 1)")
+        _require(
+            self.jitter > 0.0 or self.loss_rate > 0.0,
+            "a disturbance needs jitter, loss, or both",
+        )
+        _require(self.start >= 0.0, "disturbance times must be non-negative")
+        if self.end is not None:
+            _require(self.end > self.start, "a disturbance window must close after it opens")
+        return self
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """The shape of client load over the run.
+
+    ``constant`` compiles to the classic fixed-rate path; the other kinds
+    compile to piecewise-constant :class:`~repro.workload.phases.LoadPhase`
+    profiles starting at ``LOAD_START`` (the same 0.5 s client warm-up the
+    fixed-rate path uses).
+    """
+
+    kind: str = "constant"
+    tps: float = 1000.0
+    # burst
+    burst_tps: float = 0.0
+    burst_start: float = 0.0
+    burst_end: float = 0.0
+    # ramp
+    end_tps: float = 0.0
+    steps: int = 4
+    # diurnal
+    amplitude: float = 0.0
+    period: float = 0.0
+
+    def validate(self) -> "WorkloadSpec":
+        _require(self.kind in WORKLOAD_KINDS, f"unknown workload kind {self.kind!r}")
+        _require(self.tps >= 0.0, "the workload rate must be non-negative")
+        if self.kind == "burst":
+            _require(self.burst_tps > 0.0, "a burst needs a positive burst rate")
+            _require(
+                self.burst_end > self.burst_start >= 0.0,
+                "a burst window must close after it opens",
+            )
+        if self.kind == "ramp":
+            _require(self.steps >= 1, "a ramp needs at least one step")
+        if self.kind == "diurnal":
+            _require(self.period > 0.0, "a diurnal profile needs a positive period")
+            _require(self.steps >= 1, "a diurnal profile needs at least one step")
+        return self
+
+
+# Client load starts 0.5 s into the run, matching the constant-rate path.
+LOAD_START = 0.5
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioSpec:
+    """Full declarative description of one scenario.
+
+    A scenario fans out over ``committee_sizes`` x ``protocols`` x
+    ``loads`` (each point one :class:`ExperimentConfig`); the fault
+    timeline, partitions, disturbances, and workload shape apply to every
+    point.  When ``loads`` is empty the workload spec's nominal rate is
+    the single load point.
+    """
+
+    name: str
+    description: str = ""
+    protocols: Tuple[str, ...] = (PROTOCOL_HAMMERHEAD,)
+    committee_sizes: Tuple[int, ...] = (10,)
+    loads: Tuple[float, ...] = ()
+    workload: WorkloadSpec = WorkloadSpec()
+    duration: float = 30.0
+    warmup: float = 5.0
+    seed: int = 1
+    stake: str = "equal"
+    commits_per_schedule: int = 10
+    scoring: str = "hammerhead"
+    latency_model: str = "geo"
+    gst: float = 0.0
+    delta: float = 2.0
+    faults: Tuple[FaultSpec, ...] = ()
+    partitions: Tuple[PartitionSpec, ...] = ()
+    disturbances: Tuple[DisturbanceSpec, ...] = ()
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self) -> "ScenarioSpec":
+        _require(bool(self.name), "a scenario needs a name")
+        _require(bool(self.protocols), "a scenario needs at least one protocol")
+        for protocol in self.protocols:
+            _require(
+                protocol in (PROTOCOL_HAMMERHEAD, PROTOCOL_BULLSHARK),
+                f"unknown protocol {protocol!r}",
+            )
+        _require(bool(self.committee_sizes), "a scenario needs at least one committee size")
+        for size in self.committee_sizes:
+            _require(size >= 1, "committee sizes must be positive")
+        for load in self.loads:
+            _require(load >= 0.0, "loads must be non-negative")
+        self.workload.validate()
+        _require(self.duration > 0.0, "the duration must be positive")
+        _require(0.0 <= self.warmup < self.duration, "warmup must lie within the duration")
+        if self.workload.kind == "burst":
+            # The load window is [LOAD_START, duration]; a burst outside it
+            # would fail only at compile time otherwise.
+            _require(
+                LOAD_START <= self.workload.burst_start
+                and self.workload.burst_end <= self.duration,
+                f"the burst window must lie within [{LOAD_START}s, duration]",
+            )
+        tail_crashes = 0
+        for fault in self.faults:
+            fault.validate()
+            if fault.kind == "crash" and not fault.validators:
+                tail_crashes += 1
+        _require(
+            tail_crashes <= 1,
+            "at most one permanent crash fault may use a tail selector (count/"
+            "fraction/max_faulty); give later waves explicit validators",
+        )
+        for partition in self.partitions:
+            partition.validate()
+        # Partition windows must not overlap: the network holds a single
+        # partition at a time (last-wins), so overlapping windows would
+        # silently enact a different adversary than the spec describes.
+        # Disturbance windows may overlap freely — they stack.
+        partition_windows = sorted(
+            (partition.start, partition.end) for partition in self.partitions
+        )
+        for (_, first_end), (second_start, _) in zip(
+            partition_windows, partition_windows[1:]
+        ):
+            _require(
+                first_end is not None and first_end <= second_start,
+                "partition windows must not overlap",
+            )
+        for disturbance in self.disturbances:
+            disturbance.validate()
+        # The ExperimentConfig validator re-checks the per-point fields
+        # (stake, scoring, seed range, fault bounds) at compile time.
+        return self
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON dictionary form (tuples become lists)."""
+        data = dataclasses.asdict(self)
+        data["version"] = SPEC_VERSION
+        return json.loads(json.dumps(data))
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Parse and validate a dictionary produced by :meth:`to_dict`.
+
+        Unknown keys, wrong field types, and semantic violations all
+        raise :class:`~repro.errors.ConfigurationError`.
+        """
+        _require(isinstance(data, Mapping), "a scenario spec must be a JSON object")
+        payload = dict(data)
+        version = payload.pop("version", SPEC_VERSION)
+        _require(
+            version == SPEC_VERSION,
+            f"unsupported scenario spec version {version!r} (expected {SPEC_VERSION})",
+        )
+        spec = cls(
+            name=_parse_scalar(payload, "name", str, required=True),
+            description=_parse_scalar(payload, "description", str, default=""),
+            protocols=_parse_tuple(payload, "protocols", str, default=(PROTOCOL_HAMMERHEAD,)),
+            committee_sizes=_parse_tuple(payload, "committee_sizes", int, default=(10,)),
+            loads=_parse_tuple(payload, "loads", (int, float), default=(), cast=float),
+            workload=_parse_nested(payload, "workload", WorkloadSpec),
+            duration=_parse_scalar(payload, "duration", (int, float), default=30.0, cast=float),
+            warmup=_parse_scalar(payload, "warmup", (int, float), default=5.0, cast=float),
+            seed=_parse_scalar(payload, "seed", int, default=1),
+            stake=_parse_scalar(payload, "stake", str, default="equal"),
+            commits_per_schedule=_parse_scalar(payload, "commits_per_schedule", int, default=10),
+            scoring=_parse_scalar(payload, "scoring", str, default="hammerhead"),
+            latency_model=_parse_scalar(payload, "latency_model", str, default="geo"),
+            gst=_parse_scalar(payload, "gst", (int, float), default=0.0, cast=float),
+            delta=_parse_scalar(payload, "delta", (int, float), default=2.0, cast=float),
+            faults=_parse_nested_tuple(payload, "faults", FaultSpec),
+            partitions=_parse_nested_tuple(payload, "partitions", PartitionSpec),
+            disturbances=_parse_nested_tuple(payload, "disturbances", DisturbanceSpec),
+        )
+        _require(not payload, f"unknown scenario spec keys: {sorted(payload)}")
+        return spec.validate()
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"invalid scenario JSON: {error}") from None
+        return cls.from_dict(data)
+
+    # -- identity -------------------------------------------------------------
+
+    def scenario_digest(self) -> str:
+        """Deterministic content digest of the spec.
+
+        Computed over the canonical serialization of the dictionary form,
+        so structurally equal specs always hash identically regardless of
+        construction order or process.
+        """
+        return digest_hex("scenario-spec", self.to_dict())
+
+    # -- derivation -----------------------------------------------------------
+
+    def with_overrides(self, **changes: Any) -> "ScenarioSpec":
+        """Copy with the given fields replaced (re-validated)."""
+        return dataclasses.replace(self, **changes).validate()
+
+    def without_faults(self) -> "ScenarioSpec":
+        """The healthy twin: same run, empty fault/disturbance timelines."""
+        return self.with_overrides(faults=(), partitions=(), disturbances=())
+
+    def smoke(self) -> "ScenarioSpec":
+        """A tiny-committee, short-horizon variant for CI smoke runs.
+
+        Committee sizes shrink to 4 (1 tolerable fault), the horizon to at
+        most 15 s, and loads are capped; explicit validator lists are
+        remapped onto distinct members of the shrunk committee (never the
+        observer), and only the first *permanent* crash survives — a
+        4-member committee cannot lose two validators forever and keep a
+        quorum.  Best-effort: the smoke variant preserves the *kind* of
+        adversity, not its magnitude.
+        """
+        duration = min(self.duration, 15.0)
+        scale = duration / self.duration
+
+        def scaled(time: float) -> float:
+            return round(time * scale, 3)
+
+        # Distinct stand-in validators for explicit selections (committee
+        # of 4, observer 0 protected).
+        smoke_ids = (3, 2, 1)
+        next_smoke_id = 0
+        faults = []
+        seen_permanent_crash = False
+        for fault in self.faults:
+            if fault.kind == "crash":
+                if seen_permanent_crash:
+                    continue
+                seen_permanent_crash = True
+            changes: Dict[str, Any] = {
+                "at": scaled(fault.at),
+                "recover_at": None if fault.recover_at is None else scaled(fault.recover_at),
+                "end": None if fault.end is None else scaled(fault.end),
+            }
+            if fault.validators:
+                changes["validators"] = (smoke_ids[next_smoke_id % len(smoke_ids)],)
+                next_smoke_id += 1
+            if fault.count is not None:
+                changes["count"] = 1
+            faults.append(dataclasses.replace(fault, **changes))
+        partitions = tuple(
+            dataclasses.replace(
+                partition,
+                groups=(),
+                isolate_fraction=partition.isolate_fraction or 0.25,
+                start=scaled(partition.start),
+                end=None if partition.end is None else scaled(partition.end),
+            )
+            for partition in self.partitions
+        )
+        disturbances = tuple(
+            dataclasses.replace(
+                disturbance,
+                start=scaled(disturbance.start),
+                end=None if disturbance.end is None else scaled(disturbance.end),
+            )
+            for disturbance in self.disturbances
+        )
+        workload = self.workload
+        if workload.kind == "burst":
+            # Clamp the scaled window into the valid [LOAD_START, duration]
+            # load window so the shrunk spec always re-validates.
+            burst_start = max(LOAD_START, scaled(workload.burst_start))
+            burst_end = min(duration, max(burst_start + 0.5, scaled(workload.burst_end)))
+            workload = dataclasses.replace(
+                workload,
+                tps=min(workload.tps, 200.0),
+                burst_tps=min(workload.burst_tps, 600.0),
+                burst_start=burst_start,
+                burst_end=burst_end,
+            )
+        elif workload.kind == "diurnal":
+            workload = dataclasses.replace(
+                workload,
+                tps=min(workload.tps, 200.0),
+                amplitude=min(workload.amplitude, 150.0),
+                period=scaled(workload.period),
+            )
+        elif workload.kind == "ramp":
+            workload = dataclasses.replace(
+                workload,
+                tps=min(workload.tps, 100.0),
+                end_tps=min(workload.end_tps, 600.0),
+            )
+        else:
+            workload = dataclasses.replace(workload, tps=min(workload.tps, 300.0))
+        return self.with_overrides(
+            committee_sizes=(4,),
+            loads=tuple(min(load, 300.0) for load in self.loads[:1]),
+            duration=duration,
+            warmup=min(self.warmup * scale, duration / 3.0),
+            faults=tuple(faults),
+            partitions=partitions,
+            disturbances=disturbances,
+            workload=workload,
+        )
+
+
+# -- spec parsing helpers ---------------------------------------------------
+
+_MISSING = object()
+
+
+def _parse_scalar(payload, key, types, default=_MISSING, required=False, cast=None):
+    if key not in payload:
+        if required:
+            raise ConfigurationError(f"scenario spec is missing the {key!r} field")
+        return default
+    value = payload.pop(key)
+    if isinstance(value, bool) and bool not in (types if isinstance(types, tuple) else (types,)):
+        raise ConfigurationError(f"field {key!r} has the wrong type (bool)")
+    if not isinstance(value, types):
+        raise ConfigurationError(f"field {key!r} must be of type {types}")
+    return cast(value) if cast is not None else value
+
+
+def _parse_tuple(payload, key, types, default=(), cast=None):
+    if key not in payload:
+        return default
+    value = payload.pop(key)
+    if not isinstance(value, (list, tuple)):
+        raise ConfigurationError(f"field {key!r} must be a list")
+    items = []
+    for item in value:
+        if isinstance(item, bool) or not isinstance(item, types):
+            raise ConfigurationError(f"entries of {key!r} must be of type {types}")
+        items.append(cast(item) if cast is not None else item)
+    return tuple(items)
+
+
+def _parse_nested(payload, key, spec_class):
+    if key not in payload:
+        return spec_class()
+    return _build_nested(payload.pop(key), key, spec_class)
+
+
+def _parse_nested_tuple(payload, key, spec_class):
+    if key not in payload:
+        return ()
+    value = payload.pop(key)
+    if not isinstance(value, (list, tuple)):
+        raise ConfigurationError(f"field {key!r} must be a list")
+    return tuple(_build_nested(item, key, spec_class) for item in value)
+
+
+def _build_nested(value, key, spec_class):
+    if not isinstance(value, Mapping):
+        raise ConfigurationError(f"entries of {key!r} must be JSON objects")
+    fields = {field.name: field for field in dataclasses.fields(spec_class)}
+    unknown = set(value) - set(fields)
+    if unknown:
+        raise ConfigurationError(f"unknown {key!r} keys: {sorted(unknown)}")
+    kwargs: Dict[str, Any] = {}
+    for name, item in value.items():
+        if isinstance(item, list):
+            item = tuple(tuple(entry) if isinstance(entry, list) else entry for entry in item)
+        kwargs[name] = item
+    try:
+        return spec_class(**kwargs).validate()
+    except TypeError as error:
+        raise ConfigurationError(f"invalid {key!r} entry: {error}") from None
+
+
+# -- compilation ------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class CompiledPoint:
+    """One runnable experiment derived from a scenario."""
+
+    scenario: str
+    committee_size: int
+    protocol: str
+    load: float
+    config: ExperimentConfig
+
+
+def _build_committee(spec: ScenarioSpec, size: int) -> Committee:
+    if spec.stake == "equal":
+        stake = equal_stake(size)
+    elif spec.stake == "geometric":
+        stake = geometric_stake(size)
+    else:
+        stake = zipfian_stake(size)
+    return Committee.build(size, stake=stake, seed=spec.seed)
+
+
+def _resolve_tail(committee: Committee, fault: FaultSpec, protect=(0,)) -> Tuple[int, ...]:
+    """Resolve a count/fraction/max_faulty selector to concrete validators.
+
+    Delegates to :func:`repro.faults.base.tail_validators`, the single
+    definition of the observer-protecting tail convention.
+    """
+    if fault.max_faulty:
+        count = committee.max_faulty
+    elif fault.fraction is not None:
+        count = max(1, int(round(fault.fraction * committee.size)))
+    else:
+        count = fault.count or 0
+    return tail_validators(committee, count, protect)
+
+
+def _compile_faults(
+    spec: ScenarioSpec, committee: Committee
+) -> Tuple[int, float, Tuple[FaultPlan, ...]]:
+    """Lower the fault timeline onto one committee.
+
+    Returns ``(builtin_crash_count, builtin_crash_time, extra_plans)``.
+    A single tail-selected permanent crash maps onto the config's builtin
+    ``faults``/``fault_time`` fields — byte-identical to the hand-written
+    pre-scenario configurations — while everything else becomes an
+    explicit plan in ``extra_faults``.
+    """
+    builtin_faults = 0
+    builtin_time = 0.0
+    plans: List[FaultPlan] = []
+    for fault in spec.faults:
+        if fault.kind == "crash" and not fault.validators:
+            # Tail-selected permanent crash: the builtin path.
+            builtin_faults = len(_resolve_tail(committee, fault))
+            builtin_time = fault.at
+            continue
+        if fault.kind in ("crash", "crash-recovery"):
+            validators = fault.validators or _resolve_tail(committee, fault)
+            validators = tuple(v for v in validators if v in committee.validators)
+            _require(bool(validators), f"fault {fault.kind!r} selects no validators")
+            if fault.kind == "crash":
+                plans.append(CrashFault(validators=validators, at_time=fault.at))
+            else:
+                plans.append(
+                    CrashRecoveryFault(
+                        validators=validators,
+                        crash_at=fault.at,
+                        recover_at=fault.recover_at,
+                    )
+                )
+        elif fault.kind == "slow":
+            if fault.fraction is not None and not fault.validators:
+                plans.append(
+                    degrade_fraction(
+                        committee,
+                        fraction=fault.fraction,
+                        extra_delay=fault.extra_delay,
+                        start=fault.at,
+                        end=fault.end,
+                    )
+                )
+            else:
+                validators = fault.validators or _resolve_tail(committee, fault)
+                plans.append(
+                    SlowValidatorFault(
+                        validators=tuple(validators),
+                        extra_delay=fault.extra_delay,
+                        start=fault.at,
+                        end=fault.end,
+                    )
+                )
+        elif fault.kind == "vote-withholding":
+            validators = fault.validators or _resolve_tail(committee, fault)
+            plans.append(VoteWithholdingFault(validators=tuple(validators), at_time=fault.at))
+    for partition in spec.partitions:
+        if partition.isolate_fraction is not None:
+            plans.append(
+                isolate_tail_fraction(
+                    committee,
+                    fraction=partition.isolate_fraction,
+                    start=partition.start,
+                    end=partition.end,
+                )
+            )
+        else:
+            groups = tuple(
+                tuple(v for v in group if v in committee.validators)
+                for group in partition.groups
+            )
+            plans.append(PartitionPlan(groups=groups, start=partition.start, end=partition.end))
+    for disturbance in spec.disturbances:
+        plans.append(
+            NetworkDisturbanceFault(
+                jitter=disturbance.jitter,
+                loss_rate=disturbance.loss_rate,
+                start=disturbance.start,
+                end=disturbance.end,
+            )
+        )
+    return builtin_faults, builtin_time, tuple(plans)
+
+
+def _compile_workload(
+    spec: ScenarioSpec,
+) -> Tuple[Tuple[float, ...], Tuple[Tuple[float, float, float], ...]]:
+    """Derive the load points and the phased profile (if any) of a spec."""
+    workload = spec.workload
+    if workload.kind == "constant":
+        loads = spec.loads or (workload.tps,)
+        return tuple(loads), ()
+    start, end = LOAD_START, spec.duration
+    if workload.kind == "burst":
+        phases = burst_phases(
+            base_tps=workload.tps,
+            burst_tps=workload.burst_tps,
+            burst_start=max(start, workload.burst_start),
+            burst_end=min(end, workload.burst_end),
+            start=start,
+            end=end,
+        )
+    elif workload.kind == "ramp":
+        phases = ramp_phases(
+            start_tps=workload.tps,
+            end_tps=workload.end_tps,
+            steps=workload.steps,
+            start=start,
+            end=end,
+        )
+    else:
+        phases = diurnal_phases(
+            base_tps=workload.tps,
+            amplitude=workload.amplitude,
+            period=workload.period or (end - start),
+            steps=workload.steps,
+            start=start,
+            end=end,
+        )
+    validate_phases(phases)
+    nominal = round(average_tps(phases), 3)
+    return (nominal,), tuple((phase.start, phase.end, phase.tps) for phase in phases)
+
+
+def compile_spec(spec: ScenarioSpec, seed: Optional[int] = None) -> List[CompiledPoint]:
+    """Lower ``spec`` into runnable experiment configurations.
+
+    Points are ordered committee-major, then protocol, then load — the
+    same order :func:`repro.sim.sweep.compare_systems` submits its batch,
+    so a scenario run through the sweep engine visits identical
+    configurations in the identical order.  ``seed`` overrides the spec's
+    seed (used by multi-seed sweeps).
+    """
+    spec = spec.validate()
+    run_seed = spec.seed if seed is None else seed
+    points: List[CompiledPoint] = []
+    for committee_size in spec.committee_sizes:
+        committee = _build_committee(spec, committee_size)
+        builtin_faults, builtin_time, plans = _compile_faults(spec, committee)
+        loads, load_phases = _compile_workload(spec)
+        for protocol in spec.protocols:
+            for load in loads:
+                config = ExperimentConfig(
+                    protocol=protocol,
+                    committee_size=committee_size,
+                    stake=spec.stake,
+                    input_load_tps=load,
+                    load_phases=load_phases,
+                    duration=spec.duration,
+                    warmup=spec.warmup,
+                    faults=builtin_faults,
+                    fault_time=builtin_time,
+                    extra_faults=plans,
+                    commits_per_schedule=spec.commits_per_schedule,
+                    scoring=spec.scoring,
+                    latency_model=spec.latency_model,
+                    gst=spec.gst,
+                    delta=spec.delta,
+                    seed=run_seed,
+                ).validate()
+                points.append(
+                    CompiledPoint(
+                        scenario=spec.name,
+                        committee_size=committee_size,
+                        protocol=protocol,
+                        load=load,
+                        config=config,
+                    )
+                )
+    return points

@@ -35,8 +35,13 @@ class ExperimentConfig:
     committee_size: int = 10
     stake: str = "equal"  # "equal", "geometric", or "zipf"
 
-    # Workload.
+    # Workload.  ``input_load_tps`` drives a constant-rate load; when
+    # ``load_phases`` is non-empty it takes precedence and describes a
+    # piecewise-constant profile as (start, end, tps) windows (see
+    # :mod:`repro.workload.phases`), with ``input_load_tps`` kept as the
+    # nominal rate echoed into reports.
     input_load_tps: float = 1000.0
+    load_phases: Sequence[Tuple[SimTime, SimTime, float]] = ()
     duration: SimTime = 30.0
     warmup: SimTime = 5.0
 
@@ -77,6 +82,23 @@ class ExperimentConfig:
             raise ConfigurationError("the input load must be non-negative")
         if self.duration <= 0:
             raise ConfigurationError("the run duration must be positive")
+        previous_end = 0.0
+        for phase in self.load_phases:
+            try:
+                start, end, tps = phase
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"load phases must be (start, end, tps) triples, got {phase!r}"
+                ) from None
+            if start < previous_end:
+                raise ConfigurationError("load phases must be ordered and non-overlapping")
+            if end <= start:
+                raise ConfigurationError("a load phase must end after it starts")
+            if end > self.duration:
+                raise ConfigurationError("load phases must lie within the run duration")
+            if tps < 0:
+                raise ConfigurationError("load phase rates must be non-negative")
+            previous_end = end
         if not 0 <= self.warmup < self.duration:
             raise ConfigurationError("warmup must lie within the run duration")
         max_faulty = (self.committee_size - 1) // 3

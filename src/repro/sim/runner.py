@@ -40,6 +40,7 @@ from repro.sim.experiment import (
 from repro.sim.presets import execution_capacity_for, node_config_for
 from repro.types import ValidatorId
 from repro.workload.generator import spawn_load
+from repro.workload.phases import LoadPhase, spawn_phased_load
 
 
 class SimulationRunner:
@@ -180,6 +181,19 @@ class SimulationRunner:
             self.simulator.schedule(jitter, node.start)
 
     def _start_load(self) -> None:
+        if self.config.load_phases:
+            # Phased profile (scenario workloads): explicit (start, end,
+            # tps) windows override the constant-rate path.
+            phases = [
+                LoadPhase(start, end, tps) for start, end, tps in self.config.load_phases
+            ]
+            spawn_phased_load(
+                simulator=self.simulator,
+                targets=self._load_targets(),
+                phases=phases,
+                on_submit=self.metrics.on_transaction_submitted,
+            )
+            return
         if self.config.input_load_tps <= 0:
             return
         targets = self._load_targets()

@@ -8,5 +8,24 @@ virtual time and records submission timestamps with the metrics collector.
 
 from repro.workload.transactions import Transaction, counter_increment
 from repro.workload.generator import LoadGenerator, spawn_load
+from repro.workload.phases import (
+    LoadPhase,
+    average_tps,
+    burst_phases,
+    diurnal_phases,
+    ramp_phases,
+    spawn_phased_load,
+)
 
-__all__ = ["Transaction", "counter_increment", "LoadGenerator", "spawn_load"]
+__all__ = [
+    "Transaction",
+    "counter_increment",
+    "LoadGenerator",
+    "spawn_load",
+    "LoadPhase",
+    "average_tps",
+    "burst_phases",
+    "ramp_phases",
+    "diurnal_phases",
+    "spawn_phased_load",
+]

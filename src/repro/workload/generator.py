@@ -12,7 +12,6 @@ system load.
 from __future__ import annotations
 
 import itertools
-from functools import partial
 from typing import Callable, List, Optional, Sequence
 
 from repro.errors import WorkloadError
@@ -81,6 +80,27 @@ class LoadGenerator:
         run pay the log of that bulk.  Submission instants are still
         computed by index rather than by accumulation so that
         floating-point drift never adds or drops a transaction.
+
+        Each transaction costs a single simulator event: the event fires at
+        the *arrival* instant (submit time plus the client-to-validator
+        delay) and carries the precomputed submission timestamp, instead of
+        a submit event that schedules a separate arrival event.  This
+        halves the workload's share of the event queue.  Two observable
+        consequences, both deliberate:
+
+        * **Tie-break renumbering.** Event-queue ties are broken by
+          scheduling sequence number.  With the pair merged, workload
+          events obtain different sequence numbers than in the two-event
+          scheme, so same-instant ties against protocol events may resolve
+          differently than in older revisions.  Runs remain fully
+          deterministic for a given configuration (gated by
+          ``tests/unit/test_workload.py`` and the simulator determinism
+          tests); only cross-revision bit-compatibility was given up.
+        * **End-of-run accounting.** A transaction submitted within the
+          final ``submission_delay`` of the run used to count as submitted
+          even though it could never arrive; now neither half happens.
+          Metrics treat such transactions as never-submitted instead of
+          submitted-but-lost, which is the more honest reading.
         """
         interval = 1.0 / self.rate
         # Stagger clients slightly so submissions do not all land on the
@@ -91,33 +111,37 @@ class LoadGenerator:
         self._count = int(round(self.rate * self.duration))
         self._next_index = 0
         if self._count > 0:
-            self.simulator.schedule_at(self._first_time, self._submit_next)
+            self.simulator.schedule_at(
+                self._first_time + self.submission_delay, self._deliver_next
+            )
 
-    def _submit_next(self) -> None:
-        """Submit one transaction and schedule the next submission.
+    def _deliver_next(self) -> None:
+        """Deliver one transaction and schedule the next delivery.
 
         A bound method rather than per-transaction closures: this runs once
-        per transaction at peak load, where the cost of materializing two
-        function objects per submission is measurable.
+        per transaction at peak load, where the cost of materializing
+        function objects per submission is measurable.  The transaction's
+        ``submitted_at`` is the precomputed submission instant, not the
+        (later) arrival instant at which this event fires.
         """
+        index = self._next_index
         self._next_index += 1
         if self._next_index < self._count:
             self.simulator.schedule_at(
-                self._first_time + self._next_index * self._interval, self._submit_next
+                self._first_time + self._next_index * self._interval + self.submission_delay,
+                self._deliver_next,
             )
         target = next(self._target_cycle)
         transaction = Transaction(
             next(LoadGenerator._id_counter),
             self.client_id,
-            self.simulator.now,
+            self._first_time + index * self._interval,
             target.id,
         )
         self.submitted += 1
         if self.on_submit is not None:
             self.on_submit(transaction)
-        self.simulator.schedule(
-            self.submission_delay, partial(target.submit_transaction, transaction)
-        )
+        target.submit_transaction(transaction)
 
 
 def spawn_load(
@@ -128,17 +152,21 @@ def spawn_load(
     start_time: SimTime = 0.0,
     submission_delay: SimTime = 0.040,
     on_submit: Optional[SubmitCallback] = None,
+    first_client_id: int = 0,
 ) -> List[LoadGenerator]:
     """Create and start enough clients to reach ``total_rate`` tx/s.
 
     Clients are added in units of at most 350 tx/s, exactly like the
     paper's deployment selects the number of load generators.
+    ``first_client_id`` offsets the client ids, so phased workloads (see
+    :mod:`repro.workload.phases`) give every phase's clients distinct
+    submission stagger offsets.
     """
     if total_rate <= 0:
         raise WorkloadError("the total load must be positive")
     generators: List[LoadGenerator] = []
     remaining = total_rate
-    client_index = 0
+    client_index = first_client_id
     while remaining > 1e-9:
         rate = min(MAX_RATE_PER_CLIENT, remaining)
         generator = LoadGenerator(

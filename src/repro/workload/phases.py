@@ -1,0 +1,170 @@
+"""Phased workloads: piecewise-constant load shapes.
+
+The scenario engine (:mod:`repro.scenarios`) describes load over time as
+a sequence of :class:`LoadPhase` segments — each a constant rate over a
+half-open window ``[start, end)`` — and the shape helpers below build the
+common profiles from a handful of parameters:
+
+* :func:`burst_phases` — a base rate with one high-rate spike window;
+* :func:`ramp_phases` — a staircase from a starting to a final rate;
+* :func:`diurnal_phases` — a discretized sinusoid around a base rate,
+  modelling the day/night cycle of real client traffic.
+
+:func:`spawn_phased_load` materializes the segments with the same client
+machinery as constant load (:func:`repro.workload.generator.spawn_load`),
+so the per-client 350 tx/s cap and the single-event submission path apply
+unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.network.simulator import Simulator
+from repro.node.validator import ValidatorNode
+from repro.types import SimTime
+from repro.workload.generator import LoadGenerator, SubmitCallback, spawn_load
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadPhase:
+    """Constant ``tps`` over the virtual-time window ``[start, end)``."""
+
+    start: SimTime
+    end: SimTime
+    tps: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise WorkloadError("a load phase cannot start before time zero")
+        if self.end <= self.start:
+            raise WorkloadError("a load phase must end after it starts")
+        if self.tps < 0:
+            raise WorkloadError("a load phase rate must be non-negative")
+
+    @property
+    def duration(self) -> SimTime:
+        return self.end - self.start
+
+
+def validate_phases(phases: Sequence[LoadPhase]) -> Sequence[LoadPhase]:
+    """Check that ``phases`` are ordered and non-overlapping."""
+    for earlier, later in zip(phases, phases[1:]):
+        if later.start < earlier.end:
+            raise WorkloadError(
+                f"load phases overlap: [{earlier.start}, {earlier.end}) and "
+                f"[{later.start}, {later.end})"
+            )
+    return phases
+
+
+def average_tps(phases: Sequence[LoadPhase]) -> float:
+    """Time-weighted average rate across ``phases`` (used for reporting)."""
+    total_time = sum(phase.duration for phase in phases)
+    if total_time <= 0:
+        return 0.0
+    return sum(phase.tps * phase.duration for phase in phases) / total_time
+
+
+def burst_phases(
+    base_tps: float,
+    burst_tps: float,
+    burst_start: SimTime,
+    burst_end: SimTime,
+    start: SimTime,
+    end: SimTime,
+) -> List[LoadPhase]:
+    """A base rate with one spike window (the load-spike scenario)."""
+    if not start <= burst_start < burst_end <= end:
+        raise WorkloadError("the burst window must lie within the load window")
+    phases: List[LoadPhase] = []
+    if burst_start > start:
+        phases.append(LoadPhase(start, burst_start, base_tps))
+    phases.append(LoadPhase(burst_start, burst_end, burst_tps))
+    if end > burst_end:
+        phases.append(LoadPhase(burst_end, end, base_tps))
+    return phases
+
+
+def ramp_phases(
+    start_tps: float,
+    end_tps: float,
+    steps: int,
+    start: SimTime,
+    end: SimTime,
+) -> List[LoadPhase]:
+    """A staircase of ``steps`` equal-width segments from one rate to another."""
+    if steps < 1:
+        raise WorkloadError("a ramp needs at least one step")
+    if end <= start:
+        raise WorkloadError("a ramp must end after it starts")
+    width = (end - start) / steps
+    phases = []
+    for step in range(steps):
+        fraction = step / (steps - 1) if steps > 1 else 1.0
+        tps = start_tps + (end_tps - start_tps) * fraction
+        phases.append(LoadPhase(start + step * width, start + (step + 1) * width, tps))
+    return phases
+
+
+def diurnal_phases(
+    base_tps: float,
+    amplitude: float,
+    period: SimTime,
+    steps: int,
+    start: SimTime,
+    end: SimTime,
+) -> List[LoadPhase]:
+    """A discretized sinusoid: ``base + amplitude * sin(2*pi*t/period)``.
+
+    The rate of each segment samples the sinusoid at the segment midpoint
+    and is clamped at zero, so ``amplitude > base_tps`` models quiet
+    periods with no traffic at all.
+    """
+    if period <= 0:
+        raise WorkloadError("the diurnal period must be positive")
+    if steps < 1:
+        raise WorkloadError("a diurnal profile needs at least one step")
+    if end <= start:
+        raise WorkloadError("a diurnal profile must end after it starts")
+    width = (end - start) / steps
+    phases = []
+    for step in range(steps):
+        midpoint = start + (step + 0.5) * width
+        tps = base_tps + amplitude * math.sin(2.0 * math.pi * (midpoint - start) / period)
+        phases.append(LoadPhase(start + step * width, start + (step + 1) * width, max(0.0, tps)))
+    return phases
+
+
+def spawn_phased_load(
+    simulator: Simulator,
+    targets: Sequence[ValidatorNode],
+    phases: Sequence[LoadPhase],
+    submission_delay: SimTime = 0.040,
+    on_submit: Optional[SubmitCallback] = None,
+) -> List[LoadGenerator]:
+    """Create and start clients for every phase of a phased workload.
+
+    Zero-rate phases are quiet windows: no clients are spawned for them.
+    """
+    validate_phases(phases)
+    generators: List[LoadGenerator] = []
+    for phase in phases:
+        if phase.tps <= 0:
+            continue
+        generators.extend(
+            spawn_load(
+                simulator=simulator,
+                targets=targets,
+                total_rate=phase.tps,
+                duration=phase.duration,
+                start_time=phase.start,
+                submission_delay=submission_delay,
+                on_submit=on_submit,
+                first_client_id=len(generators),
+            )
+        )
+    return generators

@@ -1,0 +1,116 @@
+"""The rewritten figure/sui examples stay byte-identical to pre-refactor.
+
+Before the scenario engine, ``examples/figure1_faultless.py``,
+``figure2_faults.py``, and ``sui_incident.py`` hand-built their
+:class:`ExperimentConfig` objects.  The rewritten examples compile them
+from registered scenario specs instead.  Runs are deterministic functions
+of their configuration, so the guarantee "reports are byte-identical to
+the pre-refactor outputs" reduces to: the compiled configurations equal
+the legacy hand-built ones, field for field — checked here at the
+examples' full default scale — plus one scaled-down actual run whose
+report JSON must match bit for bit.
+"""
+
+import json
+
+from repro import Committee, ExperimentConfig, run_experiment
+from repro.faults.slow import degrade_fraction
+from repro.scenarios import compile_spec, get_scenario
+
+
+def legacy_figure_configs(fault_mode: bool):
+    """The exact construction the pre-scenario figure examples used."""
+    configs = []
+    for committee_size in (10, 25):
+        faults = (committee_size - 1) // 3 if fault_mode else 0
+        base = ExperimentConfig(
+            committee_size=committee_size,
+            faults=faults,
+            duration=80.0 if fault_mode else 40.0,
+            warmup=40.0 if fault_mode else 10.0,
+            seed=2,
+            commits_per_schedule=10,
+        )
+        for protocol in ("hammerhead", "bullshark"):
+            for load in (1000.0, 2500.0, 4000.0):
+                configs.append(
+                    base.with_overrides(protocol=protocol, input_load_tps=load)
+                )
+    return configs
+
+
+def legacy_sui_configs():
+    """The exact construction the pre-scenario sui example used."""
+    committee = Committee.build(13)
+    configs = []
+    for protocol in ("bullshark", "hammerhead"):
+        for degraded in (False, True):
+            extra_faults = ()
+            if degraded:
+                extra_faults = (
+                    degrade_fraction(committee, fraction=0.10, extra_delay=0.6),
+                )
+            configs.append(
+                ExperimentConfig(
+                    protocol=protocol,
+                    committee_size=13,
+                    input_load_tps=130.0,
+                    duration=90.0,
+                    warmup=40.0,
+                    seed=5,
+                    commits_per_schedule=10,
+                    extra_faults=extra_faults,
+                )
+            )
+    return configs
+
+
+class TestCompiledConfigsMatchLegacy:
+    def test_figure1_configs_are_identical(self):
+        compiled = [point.config for point in compile_spec(get_scenario("faultless"))]
+        assert compiled == legacy_figure_configs(fault_mode=False)
+
+    def test_figure2_configs_are_identical(self):
+        compiled = [point.config for point in compile_spec(get_scenario("figure2-faults"))]
+        assert compiled == legacy_figure_configs(fault_mode=True)
+
+    def test_sui_configs_are_identical(self):
+        spec = get_scenario("sui-incident")
+        degraded = {point.protocol: point.config for point in compile_spec(spec)}
+        healthy = {
+            point.protocol: point.config
+            for point in compile_spec(spec.without_faults())
+        }
+        compiled = [
+            healthy["bullshark"],
+            degraded["bullshark"],
+            healthy["hammerhead"],
+            degraded["hammerhead"],
+        ]
+        assert compiled == legacy_sui_configs()
+
+
+class TestScaledRunIsByteIdentical:
+    def test_sui_incident_report_bytes_match(self):
+        """One scaled-down run through both construction paths."""
+        committee = Committee.build(7)
+        legacy = ExperimentConfig(
+            protocol="hammerhead",
+            committee_size=7,
+            input_load_tps=130.0,
+            duration=15.0,
+            warmup=5.0,
+            seed=5,
+            commits_per_schedule=10,
+            extra_faults=(degrade_fraction(committee, fraction=0.10, extra_delay=0.6),),
+        )
+        spec = get_scenario("sui-incident").with_overrides(
+            committee_sizes=(7,), duration=15.0, warmup=5.0, protocols=("hammerhead",)
+        )
+        (point,) = compile_spec(spec)
+        legacy_result = run_experiment(legacy)
+        scenario_result = run_experiment(point.config)
+        legacy_bytes = json.dumps(legacy_result.report.as_dict(), sort_keys=True)
+        scenario_bytes = json.dumps(scenario_result.report.as_dict(), sort_keys=True)
+        assert legacy_bytes == scenario_bytes
+        assert legacy_result.ordering_digests == scenario_result.ordering_digests

@@ -271,3 +271,142 @@ class TestGarbageCollection:
         dag.garbage_collect(before_round=3)
         history = dag.causal_history(vid(6, 0))
         assert all(vertex.round >= 3 for vertex in history)
+
+
+class TestStragglerCacheInvalidation:
+    """Below-horizon insertions invalidate per subtree, not wholesale."""
+
+    def _grown_dag(self, committee4):
+        dag = DagStore(committee4)
+        for vertex in genesis_vertices(committee4):
+            dag.add(vertex)
+        for round_number in range(1, 7):
+            build_round(dag, committee4, round_number)
+        return dag
+
+    def test_unreachable_straggler_keeps_cache_entries_warm(self, committee4):
+        # Round 1 misses validator 3, so no stored edge ever names (1, 3):
+        # a late delivery of that vertex reconnects nothing.
+        dag = DagStore(committee4)
+        for vertex in genesis_vertices(committee4):
+            dag.add(vertex)
+        build_round(dag, committee4, 1, sources=[0, 1, 2])
+        for round_number in range(2, 7):
+            build_round(dag, committee4, round_number)
+        root = dag.vertex_of(6, 0)
+        for target in (2, 3, 4, 5):
+            dag.reachable_sources(root.id, target)
+        dag.garbage_collect(2)
+        warm_before = {
+            vertex_id: dict(entry) for vertex_id, entry in dag._reach_cache.items()
+        }
+        assert warm_before, "the cache should hold entries after GC"
+        genesis = [vid(0, source) for source in committee4.validators]
+        straggler = make_vertex(1, 3, edges=genesis)
+        assert dag.add(straggler) is True
+        # Nothing reaches the straggler, so every warm entry survives.
+        assert {
+            vertex_id: dict(entry) for vertex_id, entry in dag._reach_cache.items()
+        } == warm_before
+
+    def test_reachable_straggler_invalidates_only_low_targets(self, committee4):
+        dag = self._grown_dag(committee4)
+        root = dag.vertex_of(6, 0)
+        for target in (2, 3, 4, 5):
+            dag.reachable_sources(root.id, target)
+        dag.garbage_collect(3)
+        entry_before = dict(dag._reach_cache[root.id])
+        assert set(entry_before) >= {3, 4, 5}
+        # Re-deliver the pruned (2, 0) vertex: round-3 edges name it, so
+        # every vertex above can reach it.
+        straggler = make_vertex(2, 0, edges=[vid(1, 0), vid(1, 1), vid(1, 2)])
+        assert dag.add(straggler) is True
+        entry_after = dag._reach_cache.get(root.id, {})
+        # Targets above the straggler's round survive; lower ones are gone.
+        assert set(entry_after) >= {3, 4, 5}
+        assert all(target > 2 for target in entry_after)
+
+    def test_straggler_results_match_oracle_after_invalidation(self, committee4):
+        """Differential check: cached path() equals the reference BFS."""
+        cached = self._grown_dag(committee4)
+        cached.garbage_collect(3)
+        # Warm every entry.
+        for vertex in list(cached):
+            for target in range(3, vertex.round):
+                cached.reachable_sources(vertex.id, target)
+        # Deliver a straggler below the horizon (state-sync replay).
+        straggler = make_vertex(2, 0, edges=[vid(1, 0), vid(1, 1), vid(1, 2)])
+        cached.add(straggler)
+        # The oracle replays the same content (same GC horizon, same
+        # straggler) without any caching.
+        oracle = DagStore(committee4, cache_reachability=False)
+        oracle.garbage_collect(3)
+        for vertex in sorted(cached, key=lambda v: (v.round, v.source)):
+            oracle.add(vertex)
+        assert len(oracle) == len(cached)
+        for vertex in list(cached):
+            for target in range(vertex.round):
+                for source in committee4.validators:
+                    target_id = vid(target, source)
+                    assert cached.path(vertex.id, target_id) == oracle.path(
+                        vertex.id, target_id
+                    ), f"path({vertex.id}, {target_id}) diverged from the oracle"
+
+
+class TestCachedCausalHistory:
+    def test_cached_history_matches_walk(self, committee4):
+        cached = DagStore(committee4, cache_reachability=True)
+        walk = DagStore(committee4, cache_reachability=False)
+        for store in (cached, walk):
+            for vertex in genesis_vertices(committee4):
+                store.add(vertex)
+        for round_number in range(1, 8):
+            # Vary participation so the DAG has holes.
+            sources = [0, 1, 2] if round_number % 3 == 0 else None
+            build_round(cached, committee4, round_number, sources=sources)
+            build_round(walk, committee4, round_number, sources=sources)
+        for vertex in list(cached):
+            assert cached.causal_history(vertex.id) == walk.causal_history(vertex.id)
+            assert cached.causal_history(vertex.id, include_root=False) == walk.causal_history(
+                vertex.id, include_root=False
+            )
+
+    def test_exclude_set_still_uses_the_walk(self, committee4):
+        dag = DagStore(committee4, cache_reachability=True)
+        for vertex in genesis_vertices(committee4):
+            dag.add(vertex)
+        for round_number in range(1, 4):
+            build_round(dag, committee4, round_number)
+        root = dag.vertex_of(3, 0)
+        excluded = {vertex.id for vertex in dag.vertices_at(1)}
+        history = dag.causal_history(root.id, exclude=excluded)
+        assert all(vertex.id not in excluded for vertex in history)
+
+    def test_cached_history_includes_below_horizon_stragglers(self, committee4):
+        """Regression: a stored straggler below the GC horizon is history too."""
+        dag = DagStore(committee4)
+        for vertex in genesis_vertices(committee4):
+            dag.add(vertex)
+        for round_number in range(1, 7):
+            build_round(dag, committee4, round_number)
+        dag.garbage_collect(3)
+        straggler = make_vertex(2, 0, edges=[vid(1, 0), vid(1, 1), vid(1, 2)])
+        assert dag.add(straggler) is True
+        root = dag.vertex_of(6, 0)
+        cached_history = dag.causal_history(root.id)
+        # A non-empty exclude set forces the reference walk.
+        walk_history = dag.causal_history(root.id, exclude={vid(99, 0)})
+        assert straggler.id in {vertex.id for vertex in cached_history}
+        assert cached_history == walk_history
+
+    def test_cached_history_ordering_is_round_then_source(self, committee4):
+        dag = DagStore(committee4)
+        for vertex in genesis_vertices(committee4):
+            dag.add(vertex)
+        for round_number in range(1, 5):
+            build_round(dag, committee4, round_number)
+        root = dag.vertex_of(4, 2)
+        history = dag.causal_history(root.id)
+        keys = [(vertex.round, vertex.source) for vertex in history]
+        assert keys == sorted(keys)
+        assert history[-1].id == root.id

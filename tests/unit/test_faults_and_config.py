@@ -177,3 +177,67 @@ class TestExperimentConfig:
         label = ExperimentConfig(committee_size=10, faults=3, input_load_tps=500).label()
         assert "3 faulty" in label
         assert "500" in label
+
+
+class TestPartitionFaultPlans:
+    def test_partition_plan_windows_the_partition(self, committee10):
+        from repro.faults.partition import PartitionPlan
+        from repro.network.latency import UniformLatencyModel
+        from repro.network.simulator import Simulator
+        from repro.network.transport import Network
+
+        simulator = Simulator(seed=1)
+        network = Network(simulator, latency_model=UniformLatencyModel(0.01, jitter=0.0))
+        for validator in committee10.validators:
+            network.register(validator, committee10.region_of(validator), lambda s, m: None)
+        plan = PartitionPlan(groups=((7, 8, 9),), start=1.0, end=2.0)
+        plan.schedule(simulator, network, {})
+        assert not network.partitioned
+        simulator.run(until=1.5)
+        assert network.partitioned
+        simulator.run(until=2.5)
+        assert not network.partitioned
+
+    def test_partition_plan_rejects_overlap_and_bad_window(self):
+        from repro.faults.partition import PartitionPlan
+
+        with pytest.raises(ValueError):
+            PartitionPlan(groups=((1, 2), (2, 3)))
+        with pytest.raises(ValueError):
+            PartitionPlan(groups=((1,),), start=5.0, end=5.0)
+
+    def test_isolate_tail_fraction_protects_observer(self, committee10):
+        from repro.faults.partition import isolate_tail_fraction
+
+        plan = isolate_tail_fraction(committee10, fraction=0.3, start=1.0, end=2.0)
+        (minority,) = plan.groups
+        assert 0 not in minority
+        assert len(minority) == 3
+        assert "partition" in plan.describe()
+
+    def test_disturbance_windows_jitter_and_loss(self, committee10):
+        from repro.faults.partition import NetworkDisturbanceFault
+        from repro.network.latency import UniformLatencyModel
+        from repro.network.simulator import Simulator
+        from repro.network.transport import Network
+
+        simulator = Simulator(seed=1)
+        network = Network(simulator, latency_model=UniformLatencyModel(0.01, jitter=0.0))
+        plan = NetworkDisturbanceFault(jitter=0.2, loss_rate=0.1, start=1.0, end=2.0)
+        plan.schedule(simulator, network, {})
+        simulator.run(until=1.5)
+        assert network._jitter == pytest.approx(0.2)
+        assert network._loss_rate == pytest.approx(0.1)
+        simulator.run(until=2.5)
+        assert network._jitter == 0.0
+        assert network._loss_rate == 0.0
+
+    def test_disturbance_validates_parameters(self):
+        from repro.faults.partition import NetworkDisturbanceFault
+
+        with pytest.raises(ValueError):
+            NetworkDisturbanceFault(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            NetworkDisturbanceFault(jitter=-0.1)
+        with pytest.raises(ValueError):
+            NetworkDisturbanceFault(jitter=0.1, start=3.0, end=3.0)

@@ -220,3 +220,90 @@ class TestTransport:
         _, network, _ = self._build()
         with pytest.raises(NetworkError):
             network.set_processing_delay(0, -0.1)
+
+
+class TestPartitionAndDisturbance:
+    def _build(self, node_count=4, base_delay=0.01):
+        simulator = Simulator(seed=1)
+        network = Network(simulator, latency_model=UniformLatencyModel(base_delay, jitter=0.0))
+        inboxes = {index: [] for index in range(node_count)}
+        for index in range(node_count):
+            network.register(
+                index,
+                Region(f"region-{index}"),
+                lambda sender, message, index=index: inboxes[index].append((sender, message)),
+            )
+        return simulator, network, inboxes
+
+    def test_partition_drops_cross_group_messages(self):
+        simulator, network, inboxes = self._build()
+        network.set_partition([(0, 1), (2, 3)])
+        network.send(0, 1, "same side")
+        network.send(0, 2, "other side")
+        simulator.run()
+        assert inboxes[1] == [(0, "same side")]
+        assert inboxes[2] == []
+        assert network.stats.partition_drops == 1
+
+    def test_unlisted_nodes_form_an_implicit_group(self):
+        simulator, network, inboxes = self._build()
+        network.set_partition([(0,)])
+        network.send(2, 3, "both unlisted")
+        network.send(2, 0, "into the island")
+        simulator.run()
+        assert inboxes[3] == [(2, "both unlisted")]
+        assert inboxes[0] == []
+
+    def test_clear_partition_restores_delivery(self):
+        simulator, network, inboxes = self._build()
+        network.set_partition([(0,), (1,)])
+        network.clear_partition()
+        network.send(0, 1, "healed")
+        simulator.run()
+        assert inboxes[1] == [(0, "healed")]
+
+    def test_partition_rejects_overlapping_groups(self):
+        _, network, _ = self._build()
+        with pytest.raises(NetworkError):
+            network.set_partition([(0, 1), (1, 2)])
+
+    def test_self_delivery_survives_partition(self):
+        simulator, network, inboxes = self._build()
+        network.set_partition([(0,), (1, 2, 3)])
+        network.send(0, 0, "to self")
+        simulator.run()
+        assert inboxes[0] == [(0, "to self")]
+
+    def test_loss_rate_drops_some_messages(self):
+        simulator, network, inboxes = self._build()
+        network.set_loss_rate(0.5)
+        for _ in range(100):
+            network.send(0, 1, "maybe")
+        simulator.run()
+        assert 0 < len(inboxes[1]) < 100
+        assert network.stats.loss_drops == 100 - len(inboxes[1])
+
+    def test_loss_never_drops_self_delivery(self):
+        simulator, network, inboxes = self._build()
+        network.set_loss_rate(0.9)
+        for _ in range(50):
+            network.send(1, 1, "local")
+        simulator.run()
+        assert len(inboxes[1]) == 50
+
+    def test_jitter_stretches_delivery(self):
+        simulator, network, _ = self._build(base_delay=0.01)
+        network.set_jitter(0.5)
+        for _ in range(20):
+            network.send(0, 1, "jittered")
+        simulator.run()
+        # With 0.5s of jitter at least one of 20 deliveries lands well
+        # after the 0.01s base delay.
+        assert simulator.now > 0.05
+
+    def test_invalid_rates_rejected(self):
+        _, network, _ = self._build()
+        with pytest.raises(NetworkError):
+            network.set_loss_rate(1.0)
+        with pytest.raises(NetworkError):
+            network.set_jitter(-0.1)

@@ -152,3 +152,138 @@ class TestSpawnLoad:
     def test_zero_rate_rejected(self, simulator):
         with pytest.raises(WorkloadError):
             spawn_load(simulator, [FakeValidator(0)], total_rate=0.0, duration=1.0)
+
+
+class TestMergedSubmissionEvents:
+    """The submit+arrive pair is one event with a precomputed timestamp."""
+
+    def test_one_event_per_transaction(self, simulator):
+        target = FakeValidator(0)
+        generator = LoadGenerator(
+            client_id=0,
+            simulator=simulator,
+            targets=[target],
+            rate=100.0,
+            duration=1.0,
+            submission_delay=0.040,
+        )
+        generator.start()
+        simulator.run()
+        # 100 transactions, one delivery event each (no separate submits).
+        assert simulator.events_fired == 100
+        assert len(target.received) == 100
+
+    def test_submitted_at_precedes_arrival_by_delay(self, simulator):
+        seen = []
+        target = FakeValidator(0)
+        arrivals = []
+
+        class Recorder:
+            id = 0
+
+            def submit_transaction(self, transaction):
+                arrivals.append((transaction, simulator.now))
+
+        generator = LoadGenerator(
+            client_id=0,
+            simulator=simulator,
+            targets=[Recorder()],
+            rate=50.0,
+            duration=1.0,
+            submission_delay=0.25,
+            on_submit=seen.append,
+        )
+        generator.start()
+        simulator.run()
+        assert len(arrivals) == 50
+        for transaction, arrived_at in arrivals:
+            assert arrived_at == pytest.approx(transaction.submitted_at + 0.25)
+
+    def test_submission_timestamps_follow_the_rate(self, simulator):
+        seen = []
+        generator = LoadGenerator(
+            client_id=0,
+            simulator=simulator,
+            targets=[FakeValidator(0)],
+            rate=10.0,
+            duration=1.0,
+            on_submit=seen.append,
+        )
+        generator.start()
+        simulator.run()
+        gaps = [b.submitted_at - a.submitted_at for a, b in zip(seen, seen[1:])]
+        assert all(gap == pytest.approx(0.1) for gap in gaps)
+
+    def test_runs_are_deterministic_end_to_end(self):
+        """Gate for the tie-break renumbering: same config, same bytes."""
+        from repro.sim.experiment import ExperimentConfig, run_experiment
+
+        config = ExperimentConfig(
+            committee_size=4, input_load_tps=300.0, duration=8.0, warmup=2.0, seed=6
+        )
+        first = run_experiment(config)
+        second = run_experiment(config)
+        assert first.ordering_digests == second.ordering_digests
+        assert first.report.as_dict() == second.report.as_dict()
+
+
+class TestLoadPhases:
+    def test_phase_validation(self):
+        from repro.workload.phases import LoadPhase, validate_phases
+
+        with pytest.raises(WorkloadError):
+            LoadPhase(2.0, 1.0, 100.0)
+        with pytest.raises(WorkloadError):
+            LoadPhase(-1.0, 1.0, 100.0)
+        with pytest.raises(WorkloadError):
+            validate_phases([LoadPhase(0.0, 2.0, 10.0), LoadPhase(1.0, 3.0, 10.0)])
+
+    def test_burst_shape(self):
+        from repro.workload.phases import burst_phases
+
+        phases = burst_phases(100.0, 400.0, burst_start=5.0, burst_end=10.0, start=0.0, end=20.0)
+        assert [(p.start, p.end, p.tps) for p in phases] == [
+            (0.0, 5.0, 100.0),
+            (5.0, 10.0, 400.0),
+            (10.0, 20.0, 100.0),
+        ]
+
+    def test_ramp_shape(self):
+        from repro.workload.phases import ramp_phases
+
+        phases = ramp_phases(100.0, 400.0, steps=4, start=0.0, end=8.0)
+        assert [p.tps for p in phases] == [100.0, 200.0, 300.0, 400.0]
+        assert phases[-1].end == 8.0
+
+    def test_diurnal_shape_clamps_at_zero(self):
+        from repro.workload.phases import diurnal_phases
+
+        phases = diurnal_phases(
+            base_tps=100.0, amplitude=300.0, period=10.0, steps=10, start=0.0, end=10.0
+        )
+        assert all(p.tps >= 0.0 for p in phases)
+        assert any(p.tps == 0.0 for p in phases)
+        assert any(p.tps > 100.0 for p in phases)
+
+    def test_average_tps_is_time_weighted(self):
+        from repro.workload.phases import LoadPhase, average_tps
+
+        phases = [LoadPhase(0.0, 1.0, 100.0), LoadPhase(1.0, 4.0, 500.0)]
+        assert average_tps(phases) == pytest.approx((100.0 + 3 * 500.0) / 4.0)
+
+    def test_spawn_phased_load_skips_quiet_windows(self, simulator):
+        from repro.workload.phases import LoadPhase, spawn_phased_load
+
+        target = FakeValidator(0)
+        generators = spawn_phased_load(
+            simulator,
+            [target],
+            [LoadPhase(0.0, 1.0, 100.0), LoadPhase(1.0, 2.0, 0.0), LoadPhase(2.0, 3.0, 50.0)],
+            submission_delay=0.0,
+        )
+        simulator.run()
+        assert len(generators) == 2
+        assert len(target.received) == 150
+        # No transaction was submitted during the quiet window.
+        quiet = [t for t in target.received if 1.0 < t.submitted_at < 2.0]
+        assert quiet == []
