@@ -1,19 +1,28 @@
 #!/usr/bin/env python3
 """Hot-path microbenchmark: events/sec per figure-1 point, sweep speedup.
 
-Measures the two things this repo's performance work optimizes:
+Measures the three things this repo's performance work optimizes:
 
 * **Single-run speed** — wall-clock and simulator events/sec for each
   figure-1 faultless point (committee of 10, increasing load up to the
   saturation peak).  This exercises the event loop, the broadcast layer,
   the incremental commit scan, and the reachability cache together.
+* **Committee scaling** — a committee-25 and a committee-50 stage at
+  peak load (the large-committee fast path: batched certificate
+  fan-out, aggregate ack verification, vectorized stake).  Each point
+  is the best of ``BEST_OF`` repetitions so the recorded events/sec is
+  robust to scheduler noise; the per-stage ``ordering_digest`` pins the
+  run's output so a perf change that alters behaviour is caught here
+  before the regression gate even runs.
 * **Sweep speed** — wall-clock for a 4-point latency/throughput curve run
   serially versus through the parallel :class:`SweepEngine`.
 
-Results are written to ``BENCH_PR2.json`` at the repository root so that
+Results are written to ``BENCH_PR3.json`` at the repository root so that
 future PRs can diff the perf trajectory (``benchmarks/run_bench.py``
 wraps this together with a scenario smoke run and the tier-2 qualitative
-suite; ``BENCH_PR1.json`` holds the previous PR's trajectory).
+suite; ``BENCH_PR1.json``/``BENCH_PR2.json`` hold earlier trajectories).
+``benchmarks/check_regression.py`` compares a freshly generated document
+against the committed baseline and fails CI on a >10% events/sec drop.
 
 Run with::
 
@@ -40,12 +49,36 @@ from repro.sim.experiment import ExperimentConfig, ExperimentResult, run_experim
 from repro.sim.sweep import SweepEngine, default_parallelism
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR2.json")
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR3.json")
 
 # The figure-1 faultless preset: the paper's smallest committee under
 # increasing load, with the peak (4,000 tx/s) as the last point.
 FIG1_COMMITTEE = 10
 FIG1_LOADS = (1000.0, 2000.0, 3000.0, 4000.0)
+
+# Committee-scaling stages (the large-committee fast path target).  Each
+# stage is one peak-load point; ``duration`` is scaled down at 50
+# validators so the stage stays inside the bench budget.
+COMMITTEE_STAGES = (
+    {"committee": 25, "load": 4000.0, "duration": 20.0, "warmup": 5.0},
+    {"committee": 50, "load": 4000.0, "duration": 10.0, "warmup": 2.5},
+)
+
+# Repetitions per committee-stage point; the best run is recorded (the
+# container's scheduler noise is 10-20%, so the minimum over several
+# repetitions is the stable estimate).
+BEST_OF = 5
+
+# Committee-stage events/sec measured at the PR2 HEAD (commit d93a102)
+# on the reference container — interleaved same-session A/B against the
+# PR3 tree (alternating subprocess runs, best-of per tree) so host load
+# drift cancels out of the ratio.  Recorded here so BENCH_PR3.json
+# carries the before/after comparison the large-committee fast path
+# targets (>= 2x at committee 25; measured 2.18x / 2.51x).
+COMMITTEE_BASELINE_PR2 = {
+    25: {"wall_s": 1.570, "events_per_sec": 101414.0, "interleaved_ab_speedup": 2.18},
+    50: {"wall_s": 3.012, "events_per_sec": 64394.0, "interleaved_ab_speedup": 2.51},
+}
 
 
 def fig1_config(load: float, duration: float, warmup: float) -> ExperimentConfig:
@@ -61,14 +94,32 @@ def fig1_config(load: float, duration: float, warmup: float) -> ExperimentConfig
     )
 
 
-def measure_point(config: ExperimentConfig) -> Dict[str, float]:
-    """Run one experiment and report wall-clock and events/sec."""
-    start = time.perf_counter()
-    result: ExperimentResult = run_experiment(config)
-    wall = time.perf_counter() - start
+def _timed_runs(config: ExperimentConfig, best_of: int):
+    """Run one config ``best_of`` times; returns (walls, last result).
+
+    The simulation is deterministic, so repetitions differ only in
+    wall-clock; the minimum is the noise-robust estimate the regression
+    gate compares.  This is the single timing loop both the figure-1 and
+    the committee stages use, so the methodology cannot diverge.
+    """
+    walls = []
+    result: Optional[ExperimentResult] = None
+    for _ in range(max(1, best_of)):
+        start = time.perf_counter()
+        result = run_experiment(config)
+        walls.append(time.perf_counter() - start)
+    assert result is not None
+    return walls, result
+
+
+def measure_point(config: ExperimentConfig, best_of: int = BEST_OF) -> Dict[str, float]:
+    """Run one experiment (best of ``best_of``) and report events/sec."""
+    walls, result = _timed_runs(config, best_of)
+    wall = min(walls)
     events = result.report.extra.get("events_fired", 0.0)
     return {
         "input_load_tps": config.input_load_tps,
+        "best_of": len(walls),
         "wall_s": round(wall, 4),
         "events": events,
         "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
@@ -76,6 +127,60 @@ def measure_point(config: ExperimentConfig) -> Dict[str, float]:
         "avg_latency_s": round(result.avg_latency, 4),
         "commits": float(result.report.commits),
     }
+
+
+def committee_stage_config(stage: Dict[str, float]) -> ExperimentConfig:
+    return ExperimentConfig(
+        committee_size=int(stage["committee"]),
+        faults=0,
+        input_load_tps=stage["load"],
+        duration=stage["duration"],
+        warmup=stage["warmup"],
+        seed=2,
+        commits_per_schedule=10,
+        latency_model="geo",
+    )
+
+
+def measure_committee_stage(stage: Dict[str, float], best_of: int = BEST_OF) -> Dict[str, object]:
+    """Best-of-N measurement of one committee-scaling point.
+
+    Events and the ordering digest are identical across repetitions (the
+    simulation is a deterministic function of its config); only the
+    wall-clock varies, so the minimum is the least noisy estimate.
+    """
+    config = committee_stage_config(stage)
+    walls, result = _timed_runs(config, best_of)
+    wall = min(walls)
+    events = result.report.extra.get("events_fired", 0.0)
+    ordered_count, ordering_digest = result.ordering_digests[config.observer]
+    events_per_sec = round(events / wall, 1) if wall > 0 else 0.0
+    point: Dict[str, object] = {
+        "committee_size": config.committee_size,
+        "input_load_tps": config.input_load_tps,
+        "duration_s": config.duration,
+        "best_of": len(walls),
+        "wall_s": round(wall, 4),
+        "wall_all_s": [round(w, 4) for w in walls],
+        "events": events,
+        "events_per_sec": events_per_sec,
+        "throughput_tps": round(result.throughput, 2),
+        "avg_latency_s": round(result.avg_latency, 4),
+        "ordering_digest": ordering_digest,
+        "ordered_count": ordered_count,
+    }
+    baseline = COMMITTEE_BASELINE_PR2.get(config.committee_size)
+    if baseline is not None:
+        point["baseline_pr2_events_per_sec"] = baseline["events_per_sec"]
+        point["speedup_vs_pr2"] = (
+            round(events_per_sec / baseline["events_per_sec"], 3)
+            if baseline["events_per_sec"]
+            else 0.0
+        )
+        # The drift-controlled number: PR2 and PR3 trees alternated in
+        # one session, best-of per tree (see COMMITTEE_BASELINE_PR2).
+        point["interleaved_ab_speedup_vs_pr2"] = baseline["interleaved_ab_speedup"]
+    return point
 
 
 def measure_sweep(duration: float, warmup: float, parallelism: int) -> Dict[str, float]:
@@ -105,11 +210,17 @@ def run_benchmarks(
     warmup: float = 5.0,
     parallelism: Optional[int] = None,
     include_sweep: bool = True,
+    loads: Optional[tuple] = None,
 ) -> Dict[str, object]:
-    """Run the microbenchmark suite and return the results document."""
+    """Run the microbenchmark suite and return the results document.
+
+    ``loads`` restricts the figure-1 load points (the CI smoke run keeps
+    only the saturation peak); the committee-scaling stages always run —
+    they are the fast-path target the regression gate protects.
+    """
     workers = default_parallelism() if parallelism is None else max(1, parallelism)
     points: List[Dict[str, float]] = []
-    for load in FIG1_LOADS:
+    for load in (loads if loads is not None else FIG1_LOADS):
         point = measure_point(fig1_config(load, duration, warmup))
         points.append(point)
         print(
@@ -117,12 +228,27 @@ def run_benchmarks(
             f"{point['events_per_sec']:11.0f} events/s, "
             f"{point['throughput_tps']:8.1f} tx/s committed"
         )
+    committee_points: List[Dict[str, object]] = []
+    for stage in COMMITTEE_STAGES:
+        point = measure_committee_stage(stage)
+        committee_points.append(point)
+        print(
+            f"  committee {point['committee_size']:3d} @ {point['input_load_tps']:5.0f} tx/s: "
+            f"{point['wall_s']:7.3f}s wall (best of {point['best_of']}), "
+            f"{point['events_per_sec']:11.0f} events/s"
+        )
     document: Dict[str, object] = {
         "benchmark": "bench_hotpaths",
         "preset": f"figure-1 faultless, committee {FIG1_COMMITTEE}",
+        # Every point is a best-of-N wall-clock minimum from PR3 onward.
+        # NOTE: the PR2 fig-1 trajectory (BENCH_PR2.json) was single-run,
+        # so cross-PR fig-1 comparisons mix methodologies; the committee
+        # stages carry a same-methodology PR2 baseline in-band.
+        "methodology": f"best-of-{BEST_OF} wall-clock minimum per point",
         "duration_s": duration,
         "warmup_s": warmup,
         "points": points,
+        "committee_scaling": committee_points,
         "environment": {
             "cpu_count": os.cpu_count() or 1,
             "python": platform.python_version(),

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff a fresh bench JSON against the baseline.
+
+Compares the ``events_per_sec`` of every stage a freshly generated bench
+document shares with the committed baseline (``BENCH_PR3.json`` at the
+repository root, i.e. the trajectory recorded when the current
+optimization PR landed) and exits non-zero when any stage regressed by
+more than the threshold (default 10%).
+
+Stages are matched by identity, never by position:
+
+* figure-1 points match on ``input_load_tps`` (and the document must use
+  the same committee/duration preset);
+* committee-scaling points match on
+  ``(committee_size, input_load_tps)``.
+
+Stages present in only one document are reported and skipped — a smoke
+run (``run_bench.py --smoke``) produces a subset of the baseline's
+stages, and that must not fail the gate.  When a committee-scaling stage
+carries an ``ordering_digest`` in both documents, a digest mismatch is
+an error as well: a perf win that changes simulation outputs is not a
+perf win.
+
+Usage::
+
+    python benchmarks/run_bench.py --smoke --output /tmp/bench.json
+    python benchmarks/check_regression.py /tmp/bench.json              # vs BENCH_PR3.json
+    python benchmarks/check_regression.py /tmp/bench.json --baseline BENCH_PR3.json
+    python benchmarks/check_regression.py fresh.json --threshold 0.25  # override knob
+
+The threshold can also be overridden with the
+``REPRO_BENCH_REGRESSION_THRESHOLD`` environment variable (CI sets it to
+loosen the gate on noisy shared runners without editing the workflow).
+Promotion: when a PR intentionally shifts the trajectory, regenerate the
+document with ``python benchmarks/run_bench.py`` and commit it as the
+new ``BENCH_PR<n>.json`` baseline (see ROADMAP, "CI & benchmarking").
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Iterable, List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_PR3.json")
+DEFAULT_THRESHOLD = 0.10
+
+
+class Mismatch:
+    """One comparison outcome (regression, digest break, or skip)."""
+
+    def __init__(self, stage: str, message: str, fatal: bool) -> None:
+        self.stage = stage
+        self.message = message
+        self.fatal = fatal
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Mismatch({self.stage!r}, fatal={self.fatal})"
+
+
+def _load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _index_points(points: Iterable[dict], keys: Tuple[str, ...]) -> Dict[tuple, dict]:
+    indexed: Dict[tuple, dict] = {}
+    for point in points or ():
+        indexed[tuple(point.get(key) for key in keys)] = point
+    return indexed
+
+
+def compare_stage(
+    stage: str,
+    fresh: Optional[dict],
+    baseline: Optional[dict],
+    threshold: float,
+) -> List[Mismatch]:
+    """Compare one matched stage; returns the findings (possibly empty)."""
+    findings: List[Mismatch] = []
+    if baseline is None:
+        findings.append(Mismatch(stage, "not in baseline, skipped", fatal=False))
+        return findings
+    if fresh is None:
+        findings.append(Mismatch(stage, "not in fresh document, skipped", fatal=False))
+        return findings
+    base_eps = float(baseline.get("events_per_sec") or 0.0)
+    fresh_eps = float(fresh.get("events_per_sec") or 0.0)
+    if base_eps <= 0.0:
+        findings.append(Mismatch(stage, "baseline has no events/sec, skipped", fatal=False))
+    else:
+        ratio = fresh_eps / base_eps
+        if ratio < 1.0 - threshold:
+            findings.append(
+                Mismatch(
+                    stage,
+                    f"events/sec regressed {100 * (1 - ratio):.1f}%: "
+                    f"{fresh_eps:,.0f} vs baseline {base_eps:,.0f} "
+                    f"(threshold {100 * threshold:.0f}%)",
+                    fatal=True,
+                )
+            )
+    base_digest = baseline.get("ordering_digest")
+    fresh_digest = fresh.get("ordering_digest")
+    if base_digest and fresh_digest and base_digest != fresh_digest:
+        findings.append(
+            Mismatch(
+                stage,
+                f"ordering digest changed: {fresh_digest[:16]}... vs "
+                f"baseline {base_digest[:16]}...",
+                fatal=True,
+            )
+        )
+    return findings
+
+
+def compare_documents(fresh: dict, baseline: dict, threshold: float) -> List[Mismatch]:
+    """Compare every shared stage of two bench documents."""
+    findings: List[Mismatch] = []
+    fresh_fig1 = _index_points(fresh.get("points", ()), ("input_load_tps",))
+    base_fig1 = _index_points(baseline.get("points", ()), ("input_load_tps",))
+    for key in sorted(set(fresh_fig1) | set(base_fig1), key=str):
+        stage = f"fig1@{key[0]:.0f}tps"
+        findings.extend(
+            compare_stage(stage, fresh_fig1.get(key), base_fig1.get(key), threshold)
+        )
+    # Duration participates in the identity: a stage whose virtual
+    # duration changed is a different measurement (and a different
+    # ordering digest), not a regression.
+    committee_keys = ("committee_size", "input_load_tps", "duration_s")
+    fresh_committee = _index_points(fresh.get("committee_scaling", ()), committee_keys)
+    base_committee = _index_points(baseline.get("committee_scaling", ()), committee_keys)
+    for key in sorted(set(fresh_committee) | set(base_committee), key=str):
+        stage = f"committee{key[0]}@{key[1]:.0f}tps"
+        findings.extend(
+            compare_stage(stage, fresh_committee.get(key), base_committee.get(key), threshold)
+        )
+    if not (fresh_fig1 or fresh_committee):
+        findings.append(
+            Mismatch("document", "fresh document has no comparable stages", fatal=True)
+        )
+    return findings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("fresh", help="freshly generated bench JSON to check")
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="committed baseline document (default: BENCH_PR3.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(
+            os.environ.get("REPRO_BENCH_REGRESSION_THRESHOLD", DEFAULT_THRESHOLD)
+        ),
+        help="fractional events/sec regression tolerated per stage (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.threshold < 1.0:
+        print("error: threshold must lie in [0, 1)", file=sys.stderr)
+        return 2
+    try:
+        fresh = _load(args.fresh)
+        baseline = _load(args.baseline)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    findings = compare_documents(fresh, baseline, args.threshold)
+    fatal = [finding for finding in findings if finding.fatal]
+    for finding in findings:
+        marker = "FAIL" if finding.fatal else "info"
+        print(f"[{marker}] {finding.stage}: {finding.message}")
+    if fatal:
+        print(
+            f"{len(fatal)} stage(s) regressed beyond "
+            f"{100 * args.threshold:.0f}% (baseline {args.baseline})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"bench regression gate passed "
+        f"(threshold {100 * args.threshold:.0f}%, baseline {os.path.basename(args.baseline)})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
-"""Run the benchmark suite under a time budget and emit ``BENCH_PR2.json``.
+"""Run the benchmark suite under a time budget and emit ``BENCH_PR3.json``.
 
 Three stages, all optional and all budgeted:
 
 1. The hot-path microbenchmark (``benchmarks/bench_hotpaths.py``):
-   events/sec and wall-clock per figure-1 point plus the parallel-sweep
-   speedup.
+   events/sec and wall-clock per figure-1 point, the committee-25 and
+   committee-50 scaling stages (best-of-5, with the PR2 baseline and
+   speedup recorded per stage), plus the parallel-sweep speedup.
 2. A **scenario smoke run**: one adversarial scenario from the registry
    (``mixed-adversary``) at smoke scale through the full scenario
    pipeline (spec → compile → sweep → artifact), so the perf trajectory
@@ -14,20 +15,22 @@ Three stages, all optional and all budgeted:
    pytest), run at ``REPRO_BENCH_SCALE=quick`` so it fits the budget;
    only the pass/fail outcome and wall-clock are recorded.
 
-The merged document is written to ``BENCH_PR2.json`` at the repository
-root so future PRs can diff the performance trajectory.
+The merged document is written to ``BENCH_PR3.json`` at the repository
+root so future PRs can diff the performance trajectory;
+``benchmarks/check_regression.py`` gates CI against it (>10% events/sec
+regression at any stage fails).
 
 Run with::
 
     python benchmarks/run_bench.py                  # all stages
     python benchmarks/run_bench.py --skip-suite     # no tier-2 pytest
+    python benchmarks/run_bench.py --smoke          # CI: fig-1 peak + committee-25/50 stages
     python benchmarks/run_bench.py --budget 120     # tighter budget (s)
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import subprocess
 import sys
@@ -117,6 +120,14 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument(
         "--skip-scenario", action="store_true", help="skip the scenario smoke stage"
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "CI mode: figure-1 peak point + committee-scaling stages + "
+            "scenario smoke only (no sweep comparison, no tier-2 suite)"
+        ),
+    )
     parser.add_argument("--output", default=DEFAULT_OUTPUT)
     return parser.parse_args()
 
@@ -124,9 +135,17 @@ def parse_args() -> argparse.Namespace:
 def main() -> int:
     args = parse_args()
     start = time.perf_counter()
-    print(f"run_bench: budget {args.budget:.0f}s")
-    document = run_benchmarks(duration=args.duration, parallelism=args.parallelism)
+    if args.smoke:
+        args.skip_suite = True
+    print(f"run_bench: budget {args.budget:.0f}s{' (smoke)' if args.smoke else ''}")
+    document = run_benchmarks(
+        duration=args.duration,
+        parallelism=args.parallelism,
+        include_sweep=not args.smoke,
+        loads=(4000.0,) if args.smoke else None,
+    )
     document["budget_s"] = args.budget
+    document["smoke"] = bool(args.smoke)
     if args.skip_scenario:
         document["scenario_smoke"] = {"outcome": "skipped", "reason": "--skip-scenario"}
     elif args.budget - (time.perf_counter() - start) < 10.0:

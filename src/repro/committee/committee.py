@@ -13,7 +13,8 @@ import dataclasses
 import random
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.committee.stake import StakeDistribution, equal_stake
+from repro.committee.stake import StakeDistribution, StakeVector, equal_stake
+from repro.crypto.hashing import evict_oldest_half
 from repro.crypto.keys import KeyPair, PublicKey, keypairs_for_committee
 from repro.errors import CommitteeError
 from repro.types import Region, Stake, ValidatorId, quorum_threshold, validity_threshold
@@ -69,6 +70,13 @@ class Committee:
         self._stakes: Tuple[Stake, ...] = tuple(member.stake for member in members)
         self._quorum_threshold: Stake = quorum_threshold(self._total_stake)
         self._validity_threshold: Stake = validity_threshold(self._total_stake)
+        # Vectorized stake arithmetic shared by every node of a simulation
+        # (see :class:`~repro.committee.stake.StakeVector`).
+        self._stake_vector = StakeVector(self._stakes)
+        # Edge-quorum verdicts memoized by vertex digest: one proposed
+        # vertex object is validated by every recipient's DAG store, and
+        # the digest binds the edge set, so the verdict is shared.
+        self._edge_quorum_cache: Dict[bytes, bool] = {}
 
     # -- construction ------------------------------------------------------
 
@@ -169,6 +177,11 @@ class Committee:
         """The maximum number of faulty validators tolerated, ``f = (n-1)//3``."""
         return (self.size - 1) // 3
 
+    @property
+    def stake_vector(self) -> StakeVector:
+        """Precomputed stake arithmetic for the quorum/commit hot paths."""
+        return self._stake_vector
+
     def stake(self, validators: Iterable[ValidatorId]) -> Stake:
         """Total stake held by ``validators`` (duplicates counted once)."""
         stakes = self._stakes
@@ -187,6 +200,21 @@ class Committee:
 
     def has_validity(self, validators: Iterable[ValidatorId]) -> bool:
         return self.stake(validators) >= self.validity_threshold
+
+    def edge_quorum_verdict(self, digest: bytes, sources: Iterable[ValidatorId]) -> bool:
+        """Memoized 2f+1 check for a vertex's parent edge set.
+
+        Keyed by the vertex content digest (which binds the edge set), so
+        the ``n`` DAG stores validating one broadcast vertex share a
+        single verification.
+        """
+        cache = self._edge_quorum_cache
+        verdict = cache.get(digest)
+        if verdict is None:
+            evict_oldest_half(cache, 65536)
+            verdict = self._stake_vector.stake_of_unique(sources) >= self._quorum_threshold
+            cache[digest] = verdict
+        return verdict
 
     # -- stake-ordered helpers ----------------------------------------------
 

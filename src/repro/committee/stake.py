@@ -10,10 +10,11 @@ the paper's evaluation, where every AWS validator is identical), geometric
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence
+from typing import Dict, Iterable, List, Sequence, Tuple
 
+from repro.crypto.hashing import evict_oldest_half
 from repro.errors import CommitteeError
-from repro.types import Stake
+from repro.types import Stake, quorum_threshold, validity_threshold
 
 
 @dataclasses.dataclass(frozen=True)
@@ -41,6 +42,103 @@ class StakeDistribution:
 
     def as_list(self) -> List[Stake]:
         return list(self.stakes)
+
+
+class StakeVector:
+    """Precomputed stake lookup used by the quorum/commit hot paths.
+
+    The consensus engine and the certified-broadcast layer sum stakes of
+    validator subsets on every acknowledgement, certificate, and commit
+    probe.  At committee sizes of 25+ those summations dominate profiles
+    when they rebuild a set and index :class:`Committee` per element.  The
+    vector keeps the per-validator stakes in a flat tuple, precomputes the
+    thresholds and cumulative totals, and memoizes quorum verdicts for
+    signer tuples (one certificate object fans out to every validator, so
+    the same tuple is verified ``n`` times per round).
+    """
+
+    __slots__ = (
+        "stakes",
+        "size",
+        "total",
+        "quorum",
+        "validity",
+        "cumulative",
+        "uniform_stake",
+        "_signer_quorum_cache",
+    )
+
+    # Signer tuples seen per run are bounded by committee size x live
+    # rounds; the cap only matters for very long processes running many
+    # experiments back to back.
+    _SIGNER_CACHE_LIMIT = 65536
+
+    def __init__(self, stakes: Sequence[Stake]) -> None:
+        if not stakes:
+            raise CommitteeError("a stake vector needs at least one validator")
+        self.stakes: Tuple[Stake, ...] = tuple(stakes)
+        self.size = len(self.stakes)
+        self.total: Stake = sum(self.stakes)
+        self.quorum: Stake = quorum_threshold(self.total)
+        self.validity: Stake = validity_threshold(self.total)
+        # cumulative[i] = stake of validators 0..i-1; the tail masks used
+        # by fault planners ("crash the last f") and the bench harness
+        # become O(1) range lookups.
+        running = 0
+        cumulative: List[Stake] = [0]
+        for stake in self.stakes:
+            running += stake
+            cumulative.append(running)
+        self.cumulative: Tuple[Stake, ...] = tuple(cumulative)
+        first = self.stakes[0]
+        self.uniform_stake: Stake = first if all(s == first for s in self.stakes) else 0
+        self._signer_quorum_cache: Dict[Tuple[int, ...], bool] = {}
+
+    def stake_of_unique(self, validators: Iterable[int]) -> Stake:
+        """Total stake of ``validators``, which must be duplicate-free.
+
+        The callers on the hot path (edge sets, ack sets, signer tuples)
+        are duplicate-free by construction, so the set-rebuild of
+        :meth:`Committee.stake` is skipped.  Raises on unknown ids.
+        """
+        stakes = self.stakes
+        total = 0
+        try:
+            for validator in validators:
+                if validator < 0:
+                    raise IndexError(validator)
+                total += stakes[validator]
+        except (IndexError, TypeError):
+            raise CommitteeError(f"unknown validator in {validators!r}") from None
+        return total
+
+    def range_stake(self, start: int, stop: int) -> Stake:
+        """Stake of the contiguous id range ``[start, stop)``."""
+        if not 0 <= start <= stop <= self.size:
+            raise CommitteeError(f"invalid validator range [{start}, {stop})")
+        return self.cumulative[stop] - self.cumulative[start]
+
+    def signer_tuple_has_quorum(self, signers: Tuple[int, ...]) -> bool:
+        """Memoized 2f+1 check for a certificate's signer tuple.
+
+        Signer tuples are sorted and duplicate-free (the broadcast layer
+        builds them from a voter set); equal tuples therefore have equal
+        stake, and the verdict can be reused across the ``n`` recipients
+        of one certificate fan-out.
+        """
+        cache = self._signer_quorum_cache
+        verdict = cache.get(signers)
+        if verdict is None:
+            evict_oldest_half(cache, self._SIGNER_CACHE_LIMIT)
+            if all(a < b for a, b in zip(signers, signers[1:])):
+                verdict = self.stake_of_unique(signers) >= self.quorum
+            else:
+                # Not sorted-unique (a malformed or adversarial tuple):
+                # fall back to the dedupping sum so duplicate signers can
+                # never inflate the stake.
+                verdict = self.stake_of_unique(frozenset(signers)) >= self.quorum
+            cache[signers] = verdict
+        return verdict
 
 
 def equal_stake(size: int, per_validator: Stake = 1) -> StakeDistribution:

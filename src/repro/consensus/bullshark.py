@@ -38,6 +38,7 @@ from typing import Callable, List, Optional, Set
 from repro.committee import Committee
 from repro.consensus.committed import CommittedSubDag, OrderedVertex
 from repro.core.manager import ScheduleManager
+from repro.crypto.hashing import evict_oldest_half
 from repro.dag.store import DagStore
 from repro.dag.vertex import Vertex
 from repro.errors import ConsensusError
@@ -46,6 +47,13 @@ from repro.types import Round, SimTime, ValidatorId, VertexId, is_anchor_round
 # Callbacks the embedding node can register.
 OrderedCallback = Callable[[OrderedVertex], None]
 CommitCallback = Callable[[CommittedSubDag], None]
+
+# Process-wide memo of the ordering-digest token per (round, source):
+# every one of the n validators folds the same token into its rolling
+# digest when it orders the same vertex, so the f-string formatting is
+# shared.  Bounded and flushed wholesale; entries are pure functions of
+# the key.
+_ORDERING_TOKENS: dict = {}
 
 
 class BullsharkConsensus:
@@ -62,6 +70,7 @@ class BullsharkConsensus:
     ) -> None:
         self.owner = owner
         self.committee = committee
+        self._stakes = committee.stake_vector.stakes
         self.dag = dag
         self.schedule_manager = schedule_manager
         self.record_sequence = record_sequence
@@ -148,13 +157,18 @@ class BullsharkConsensus:
         return self.dag.vertex_of(round_number, leader)
 
     def _direct_vote_stake(self, anchor: Vertex) -> int:
-        """Stake of voting-round vertices that link directly to ``anchor``."""
-        voters = [
-            vertex.source
-            for vertex in self.dag.vertices_at(anchor.round + 1)
-            if anchor.id in vertex.edges
-        ]
-        return self.committee.stake(voters)
+        """Stake of voting-round vertices that link directly to ``anchor``.
+
+        Sums from the precomputed stake array over the store's round view
+        (one source per vertex, so no dedup pass is needed).
+        """
+        anchor_id = anchor.id
+        stakes = self._stakes
+        total = 0
+        for vertex in self.dag.round_map(anchor.round + 1).values():
+            if anchor_id in vertex.edges:
+                total += stakes[vertex.source]
+        return total
 
     def _find_directly_committable_anchor(self) -> Optional[Vertex]:
         """The highest uncommitted anchor with an ``f+1`` stake of votes."""
@@ -201,11 +215,21 @@ class BullsharkConsensus:
         ``_committable_rounds`` until ordered or invalidated.
         """
         last_ordered = self.last_ordered_anchor_round
-        self._dirty_anchor_rounds |= self.dag.drain_dirty_anchor_rounds()
+        drained = self.dag.drain_dirty_anchor_rounds()
+        if drained:
+            self._dirty_anchor_rounds |= drained
         if self._dirty_anchor_rounds:
             threshold = self.committee.validity_threshold
+            dag = self.dag
             for round_number in self._dirty_anchor_rounds:
                 if round_number <= last_ordered:
+                    continue
+                if dag.stake_at(round_number + 1) < threshold:
+                    # Not enough voting-round stake present yet for any
+                    # anchor of this round to reach f+1 direct votes: skip
+                    # the leader lookup and edge scan.  The next insertion
+                    # at the round (or its voting round) re-dirties it,
+                    # exactly like a failed evaluation used to be retried.
                     continue
                 anchor = self._get_anchor(round_number)
                 if anchor is not None and self._direct_vote_stake(anchor) >= threshold:
@@ -337,21 +361,31 @@ class BullsharkConsensus:
         return subdag
 
     def _emit_ordered(self, vertex: Vertex, anchor_round: Round, now: SimTime) -> None:
-        record = OrderedVertex(
-            vertex=vertex,
-            ordered_at=now,
-            anchor_round=anchor_round,
-            position=self.ordered_count,
-        )
-        self.ordered_count += 1
-        self._ordering_digest.update(
-            f"{vertex.round}:{vertex.source};".encode("ascii")
-        )
-        if self.record_sequence:
-            self.ordered_sequence.append(record)
-        self.schedule_manager.on_vertex_ordered(vertex)
-        for callback in self._ordered_callbacks:
-            callback(record)
+        position = self.ordered_count
+        self.ordered_count = position + 1
+        key = vertex.id
+        token = _ORDERING_TOKENS.get(key)
+        if token is None:
+            evict_oldest_half(_ORDERING_TOKENS, 1 << 16)
+            token = _ORDERING_TOKENS[key] = f"{vertex.round}:{vertex.source};".encode("ascii")
+        self._ordering_digest.update(token)
+        callbacks = self._ordered_callbacks
+        if self.record_sequence or callbacks:
+            record = OrderedVertex(
+                vertex=vertex,
+                ordered_at=now,
+                anchor_round=anchor_round,
+                position=position,
+            )
+            if self.record_sequence:
+                self.ordered_sequence.append(record)
+            self.schedule_manager.on_vertex_ordered(vertex)
+            for callback in callbacks:
+                callback(record)
+        else:
+            # No observer and no recorded sequence: skip materializing the
+            # OrderedVertex (n-1 of n validators in a benchmark run).
+            self.schedule_manager.on_vertex_ordered(vertex)
 
     # -- state sync -------------------------------------------------------------------------
 

@@ -61,6 +61,15 @@ class ScheduleManager:
         # ``history`` (append on schedule change, wholesale replacement on
         # state sync).
         self._history_keys: List[Round] = [initial.initial_round]
+        # Per-round leader memo.  Leaders are pure functions of the
+        # schedule history; the tag/length pair detects appends (schedule
+        # changes) and wholesale replacement (state sync), matching the
+        # staleness checks of ``_history_keys``.  ``leader_for_round`` is
+        # called on every commit probe and anchor-timer decision, which
+        # made the bisect + modular lookup measurable at committee 25+.
+        self._leader_cache: Dict[Round, ValidatorId] = {}
+        self._leader_cache_tag: LeaderSchedule = initial
+        self._leader_cache_len: int = 1
 
     # -- leader lookup ---------------------------------------------------------
 
@@ -91,8 +100,17 @@ class ScheduleManager:
 
     def leader_for_round(self, round_number: Round) -> ValidatorId:
         """``getLeader(round, activeSchedule)`` from Algorithm 1."""
-        schedule = self.schedule_for_round(round_number)
-        return schedule.leader_for_round(max(round_number, schedule.initial_round))
+        history = self.history
+        if self._leader_cache_tag is not history[-1] or self._leader_cache_len != len(history):
+            self._leader_cache.clear()
+            self._leader_cache_tag = history[-1]
+            self._leader_cache_len = len(history)
+        leader = self._leader_cache.get(round_number)
+        if leader is None:
+            schedule = self.schedule_for_round(round_number)
+            leader = schedule.leader_for_round(max(round_number, schedule.initial_round))
+            self._leader_cache[round_number] = leader
+        return leader
 
     # -- consensus feedback -------------------------------------------------------
 

@@ -64,6 +64,85 @@ def digest_of(*values: Any) -> Digest:
     return hasher.digest()
 
 
+def vertex_digest(
+    round_number: int,
+    source: int,
+    edge_pairs: Any,
+    block_length: int,
+) -> Digest:
+    """Digest of a vertex's canonical fields, encoded without recursion.
+
+    Produces exactly ``digest_of(round_number, source, tuple(edge_pairs),
+    block_length)`` — the generic serializer's output for this shape is
+    pinned by a unit test — but builds the preimage with direct byte
+    formatting.  One digest is computed per proposed vertex, and the
+    recursive generic path dominated proposal construction at large
+    committees.  ``edge_pairs`` must be the sorted tuple of
+    ``(round, source)`` integer pairs.
+    """
+    edges_encoded = b",".join(b"L(I%d,I%d)" % pair for pair in edge_pairs)
+    preimage = b"I%dI%dL(%b)I%d" % (round_number, source, edges_encoded, block_length)
+    return hashlib.sha256(preimage).digest()
+
+
+def evict_oldest_half(entries: dict, limit: int) -> None:
+    """Shared eviction policy for the hot-path bounded memos.
+
+    Drops the oldest half (by insertion order, which Python dicts
+    preserve) once ``limit`` is reached, so a memo never takes a
+    full-rewarm hit mid-run the way a wholesale ``clear()`` would.
+    Callers keep plain dicts — lookups stay a raw ``dict.get`` — and
+    only the rare eviction path shares code.
+    """
+    if len(entries) >= limit:
+        for stale in list(entries)[: limit // 2]:
+            del entries[stale]
+
+
+class DigestMemo:
+    """A bounded process-wide memo for recomputed protocol digests.
+
+    The broadcast layer re-derives the same domain-separated digest for
+    one ``(origin, round, payload)`` triple at every one of the ``n``
+    recipients of a certificate fan-out (and again for every certificate
+    in a batch).  The canonical encoding and the SHA-256 pass are pure
+    functions of the key, so the memo is shared across validator
+    instances — and across experiments, because the key embeds the
+    payload's content fingerprint.
+
+    Eviction wipes the oldest half by insertion order (Python dicts
+    preserve it), which keeps the common case a single dict lookup
+    instead of the sorted-scan eviction the per-node caches used before.
+    """
+
+    __slots__ = ("_entries", "limit")
+
+    def __init__(self, limit: int = 131072) -> None:
+        self._entries: dict = {}
+        self.limit = limit
+
+    def get(self, key: Any) -> Any:
+        return self._entries.get(key)
+
+    def put(self, key: Any, value: Any) -> Any:
+        entries = self._entries
+        evict_oldest_half(entries, self.limit)
+        entries[key] = value
+        return value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+# Memo for the certified-broadcast digests, keyed by
+# (origin, round, payload fingerprint); see
+# :meth:`repro.rbc.certified.CertifiedBroadcast._broadcast_digest`.
+BROADCAST_DIGEST_MEMO = DigestMemo()
+
+
 def digest_hex(*values: Any) -> str:
     """Return the hexadecimal form of :func:`digest_of`."""
     return digest_of(*values).hex()

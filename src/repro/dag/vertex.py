@@ -13,7 +13,7 @@ import dataclasses
 from typing import Any, FrozenSet, Iterable, List, Sequence, Tuple
 
 from repro.committee import Committee
-from repro.crypto.hashing import Digest, digest_of
+from repro.crypto.hashing import Digest, vertex_digest
 from repro.errors import DagError
 from repro.types import Round, SimTime, ValidatorId, VertexId
 
@@ -33,13 +33,16 @@ class Vertex:
     digest: Digest
     created_at: SimTime = 0.0
 
-    @property
-    def round(self) -> Round:
-        return self.id.round
+    # ``round`` and ``source`` mirror the id's fields as plain instance
+    # attributes (set in ``__post_init__``): they are read hundreds of
+    # thousands of times per run, and a property accessor is a Python
+    # call while an instance attribute is a C-level lookup.
+    round: Round = dataclasses.field(init=False, compare=False, repr=False)
+    source: ValidatorId = dataclasses.field(init=False, compare=False, repr=False)
 
-    @property
-    def source(self) -> ValidatorId:
-        return self.id.source
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "round", self.id.round)
+        object.__setattr__(self, "source", self.id.source)
 
     def canonical_fields(self) -> Tuple[Any, ...]:
         """Fields participating in the content digest."""
@@ -82,10 +85,10 @@ def make_vertex(
                 f"{edge.round}; edges must point to the previous round"
             )
     vertex_id = VertexId(round=round_number, source=source)
-    digest = digest_of(
+    digest = vertex_digest(
         round_number,
         source,
-        tuple(sorted((edge.round, edge.source) for edge in edge_set)),
+        sorted(edge_set),
         len(block),
     )
     return Vertex(
@@ -98,16 +101,33 @@ def make_vertex(
 
 
 def genesis_vertices(committee: Committee) -> List[Vertex]:
-    """Round-0 vertices, one per validator, shared by every node at start-up."""
-    return [make_vertex(0, validator, edges=(), block=()) for validator in committee.validators]
+    """Round-0 vertices, one per validator, shared by every node at start-up.
+
+    Vertices are immutable, so the list is memoized on the committee:
+    every node of an ``n``-validator simulation requests the same ``n``
+    genesis vertices, and recomputing their digests was ``O(n^2)`` hash
+    work at start-up.
+    """
+    cached = getattr(committee, "_genesis_vertices_cache", None)
+    if cached is None:
+        cached = [
+            make_vertex(0, validator, edges=(), block=())
+            for validator in committee.validators
+        ]
+        committee._genesis_vertices_cache = cached
+    return list(cached)
 
 
 def check_edge_quorum(vertex: Vertex, committee: Committee) -> bool:
     """``True`` when the vertex's edges cover a 2f+1 stake quorum.
 
-    Genesis vertices trivially satisfy the requirement.
+    Genesis vertices trivially satisfy the requirement.  Edges all point
+    to the previous round, so their sources are duplicate-free and the
+    verdict is memoized per content digest (every recipient of a
+    broadcast validates the same vertex).
     """
     if vertex.round == 0:
         return True
-    sources = {edge.source for edge in vertex.edges}
-    return committee.has_quorum(sources)
+    return committee.edge_quorum_verdict(
+        vertex.digest, (edge.source for edge in vertex.edges)
+    )

@@ -9,7 +9,7 @@ that go down for maintenance and later come back.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.committee import Committee
 from repro.faults.base import FaultPlan, tail_validators

@@ -70,6 +70,9 @@ class MetricsCollector:
         confirmation_delay = self.confirmation_delay
         warmup = self.warmup
         ordered_at = record.ordered_at
+        samples_append = self._finality_samples.append
+        record_latency = self.latency.record
+        service_time = execution.service_time if execution is not None else 0.0
         for transaction in record.vertex.block:
             if not isinstance(transaction, Transaction):
                 continue
@@ -82,14 +85,20 @@ class MetricsCollector:
                 continue
             commit_time = ordered_at
             if execution is not None:
-                commit_time = execution.execute(commit_time)
+                # Inlined ExecutionModel.execute (one call per committed
+                # transaction): FIFO service at a bounded rate.
+                busy_until = execution._busy_until
+                start = commit_time if commit_time > busy_until else busy_until
+                commit_time = start + service_time
+                execution._busy_until = commit_time
+                execution.executed += 1
             finality_time = commit_time + confirmation_delay
             commit_times[tx_id] = finality_time
             if submit_time < warmup:
                 continue
             self.committed += 1
-            self._finality_samples.append((submit_time, finality_time))
-            self.latency.record(finality_time - submit_time)
+            samples_append((submit_time, finality_time))
+            record_latency(finality_time - submit_time)
 
     # -- results ------------------------------------------------------------------
 

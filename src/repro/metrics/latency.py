@@ -76,10 +76,17 @@ class LatencyStats:
         if lower == upper:
             return ordered[lower]
         weight = position - lower
-        interpolated = ordered[lower] * (1.0 - weight) + ordered[upper] * weight
-        # Clamp to the bracketing samples: with denormal-range values the
-        # interpolation arithmetic can round outside the bracket.
-        return min(max(interpolated, ordered[lower]), ordered[upper])
+        low_value = ordered[lower]
+        # ``a + w * (b - a)`` rather than ``a*(1-w) + b*w``: the latter
+        # takes two independently rounded products, so a *higher*
+        # percentile in the same bracket can round below a lower one
+        # (observed with values near 1e6: p95 -> 1000000.0 but
+        # p99 -> 999999.9999999999).  The single-product form is
+        # monotone in ``weight``, which keeps p50 <= p95 <= p99.
+        interpolated = low_value + weight * (ordered[upper] - low_value)
+        # Clamp to the bracketing samples: the arithmetic can still round
+        # just outside the bracket at the extremes.
+        return min(max(interpolated, low_value), ordered[upper])
 
     def p50(self) -> float:
         return self.percentile(0.50)

@@ -23,14 +23,27 @@ from repro.types import SimTime
 
 
 class EventHandle:
-    """A handle returned by scheduling, usable for cancellation."""
+    """A handle returned by scheduling, usable for cancellation.
 
-    __slots__ = ("time", "sequence", "callback")
+    ``args``, when set, is passed to the callback at fire time.  The
+    message-delivery path uses this to schedule a shared module-level
+    function with an argument tuple instead of materializing a closure
+    per message (hundreds of thousands per run).
+    """
 
-    def __init__(self, time: SimTime, sequence: int, callback: Optional[Callable[[], Any]]) -> None:
+    __slots__ = ("time", "sequence", "callback", "args")
+
+    def __init__(
+        self,
+        time: SimTime,
+        sequence: int,
+        callback: Optional[Callable[..., Any]],
+        args: Optional[Tuple[Any, ...]] = None,
+    ) -> None:
         self.time = time
         self.sequence = sequence
         self.callback = callback
+        self.args = args
 
     @property
     def cancelled(self) -> bool:
@@ -48,9 +61,25 @@ class EventHandle:
         return f"EventHandle(t={self.time}, seq={self.sequence}, {state})"
 
 
-# One heap entry: (time, sequence, handle).  ``time`` and ``sequence``
-# drive the ordering; the handle itself is never compared.
-_Entry = Tuple[SimTime, int, EventHandle]
+# One heap entry, in one of two shapes.  ``time`` and ``sequence`` drive
+# the ordering; the third element is never compared (sequences are
+# unique).
+#
+# * ``(time, sequence, handle)`` — a cancellable event carrying an
+#   :class:`EventHandle`.
+# * ``(time, sequence, None, callback, args)`` — a raw fire-and-forget
+#   event (message deliveries, workload submissions).  These are never
+#   cancelled, so the handle allocation is skipped entirely; ``args`` is
+#   ``None`` or a tuple passed to ``callback``.
+#
+# The raw-entry protocol is deliberately inlined at every site (a shared
+# push helper would reintroduce the per-event call the shape exists to
+# avoid).  If the entry shape or the ``_live``/``_cancelled`` accounting
+# changes, update ALL of: producers ``EventQueue.push``,
+# ``Network._schedule_delivery`` (transport.py), and
+# ``LoadGenerator._deliver_next`` (workload/generator.py); consumers
+# ``EventQueue.pop``/``peek_time`` and ``Simulator.run``/``step``.
+_Entry = Tuple[SimTime, int, Optional[EventHandle]]
 
 
 class EventQueue:
@@ -60,6 +89,9 @@ class EventQueue:
         self._heap: List[_Entry] = []
         self._next_sequence = 0
         self._live = 0
+        # Cancelled handles still sitting in the heap.  The run loop only
+        # pays the cancelled-entry scan while this is non-zero.
+        self._cancelled = 0
 
     def __len__(self) -> int:
         return self._live
@@ -82,8 +114,19 @@ class EventQueue:
         """
         heap = self._heap
         while heap:
-            handle = heapq.heappop(heap)[2]
+            entry = heapq.heappop(heap)
+            handle = entry[2]
+            if handle is None:
+                # Raw fire-and-forget entry: wrap it for the caller.
+                self._live -= 1
+                return EventHandle(entry[0], entry[1], entry[3], entry[4])
             if handle.callback is None:
+                # Clamped: a handle cancelled via handle.cancel() directly
+                # (bypassing Simulator.cancel) never incremented the
+                # counter, and a negative value would permanently enable
+                # the run loop's purge branch.
+                if self._cancelled > 0:
+                    self._cancelled -= 1
                 continue
             self._live -= 1
             return handle
@@ -92,8 +135,14 @@ class EventQueue:
     def peek_time(self) -> Optional[SimTime]:
         """Return the firing time of the next live event, or ``None``."""
         heap = self._heap
-        while heap and heap[0][2].callback is None:
-            heapq.heappop(heap)
+        while heap:
+            handle = heap[0][2]
+            if handle is not None and handle.callback is None:
+                heapq.heappop(heap)
+                if self._cancelled > 0:
+                    self._cancelled -= 1
+                continue
+            break
         if not heap:
             return None
         return heap[0][0]
@@ -102,3 +151,4 @@ class EventQueue:
         """Record that one previously live event was cancelled externally."""
         if self._live > 0:
             self._live -= 1
+        self._cancelled += 1

@@ -175,8 +175,15 @@ class GeoLatencyModel(LatencyModel):
         recipient_region: Region,
         rng: random.Random,
     ) -> SimTime:
-        base = self.base_delay(sender_region, recipient_region)
-        base += self.extra_latency.get(sender_region.name, 0.0)
-        base += self.extra_latency.get(recipient_region.name, 0.0)
+        cached = self._base_cache.get((sender_region.name, recipient_region.name))
+        base = cached if cached is not None else self.base_delay(sender_region, recipient_region)
+        extra = self.extra_latency
+        if extra:
+            base += extra.get(sender_region.name, 0.0)
+            base += extra.get(recipient_region.name, 0.0)
         jitter = base * self.jitter_fraction
-        return max(0.0002, base + rng.uniform(-jitter, jitter))
+        # Inlined ``rng.uniform(-jitter, jitter)``: uniform(a, b) computes
+        # ``a + (b - a) * random()`` with b - a = 2 * jitter exactly, so
+        # the expression below is bit-identical while skipping the method
+        # call (one draw per message sent).
+        return max(0.0002, base + (jitter * 2.0 * rng.random() - jitter))

@@ -88,7 +88,10 @@ class Simulator:
         handle.callback = None
         self._events_fired += 1
         if callback is not None:
-            callback()
+            if handle.args is None:
+                callback()
+            else:
+                callback(*handle.args)
         return True
 
     def run(self, until: Optional[SimTime] = None, max_events: Optional[int] = None) -> SimTime:
@@ -103,6 +106,10 @@ class Simulator:
             raise SimulationError("the simulator is already running")
         self._running = True
         fired = 0
+        # Infinity sentinels collapse the per-iteration ``is not None``
+        # branches into plain float comparisons.
+        limit = max_events if max_events is not None else float("inf")
+        horizon = until if until is not None else float("inf")
         queue = self._queue
         # The loop below reaches into the queue's heap directly: this is
         # the single hottest path of every experiment (hundreds of
@@ -111,28 +118,61 @@ class Simulator:
         # encapsulated one-event variant.
         heap = queue._heap
         heappop = _heappop
+        # Counter writes are batched into locals and synced on exit; the
+        # per-event attribute stores were measurable at peak event rates.
+        popped = 0
         try:
-            while True:
-                if max_events is not None and fired >= max_events:
-                    break
-                while heap and heap[0][2].callback is None:
-                    heappop(heap)
+            while fired < limit:
+                if queue._cancelled > 0:
+                    # Purge cancelled entries only while some exist; in
+                    # steady state this whole branch is one counter read
+                    # instead of a per-event heap-top inspection.  The
+                    # counter is advisory (handles cancelled directly via
+                    # handle.cancel() are caught by the fire-path guard
+                    # below), so decrements are clamped at zero.
+                    while heap:
+                        stale = heap[0][2]
+                        if stale is not None and stale.callback is None:
+                            heappop(heap)
+                            if queue._cancelled > 0:
+                                queue._cancelled -= 1
+                            continue
+                        break
                 if not heap:
                     break
                 entry = heap[0]
-                if until is not None and entry[0] > until:
+                if entry[0] > horizon:
                     break
                 heappop(heap)
-                queue._live -= 1
+                popped += 1
                 handle = entry[2]
-                self._now = entry[0]
+                if handle is None:
+                    # Raw fire-and-forget entry (deliveries, workload).
+                    self._now = entry[0]
+                    args = entry[4]
+                    if args is None:
+                        entry[3]()
+                    else:
+                        entry[3](*args)
+                    fired += 1
+                    continue
                 callback = handle.callback
+                if callback is None:
+                    # Cancelled directly via handle.cancel() without going
+                    # through Simulator.cancel (no accounting hint).
+                    continue
+                self._now = entry[0]
                 handle.callback = None
-                self._events_fired += 1
-                callback()
+                args = handle.args
+                if args is None:
+                    callback()
+                else:
+                    callback(*args)
                 fired += 1
         finally:
             self._running = False
+            self._events_fired += fired
+            queue._live -= popped
         if until is not None and self._now < until:
             self._now = until
         return self._now

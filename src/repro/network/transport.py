@@ -27,10 +27,11 @@ fabric for bounded windows of virtual time:
 from __future__ import annotations
 
 import dataclasses
+from heapq import heappush as _heappush
 from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
 from repro.errors import NetworkError
-from repro.network.latency import LatencyModel, UniformLatencyModel
+from repro.network.latency import GeoLatencyModel, LatencyModel, UniformLatencyModel
 from repro.network.simulator import Simulator
 from repro.network.synchrony import AlwaysSynchronous, SynchronyModel
 from repro.types import Region, SimTime
@@ -67,6 +68,22 @@ class _Endpoint:
     outbound_extra_delay: SimTime = 0.0
 
 
+def _deliver_message(
+    destination: _Endpoint, stats: NetworkStats, sender: int, message: Any
+) -> None:
+    """Fire one delivery (shared event callback, see ``_schedule_delivery``).
+
+    Crash state is re-read at delivery time: a node that crashed while
+    the message was in flight must not process it, and a node that
+    recovered may.
+    """
+    if destination.crashed:
+        stats.messages_dropped += 1
+        return
+    stats.messages_delivered += 1
+    destination.handler(sender, message)
+
+
 class Network:
     """Reliable, authenticated point-to-point channels between nodes."""
 
@@ -93,6 +110,12 @@ class Network:
         self._next_disturbance_token = 0
         self._jitter: SimTime = 0.0
         self._loss_rate: float = 0.0
+        # Per-(sender, recipient) base delay memo for the geo fast path,
+        # keyed by packed node-id pair.  Regions are fixed at
+        # registration; the memo is dropped if the latency model object
+        # is swapped out (tests do this).
+        self._pair_base: Dict[int, SimTime] = {}
+        self._pair_base_model: Optional[LatencyModel] = None
 
     # -- registration --------------------------------------------------------
 
@@ -226,48 +249,100 @@ class Network:
         drops the message (and counts it), matching how a crashed process
         behaves in the real system.
         """
-        source = self._endpoint(sender)
-        if recipient not in self._endpoints:
+        endpoints = self._endpoints
+        source = endpoints.get(sender)
+        if source is None:
+            raise NetworkError(f"node {sender} is not registered")
+        destination = endpoints.get(recipient)
+        if destination is None:
             raise NetworkError(f"recipient {recipient} is not registered")
-        self.stats.messages_sent += 1
+        stats = self.stats
+        stats.messages_sent += 1
         if source.crashed:
-            self.stats.messages_dropped += 1
+            stats.messages_dropped += 1
             return
-        if self._crosses_partition(sender, recipient):
-            self.stats.messages_dropped += 1
-            self.stats.partition_drops += 1
+        if self._partition_groups is not None and self._crosses_partition(sender, recipient):
+            stats.messages_dropped += 1
+            stats.partition_drops += 1
             return
         if (
             self._loss_rate > 0.0
             and sender != recipient
             and self.simulator.rng.random() < self._loss_rate
         ):
-            self.stats.messages_dropped += 1
-            self.stats.loss_drops += 1
+            stats.messages_dropped += 1
+            stats.loss_drops += 1
             return
-        destination = self._endpoints[recipient]
         delay = self._delivery_delay(source, destination)
-        send_time = self.simulator.now
+        self._schedule_delivery(source.node_id, destination, message, delay)
 
-        def deliver() -> None:
-            # Re-read crash state at delivery time: a node that crashed
-            # while the message was in flight must not process it, and a
-            # node that recovered may.
-            if destination.crashed:
-                self.stats.messages_dropped += 1
-                return
-            self.stats.messages_delivered += 1
-            destination.handler(sender, message)
-
-        self.simulator.schedule_at(send_time + delay, deliver)
+    def _schedule_delivery(
+        self, sender: int, destination: _Endpoint, message: Any, delay: SimTime
+    ) -> None:
+        # Scheduling bypasses ``schedule_at``'s past-time guard (the delay
+        # is clamped non-negative), inlines the queue push, and carries
+        # the delivery arguments on the event instead of materializing a
+        # closure; this path runs once per message and both the call
+        # layers and the per-message closure were measurable.
+        simulator = self.simulator
+        queue = simulator._queue
+        sequence = queue._next_sequence
+        queue._next_sequence = sequence + 1
+        _heappush(
+            queue._heap,
+            (
+                simulator._now + delay,
+                sequence,
+                None,
+                _deliver_message,
+                (destination, self.stats, sender, message),
+            ),
+        )
+        queue._live += 1
 
     def broadcast(self, sender: int, message: Any, include_self: bool = True) -> None:
-        """Send ``message`` from ``sender`` to every registered node."""
-        self.stats.broadcasts += 1
-        for node_id in self._endpoints:
+        """Send ``message`` from ``sender`` to every registered node.
+
+        This is the certificate/proposal fan-out path: one call issues
+        ``n`` sends, so the per-recipient work is inlined (the sender-side
+        checks are hoisted out of the loop).  Recipient order, RNG draw
+        order, and all statistics counters are identical to looping over
+        :meth:`send` — batched envelopes change what a send carries, never
+        how many sends happen or when.
+        """
+        stats = self.stats
+        stats.broadcasts += 1
+        endpoints = self._endpoints
+        source = endpoints.get(sender)
+        if source is None:
+            raise NetworkError(f"node {sender} is not registered")
+        recipients = len(endpoints) - (0 if include_self else 1)
+        stats.messages_sent += recipients
+        if source.crashed:
+            stats.messages_dropped += recipients
+            return
+        groups = self._partition_groups
+        loss_rate = self._loss_rate
+        rng = self.simulator.rng
+        delivery_delay = self._delivery_delay
+        schedule_delivery = self._schedule_delivery
+        for destination in endpoints.values():
+            node_id = destination.node_id
             if node_id == sender and not include_self:
                 continue
-            self.send(sender, node_id, message)
+            if (
+                groups is not None
+                and node_id != sender
+                and groups.get(sender, -1) != groups.get(node_id, -1)
+            ):
+                stats.messages_dropped += 1
+                stats.partition_drops += 1
+                continue
+            if loss_rate > 0.0 and node_id != sender and rng.random() < loss_rate:
+                stats.messages_dropped += 1
+                stats.loss_drops += 1
+                continue
+            schedule_delivery(sender, destination, message, delivery_delay(source, destination))
 
     def multicast(self, sender: int, recipients: Iterable[int], message: Any) -> None:
         """Send ``message`` from ``sender`` to each node in ``recipients``."""
@@ -278,16 +353,44 @@ class Network:
 
     def _delivery_delay(self, source: _Endpoint, destination: _Endpoint) -> SimTime:
         rng = self.simulator.rng
+        model = self.latency_model
         if source.node_id == destination.node_id:
-            base = self.latency_model.local_delay(rng)
+            base = model.local_delay(rng)
+        elif type(model) is GeoLatencyModel:
+            # Inlined GeoLatencyModel.one_way_delay (the default model;
+            # one call per message sent): base memoized per node pair,
+            # optional extras, and the uniform jitter expanded to its
+            # bit-identical ``-j + 2j * random()`` form.
+            if model is not self._pair_base_model:
+                self._pair_base.clear()
+                self._pair_base_model = model
+            key = (source.node_id << 20) | destination.node_id
+            base = self._pair_base.get(key)
+            if base is None:
+                base = model.base_delay(source.region, destination.region)
+                self._pair_base[key] = base
+            extra = model.extra_latency
+            if extra:
+                base += extra.get(source.region.name, 0.0)
+                base += extra.get(destination.region.name, 0.0)
+            jitter = base * model.jitter_fraction
+            base += jitter * 2.0 * rng.random() - jitter
+            if base < 0.0002:
+                base = 0.0002
         else:
-            base = self.latency_model.one_way_delay(source.region, destination.region, rng)
+            base = model.one_way_delay(source.region, destination.region, rng)
         base += source.outbound_extra_delay + destination.inbound_extra_delay
         base += destination.processing_delay
         if self._jitter > 0.0 and source.node_id != destination.node_id:
             base += rng.uniform(0.0, self._jitter)
-        adjusted = self.synchrony.adjust_delay(self.simulator.now, base, rng)
-        return max(0.0, adjusted)
+        synchrony = self.synchrony
+        if type(synchrony) is AlwaysSynchronous:
+            # Inlined AlwaysSynchronous.adjust_delay: this runs once per
+            # message and the default model is a pure min() with no RNG.
+            adjusted = base if base < synchrony.delta else synchrony.delta
+        else:
+            adjusted = synchrony.adjust_delay(self.simulator.now, base, rng)
+        return adjusted if adjusted > 0.0 else 0.0
 
     # -- introspection --------------------------------------------------------------
 

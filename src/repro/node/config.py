@@ -47,6 +47,13 @@ class NodeConfig:
     # O(n) messages per vertex) or "bracha" (echo/ready, O(n^2)).
     broadcast: str = "certified"
 
+    # Coalesce the certificates a validator emits for a round into one
+    # CertificateBatch per peer (the large-committee fast path).  The
+    # batched and unbatched wire formats consume identical RNG/event
+    # sequences, so runs are byte-identical either way; the flag exists
+    # for the differential property tests and as an escape hatch.
+    certificate_batching: bool = True
+
     # Record the full ordered sequence in memory (needed by safety checks;
     # disabled for very large simulations).
     record_sequence: bool = True

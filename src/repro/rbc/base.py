@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 
 from repro.committee import Committee
 from repro.network.transport import Network
@@ -11,14 +10,48 @@ from repro.rbc.messages import BroadcastMessage
 from repro.types import Round, SimTime, ValidatorId
 
 
-@dataclasses.dataclass(frozen=True)
 class Delivery:
-    """A delivered broadcast: ``r_deliver(m, r, i)`` in Definition 1."""
+    """A delivered broadcast: ``r_deliver(m, r, i)`` in Definition 1.
 
-    payload: Any
-    round: Round
-    origin: ValidatorId
-    delivered_at: SimTime
+    A plain slotted class rather than a frozen dataclass: one instance is
+    materialized per delivered vertex, and the frozen-dataclass
+    ``object.__setattr__`` per field was measurable on that path.
+    """
+
+    __slots__ = ("payload", "round", "origin", "delivered_at")
+
+    def __init__(
+        self,
+        payload: Any,
+        round: Round,
+        origin: ValidatorId,
+        delivered_at: SimTime,
+    ) -> None:
+        self.payload = payload
+        self.round = round
+        self.origin = origin
+        self.delivered_at = delivered_at
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Delivery):
+            return NotImplemented
+        return (
+            self.payload == other.payload
+            and self.round == other.round
+            and self.origin == other.origin
+            and self.delivered_at == other.delivered_at
+        )
+
+    def __hash__(self) -> int:
+        # Defining __eq__ would otherwise null __hash__; the frozen
+        # dataclass this replaced was hashable, so keep that contract.
+        return hash((self.payload, self.round, self.origin, self.delivered_at))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Delivery(payload={self.payload!r}, round={self.round}, "
+            f"origin={self.origin}, delivered_at={self.delivered_at})"
+        )
 
 
 # Callback invoked exactly once per (origin, round) on delivery.

@@ -8,8 +8,13 @@ Protocol (for one broadcast by validator ``p`` at round ``r``):
    round ``r`` with an :class:`AckMessage` (this is what prevents an
    equivocating broadcaster from certifying two different payloads).
 3. When ``p`` has collected acknowledgements covering a 2f+1 stake quorum,
-   it assembles a :class:`CertificateMessage` and sends it to everyone.
-4. A validator delivers the payload when it receives a valid certificate.
+   it assembles a :class:`CertificateMessage` and sends it to everyone —
+   coalesced, in the default configuration, into one
+   :class:`CertificateBatch` per round so large committees pay one
+   transport send per peer for all certificates the validator emits for
+   that round.
+4. A validator delivers the payload when it receives a valid certificate
+   (directly, or by splitting a batch).
 
 The quorum intersection argument gives non-equivocation: two conflicting
 certificates would require two quorums of acknowledgements whose
@@ -18,6 +23,33 @@ honest validator never does.  Agreement across honest parties is completed
 by the node-level synchronizer (parents referenced by a delivered vertex
 are fetched from the vertex's source), mirroring Narwhal's certificate
 fetcher.
+
+Large-committee fast path
+-------------------------
+
+Three per-message costs dominated profiles at committee sizes of 25+ and
+are engineered away here:
+
+* **Acknowledgement accounting** used to rebuild a voter set and re-sum
+  its stake on every ack (``O(n)`` per ack, ``O(n^2)`` per round); the
+  stake of the voter set is now accumulated incrementally, making each
+  ack O(1).
+* **Certificate verification** recomputed the expected broadcast digest
+  (an SHA-256 over a canonical preimage) at every one of the ``n``
+  recipients of a certificate.  The digest is a pure function of
+  ``(origin, round, payload fingerprint)``, so it is memoized
+  process-wide (:data:`~repro.crypto.hashing.BROADCAST_DIGEST_MEMO`) and
+  computed once per broadcast; batches verify their certificates in one
+  pass over the shared memo.  The 2f+1 signer check is likewise memoized
+  per signer tuple (one certificate object fans out to all peers).
+* **Batched delivery** (:class:`CertificateBatch`) keeps the transport
+  send count at one per peer per round regardless of how many
+  certificates a validator emits; receivers split, deduplicate against
+  already-delivered ``(origin, round)`` pairs, and hand the payloads to
+  the DAG in batch order (parking/promotion of out-of-order vertices is
+  exercised by the property suite).  Batching only changes the envelope,
+  never the number of sends or the RNG draw sequence, so batched and
+  unbatched runs are byte-identical.
 """
 
 from __future__ import annotations
@@ -26,12 +58,17 @@ from hashlib import sha256
 from typing import Any, Dict, Set, Tuple
 
 from repro.committee import Committee
-from repro.crypto.hashing import digest_of
+from repro.crypto.hashing import BROADCAST_DIGEST_MEMO, digest_of
 from repro.errors import BroadcastError
 from repro.network.transport import Network
 from repro.rbc.base import BroadcastProtocol, DeliveryCallback
-from repro.rbc.messages import AckMessage, CertificateMessage, ProposeMessage
-from repro.types import Round, ValidatorId
+from repro.rbc.messages import (
+    AckMessage,
+    CertificateBatch,
+    CertificateMessage,
+    ProposeMessage,
+)
+from repro.types import Round, Stake, ValidatorId
 
 
 class CertifiedBroadcast(BroadcastProtocol):
@@ -43,48 +80,56 @@ class CertifiedBroadcast(BroadcastProtocol):
         committee: Committee,
         network: Network,
         on_deliver: DeliveryCallback,
+        batch_certificates: bool = True,
     ) -> None:
         super().__init__(node_id, committee, network, on_deliver)
-        # Acks received for broadcasts we originated: (round) -> voters.
+        # Emit certificates as one CertificateBatch per round (the fast
+        # path) or as bare CertificateMessage broadcasts (the legacy
+        # wire format, kept for the batched-vs-unbatched differential
+        # tests).  Both consume identical RNG/event sequences.
+        self.batch_certificates = batch_certificates
+        # Acks received for broadcasts we originated: round -> voters,
+        # with the voter set's stake accumulated incrementally so each
+        # ack costs O(1) instead of a re-summation.
         self._acks: Dict[Round, Set[ValidatorId]] = {}
+        self._ack_stake: Dict[Round, Stake] = {}
         # Payloads of our own in-flight broadcasts, keyed by round.
         self._own_payloads: Dict[Round, Tuple[Any, bytes]] = {}
         # Rounds we already certified (to send the certificate only once).
         self._certified: Set[Round] = set()
         # First proposal digest acknowledged per (origin, round).
         self._acked: Dict[Tuple[ValidatorId, Round], bytes] = {}
-        # Memoized expected broadcast digests, keyed by
-        # (origin, round, payload fingerprint): a validator recomputes the
-        # same digest for every certificate (and re-broadcast) it receives
-        # for one (origin, round).  Old rounds are pruned once the cache
-        # outgrows a window, keeping memory bounded on long runs.
-        self._digest_cache: Dict[Tuple[ValidatorId, Round, Any], bytes] = {}
+        self._stake_vector = committee.stake_vector
+        # Class-keyed dispatch: cheaper than an isinstance chain on the
+        # per-delivery path, and exact classes are the wire contract.
+        self._handlers = {
+            ProposeMessage: self._handle_propose,
+            AckMessage: self._handle_ack,
+            CertificateMessage: self._handle_certificate,
+            CertificateBatch: self._handle_certificate_batch,
+        }
 
-    # Cache sizing: prune oldest rounds down to half this when exceeded.
-    _DIGEST_CACHE_LIMIT = 4096
-
-    def _broadcast_digest(self, origin: ValidatorId, round_number: Round, payload: Any) -> bytes:
+    @staticmethod
+    def _broadcast_digest(origin: ValidatorId, round_number: Round, payload: Any) -> bytes:
         fingerprint = _payload_digest(payload)
         key = (origin, round_number, fingerprint)
-        digest = self._digest_cache.get(key)
+        memo = BROADCAST_DIGEST_MEMO
+        digest = memo.get(key)
         if digest is None:
-            if len(self._digest_cache) >= self._DIGEST_CACHE_LIMIT:
-                # Evict oldest rounds down to half the budget.  Size-driven
-                # (not a fixed round cutoff) so pruning always makes
-                # progress even when the live window of a large committee
-                # exceeds the limit; evicted live entries just recompute.
-                by_age = sorted(self._digest_cache, key=lambda entry: entry[1])
-                for stale in by_age[: len(by_age) - self._DIGEST_CACHE_LIMIT // 2]:
-                    del self._digest_cache[stale]
             # Domain-separated binding of (origin, round, payload
             # fingerprint); hashed directly rather than through the
-            # general canonical serializer — this runs once per
-            # (origin, round) per validator.
+            # general canonical serializer.  The memo is process-wide:
+            # the same digest is re-derived by every recipient of a
+            # certificate, and the key embeds the content fingerprint,
+            # so entries are shared across validators (and experiments)
+            # safely.
             raw = fingerprint if isinstance(fingerprint, bytes) else repr(fingerprint).encode()
-            digest = sha256(
-                b"certified-broadcast|%d|%d|%b" % (origin, round_number, raw)
-            ).digest()
-            self._digest_cache[key] = digest
+            digest = memo.put(
+                key,
+                sha256(
+                    b"certified-broadcast|%d|%d|%b" % (origin, round_number, raw)
+                ).digest(),
+            )
         return digest
 
     # -- broadcasting -----------------------------------------------------------
@@ -97,6 +142,7 @@ class CertifiedBroadcast(BroadcastProtocol):
             )
         self._own_payloads[round_number] = (payload, digest)
         self._acks[round_number] = set()
+        self._ack_stake[round_number] = 0
         message = ProposeMessage(
             origin=self.node_id,
             round=round_number,
@@ -105,19 +151,36 @@ class CertifiedBroadcast(BroadcastProtocol):
         )
         self.network.broadcast(self.node_id, message, include_self=True)
 
+    def _emit_certificates(
+        self, round_number: Round, certificates: Tuple[CertificateMessage, ...]
+    ) -> None:
+        """Fan out the certificates we emit for ``round_number``.
+
+        The batched path coalesces them into one transport send per peer;
+        the legacy path broadcasts each certificate individually.  Both
+        paths issue sends in the same order, so the simulation's RNG and
+        event sequences are identical — only the envelope differs.
+        """
+        if self.batch_certificates:
+            envelope = CertificateBatch(
+                origin=self.node_id,
+                round=round_number,
+                digest=certificates[0].digest,
+                certificates=certificates,
+            )
+            self.network.broadcast(self.node_id, envelope, include_self=True)
+        else:
+            for certificate in certificates:
+                self.network.broadcast(self.node_id, certificate, include_self=True)
+
     # -- message handling ----------------------------------------------------------
 
     def handle_message(self, sender: ValidatorId, message: Any) -> bool:
-        if isinstance(message, ProposeMessage):
-            self._handle_propose(sender, message)
-            return True
-        if isinstance(message, AckMessage):
-            self._handle_ack(sender, message)
-            return True
-        if isinstance(message, CertificateMessage):
-            self._handle_certificate(sender, message)
-            return True
-        return False
+        handler = self._handlers.get(message.__class__)
+        if handler is None:
+            return False
+        handler(sender, message)
+        return True
 
     def _handle_propose(self, sender: ValidatorId, message: ProposeMessage) -> None:
         if sender != message.origin:
@@ -149,8 +212,13 @@ class CertifiedBroadcast(BroadcastProtocol):
         if message.round in self._certified:
             return
         voters = self._acks.setdefault(message.round, set())
-        voters.add(sender)
-        if self.committee.has_quorum(voters):
+        if sender not in voters:
+            voters.add(sender)
+            stake = self._ack_stake.get(message.round, 0) + self.committee.stake_of(sender)
+            self._ack_stake[message.round] = stake
+        else:
+            stake = self._ack_stake[message.round]
+        if stake >= self._stake_vector.quorum:
             self._certified.add(message.round)
             certificate = CertificateMessage(
                 origin=self.node_id,
@@ -159,16 +227,43 @@ class CertifiedBroadcast(BroadcastProtocol):
                 payload=payload,
                 signers=tuple(sorted(voters)),
             )
-            self.network.broadcast(self.node_id, certificate, include_self=True)
+            self._emit_certificates(message.round, (certificate,))
+
+    def _verify_certificate(self, message: CertificateMessage) -> bool:
+        """One certificate's aggregate check: signer quorum + digest.
+
+        Both halves are memoized process-wide (the signer tuple and the
+        digest preimage are shared by all recipients of one fan-out), so
+        a batch is verified in a single pass over cached verdicts.
+        """
+        if not self._stake_vector.signer_tuple_has_quorum(message.signers):
+            # An invalid certificate cannot trigger delivery.
+            return False
+        expected = self._broadcast_digest(message.origin, message.round, message.payload)
+        return expected == message.digest
 
     def _handle_certificate(self, sender: ValidatorId, message: CertificateMessage) -> None:
-        if not self.committee.has_quorum(message.signers):
-            # An invalid certificate cannot trigger delivery.
+        if (message.origin, message.round) in self._delivered:
+            # Duplicate delivery is a no-op either way; skip verification.
             return
-        expected = self._broadcast_digest(message.origin, message.round, message.payload)
-        if expected != message.digest:
-            return
-        self._deliver(message.payload, message.round, message.origin)
+        if self._verify_certificate(message):
+            self._deliver(message.payload, message.round, message.origin)
+
+    def _handle_certificate_batch(self, sender: ValidatorId, message: CertificateBatch) -> None:
+        """Split a batch: dedup, verify, and deliver in batch order.
+
+        Delivery order within the batch is the emitter's order, so a
+        receiver observes exactly the sequence an unbatched sender would
+        have produced; vertices whose parents are still missing are
+        parked by the DAG store and promoted when the parent arrives
+        (possibly later in the same batch).
+        """
+        delivered = self._delivered
+        for certificate in message.certificates:
+            if (certificate.origin, certificate.round) in delivered:
+                continue
+            if self._verify_certificate(certificate):
+                self._deliver(certificate.payload, certificate.round, certificate.origin)
 
     # -- introspection -----------------------------------------------------------------
 

@@ -1,4 +1,11 @@
-"""Wire messages of the reliable broadcast layer."""
+"""Wire messages of the reliable broadcast layer.
+
+The message classes are plain (non-frozen) dataclasses: tens of
+thousands are created per simulated second and the frozen-dataclass
+``object.__setattr__`` per field dominated their construction cost.
+Protocol code treats them as immutable by convention (one instance fans
+out to every recipient).
+"""
 
 from __future__ import annotations
 
@@ -9,7 +16,7 @@ from repro.crypto.hashing import Digest
 from repro.types import Round, ValidatorId
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(unsafe_hash=True)
 class BroadcastMessage:
     """Base class for broadcast-layer messages (used for dispatch)."""
 
@@ -18,21 +25,21 @@ class BroadcastMessage:
     digest: Digest
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(unsafe_hash=True)
 class ProposeMessage(BroadcastMessage):
     """The original payload sent by the broadcaster (certified protocol)."""
 
     payload: Any = None
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(unsafe_hash=True)
 class AckMessage(BroadcastMessage):
     """A signed acknowledgement of a proposal, sent back to the broadcaster."""
 
     voter: ValidatorId = -1
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(unsafe_hash=True)
 class CertificateMessage(BroadcastMessage):
     """A 2f+1 quorum of acknowledgements; carries the payload for delivery."""
 
@@ -40,13 +47,35 @@ class CertificateMessage(BroadcastMessage):
     signers: Tuple[ValidatorId, ...] = ()
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(unsafe_hash=True)
+class CertificateBatch(BroadcastMessage):
+    """All certificates a validator emits for a round, in one envelope.
+
+    The certified protocol fans every certificate out to every peer; at
+    committee size ``n`` that is ``O(n^2)`` transport sends per round.
+    Batching coalesces the certificates one validator emits for a round
+    into a single send per peer; the receiver splits the envelope,
+    deduplicates against already-delivered ``(origin, round)`` pairs, and
+    verifies the remainder in one aggregate pass (see
+    :meth:`~repro.rbc.certified.CertifiedBroadcast._handle_certificate_batch`).
+
+    ``origin``/``round``/``digest`` describe the *emitter* and the round
+    the batch belongs to; the certificates inside carry their own origins
+    (a batch may relay certificates the emitter collected, e.g. on the
+    recovery path), rounds, and quorum signer tuples, so splitting a
+    batch loses no verification information.
+    """
+
+    certificates: Tuple["CertificateMessage", ...] = ()
+
+
+@dataclasses.dataclass(unsafe_hash=True)
 class EchoMessage(BroadcastMessage):
     """Bracha echo: relays the payload to every party."""
 
     payload: Any = None
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(unsafe_hash=True)
 class ReadyMessage(BroadcastMessage):
     """Bracha ready: vouches that delivery of the digest is imminent."""

@@ -7,6 +7,11 @@ Subcommands::
     run NAME                   run a scenario, print the report table,
                                and write the reproducibility artifact
     sweep NAME --seeds 1 2 3   run a scenario across several seeds
+    diff A.json B.json         compare two artifacts: same scenario
+                               digest -> per-point ordering-digest and
+                               performance deltas; different digests ->
+                               explain the spec difference.  Non-zero
+                               exit on any mismatch (CI-friendly).
 
 ``run`` and ``sweep`` accept ``--spec FILE`` instead of a registered
 name, so ad-hoc scenarios can be described in JSON and executed without
@@ -37,8 +42,15 @@ from repro.scenarios.spec import ScenarioSpec, compile_spec
 
 def _load_spec(args: argparse.Namespace) -> ScenarioSpec:
     if getattr(args, "spec", None):
-        with open(args.spec, "r", encoding="utf-8") as handle:
-            spec = ScenarioSpec.from_json(handle.read())
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            # Normalized into the library's error hierarchy so the CLI
+            # entry point guarantees a stderr message and a non-zero
+            # exit code instead of a traceback (CI trusts exit codes).
+            raise ReproError(f"cannot read spec file {args.spec!r}: {error}") from None
+        spec = ScenarioSpec.from_json(text)
     else:
         spec = get_scenario(args.name)
     if getattr(args, "smoke", False):
@@ -111,6 +123,16 @@ def _print_artifact_table(spec: ScenarioSpec, artifact: dict) -> None:
         )
 
 
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.scenarios.diff import diff_artifact_files
+
+    code, lines = diff_artifact_files(args.left, args.right)
+    stream = sys.stderr if code else sys.stdout
+    for line in lines:
+        print(line, file=stream)
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.scenarios",
@@ -131,6 +153,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = commands.add_parser("sweep", help="run a scenario across several seeds")
     _add_spec_arguments(sweep)
     _add_run_arguments(sweep)
+
+    diff = commands.add_parser(
+        "diff",
+        help="compare two artifact files (non-zero exit on mismatch)",
+    )
+    diff.add_argument("left", help="first artifact JSON")
+    diff.add_argument("right", help="second artifact JSON")
     return parser
 
 
@@ -171,6 +200,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "describe": _cmd_describe,
         "run": _cmd_run,
         "sweep": _cmd_run,  # sweep is run with --seeds made prominent
+        "diff": _cmd_diff,
     }
     try:
         return handlers[args.command](args)
@@ -180,6 +210,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; not an error.
         return 0
+    except OSError as error:
+        # Filesystem problems (unwritable artifact path, vanished spec
+        # file): still a clean stderr line and a non-zero exit, never a
+        # traceback on stdout.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

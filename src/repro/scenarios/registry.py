@@ -14,7 +14,7 @@ Scenarios are registered at import time; external code can add more with
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 from repro.errors import ConfigurationError
 from repro.scenarios.spec import (

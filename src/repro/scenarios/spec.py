@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.committee import Committee, equal_stake, geometric_stake, zipfian_stake
 from repro.crypto.hashing import digest_hex
@@ -37,7 +37,6 @@ from repro.faults.partition import (
 from repro.faults.slow import SlowValidatorFault, degrade_fraction
 from repro.sim.experiment import ExperimentConfig, PROTOCOL_BULLSHARK, PROTOCOL_HAMMERHEAD
 from repro.workload.phases import (
-    LoadPhase,
     average_tps,
     burst_phases,
     diurnal_phases,

@@ -65,6 +65,8 @@ class ExperimentConfig:
     gst: SimTime = 0.0
     delta: SimTime = 2.0
     execution_capacity_tps: Optional[float] = None
+    # Certificate fan-out wire format (see NodeConfig.certificate_batching).
+    certificate_batching: bool = True
 
     # Simulation control.
     seed: int = 1

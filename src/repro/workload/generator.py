@@ -12,6 +12,7 @@ system load.
 from __future__ import annotations
 
 import itertools
+from heapq import heappush as _heappush
 from typing import Callable, List, Optional, Sequence
 
 from repro.errors import WorkloadError
@@ -27,10 +28,16 @@ MAX_RATE_PER_CLIENT = 350.0
 SubmitCallback = Callable[[Transaction], None]
 
 
+# Process-wide transaction id source (module-level: the class-attribute
+# lookup per transaction was measurable at peak load).
+_next_tx_id = itertools.count()
+
+
 class LoadGenerator:
     """One benchmark client submitting at a fixed rate."""
 
-    _id_counter = itertools.count()
+    # Back-compat alias; new code uses the module-level counter.
+    _id_counter = _next_tx_id
 
     def __init__(
         self,
@@ -69,6 +76,11 @@ class LoadGenerator:
         self._first_time: SimTime = start_time
         self._count = 0
         self._next_index = 0
+        # Prebound callback and queue handle: ``self._deliver_next``
+        # creates a fresh bound method object per access, once per
+        # transaction at peak load.
+        self._deliver_bound = self._deliver_next
+        self._queue = simulator._queue
 
     def start(self) -> None:
         """Schedule the submission chain for the configured duration.
@@ -125,22 +137,39 @@ class LoadGenerator:
         (later) arrival instant at which this event fires.
         """
         index = self._next_index
-        self._next_index += 1
-        if self._next_index < self._count:
-            self.simulator.schedule_at(
-                self._first_time + self._next_index * self._interval + self.submission_delay,
-                self._deliver_next,
+        next_index = index + 1
+        self._next_index = next_index
+        first_time = self._first_time
+        interval = self._interval
+        if next_index < self._count:
+            # Inlined ``schedule_at`` with a raw fire-and-forget entry:
+            # one push per transaction at peak load, always in the future
+            # by construction and never cancelled.
+            queue = self._queue
+            sequence = queue._next_sequence
+            queue._next_sequence = sequence + 1
+            _heappush(
+                queue._heap,
+                (
+                    first_time + next_index * interval + self.submission_delay,
+                    sequence,
+                    None,
+                    self._deliver_bound,
+                    None,
+                ),
             )
+            queue._live += 1
         target = next(self._target_cycle)
         transaction = Transaction(
-            next(LoadGenerator._id_counter),
+            next(_next_tx_id),
             self.client_id,
-            self._first_time + index * self._interval,
+            first_time + index * interval,
             target.id,
         )
         self.submitted += 1
-        if self.on_submit is not None:
-            self.on_submit(transaction)
+        on_submit = self.on_submit
+        if on_submit is not None:
+            on_submit(transaction)
         target.submit_transaction(transaction)
 
 

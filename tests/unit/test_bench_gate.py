@@ -1,0 +1,153 @@
+"""Unit tests for the bench regression gate (benchmarks/check_regression.py)."""
+
+import json
+import os
+import sys
+
+BENCHMARKS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "benchmarks",
+)
+if BENCHMARKS_DIR not in sys.path:
+    sys.path.insert(0, BENCHMARKS_DIR)
+
+import check_regression  # noqa: E402
+
+
+def fig1_point(load, eps):
+    return {"input_load_tps": load, "events_per_sec": eps}
+
+
+def committee_point(size, load, eps, duration=20.0, digest=None):
+    point = {
+        "committee_size": size,
+        "input_load_tps": load,
+        "duration_s": duration,
+        "events_per_sec": eps,
+    }
+    if digest is not None:
+        point["ordering_digest"] = digest
+    return point
+
+
+def document(points=(), committee=()):
+    return {"points": list(points), "committee_scaling": list(committee)}
+
+
+class TestThresholdLogic:
+    def test_identical_documents_pass(self):
+        doc = document([fig1_point(4000.0, 100000.0)], [committee_point(25, 4000.0, 200000.0)])
+        findings = check_regression.compare_documents(doc, doc, 0.10)
+        assert not any(finding.fatal for finding in findings)
+
+    def test_regression_beyond_threshold_fails(self):
+        base = document([fig1_point(4000.0, 100000.0)])
+        fresh = document([fig1_point(4000.0, 89000.0)])  # -11%
+        findings = check_regression.compare_documents(fresh, base, 0.10)
+        assert any(finding.fatal for finding in findings)
+
+    def test_regression_within_threshold_passes(self):
+        base = document([fig1_point(4000.0, 100000.0)])
+        fresh = document([fig1_point(4000.0, 91000.0)])  # -9%
+        findings = check_regression.compare_documents(fresh, base, 0.10)
+        assert not any(finding.fatal for finding in findings)
+
+    def test_boundary_is_exclusive(self):
+        # Exactly at the threshold (ratio == 1 - threshold) must pass:
+        # the gate fails only on regressions *beyond* the tolerance.
+        base = document([fig1_point(4000.0, 100000.0)])
+        fresh = document([fig1_point(4000.0, 90000.0)])
+        findings = check_regression.compare_documents(fresh, base, 0.10)
+        assert not any(finding.fatal for finding in findings)
+
+    def test_improvement_passes(self):
+        base = document(committee=[committee_point(25, 4000.0, 100000.0)])
+        fresh = document(committee=[committee_point(25, 4000.0, 250000.0)])
+        findings = check_regression.compare_documents(fresh, base, 0.10)
+        assert not any(finding.fatal for finding in findings)
+
+    def test_wider_threshold_tolerates_more(self):
+        base = document([fig1_point(4000.0, 100000.0)])
+        fresh = document([fig1_point(4000.0, 70000.0)])  # -30%
+        assert any(
+            finding.fatal
+            for finding in check_regression.compare_documents(fresh, base, 0.10)
+        )
+        assert not any(
+            finding.fatal
+            for finding in check_regression.compare_documents(fresh, base, 0.35)
+        )
+
+
+class TestStageMatching:
+    def test_subset_smoke_document_passes(self):
+        base = document(
+            [fig1_point(1000.0, 90000.0), fig1_point(4000.0, 100000.0)],
+            [committee_point(25, 4000.0, 200000.0), committee_point(50, 4000.0, 150000.0)],
+        )
+        fresh = document(
+            [fig1_point(4000.0, 99000.0)], [committee_point(25, 4000.0, 195000.0)]
+        )
+        findings = check_regression.compare_documents(fresh, base, 0.10)
+        assert not any(finding.fatal for finding in findings)
+        skipped = [finding for finding in findings if not finding.fatal]
+        assert skipped  # the missing stages are reported, not failed
+
+    def test_changed_duration_is_a_different_stage(self):
+        base = document(committee=[committee_point(25, 4000.0, 200000.0, duration=20.0)])
+        fresh = document(committee=[committee_point(25, 4000.0, 50000.0, duration=5.0)])
+        findings = check_regression.compare_documents(fresh, base, 0.10)
+        assert not any(finding.fatal for finding in findings)
+
+    def test_empty_fresh_document_is_fatal(self):
+        findings = check_regression.compare_documents(
+            document(), document([fig1_point(4000.0, 1.0)]), 0.10
+        )
+        assert any(finding.fatal for finding in findings)
+
+    def test_digest_mismatch_is_fatal_even_when_fast(self):
+        base = document(committee=[committee_point(25, 4000.0, 100000.0, digest="a" * 64)])
+        fresh = document(committee=[committee_point(25, 4000.0, 300000.0, digest="b" * 64)])
+        findings = check_regression.compare_documents(fresh, base, 0.10)
+        assert any(finding.fatal for finding in findings)
+
+
+class TestMainEntry:
+    def write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_pass_and_fail_exit_codes(self, tmp_path):
+        base = self.write(
+            tmp_path, "base.json", document([fig1_point(4000.0, 100000.0)])
+        )
+        good = self.write(
+            tmp_path, "good.json", document([fig1_point(4000.0, 99000.0)])
+        )
+        bad = self.write(
+            tmp_path, "bad.json", document([fig1_point(4000.0, 10000.0)])
+        )
+        assert check_regression.main([good, "--baseline", base]) == 0
+        assert check_regression.main([bad, "--baseline", base]) == 1
+
+    def test_threshold_env_override(self, tmp_path, monkeypatch):
+        base = self.write(
+            tmp_path, "base.json", document([fig1_point(4000.0, 100000.0)])
+        )
+        bad = self.write(
+            tmp_path, "bad.json", document([fig1_point(4000.0, 80000.0)])
+        )
+        assert check_regression.main([bad, "--baseline", base]) == 1
+        monkeypatch.setenv("REPRO_BENCH_REGRESSION_THRESHOLD", "0.5")
+        assert check_regression.main([bad, "--baseline", base]) == 0
+
+    def test_unreadable_input_is_a_clean_error(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", document())
+        assert check_regression.main([str(tmp_path / "missing.json"), "--baseline", base]) == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+
+    def test_invalid_threshold_rejected(self, tmp_path):
+        base = self.write(tmp_path, "base.json", document())
+        assert check_regression.main([base, "--baseline", base, "--threshold", "1.5"]) == 2

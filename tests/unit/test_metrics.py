@@ -37,6 +37,13 @@ class TestLatencyStats:
         assert stats.percentile(0.0) == 1.0
         assert stats.percentile(1.0) == 4.0
 
+    def test_percentiles_monotone_under_rounding(self):
+        # Regression (hypothesis-found): with values near 1e6 the old
+        # two-product interpolation rounded p99 below p95.
+        stats = LatencyStats()
+        stats.extend([0.0, 1000000.0, 999999.9999999999])
+        assert stats.p50() <= stats.p95() <= stats.p99() <= 1000000.0
+
     def test_p95_close_to_max_for_uniform_samples(self):
         stats = LatencyStats()
         stats.extend([float(value) for value in range(1, 101)])

@@ -1,0 +1,136 @@
+"""Scenario CLI exit-code guarantees and the artifact diff subcommand."""
+
+import json
+
+import pytest
+
+from repro.scenarios import get_scenario
+from repro.scenarios.cli import main as cli_main
+from repro.scenarios.diff import (
+    DIFF_MATCH,
+    DIFF_MISMATCH,
+    diff_artifacts,
+    load_artifact,
+)
+from repro.errors import ConfigurationError
+
+
+def artifact(scenario_digest="d" * 64, points=(), spec=None):
+    return {
+        "artifact_version": 1,
+        "scenario": dict(spec or {"name": "x", "seed": 2}),
+        "scenario_digest": scenario_digest,
+        "seeds": [2],
+        "points": list(points),
+    }
+
+
+def point(label="p", seed=2, digest="a" * 64, ordered=10, throughput=100.0):
+    return {
+        "committee_size": 4,
+        "protocol": "hammerhead",
+        "load": 100.0,
+        "seed": seed,
+        "label": label,
+        "report": {"throughput_tps": throughput, "avg_latency_s": 1.0},
+        "ordering_digest": digest,
+        "ordered_count": ordered,
+    }
+
+
+class TestCliExitCodes:
+    """Invalid ``--spec`` files: non-zero exit, stderr message, clean stdout."""
+
+    def run_cli(self, capsys, *argv):
+        code = cli_main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_missing_spec_file(self, capsys, tmp_path):
+        code, out, err = self.run_cli(
+            capsys, "run", "--spec", str(tmp_path / "nope.json")
+        )
+        assert code != 0
+        assert out == ""
+        assert "cannot read spec file" in err
+
+    def test_malformed_json_spec(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        code, out, err = self.run_cli(capsys, "run", "--spec", str(path))
+        assert code != 0
+        assert out == ""
+        assert "error:" in err
+
+    def test_schema_invalid_spec(self, capsys, tmp_path):
+        spec = get_scenario("faultless").to_dict()
+        spec["committee_sizes"] = "not-a-list"
+        path = tmp_path / "invalid.json"
+        path.write_text(json.dumps(spec))
+        code, out, err = self.run_cli(capsys, "describe", "--spec", str(path))
+        assert code != 0
+        assert out == ""
+        assert "error:" in err
+
+    def test_unknown_scenario_name(self, capsys):
+        code, out, err = self.run_cli(capsys, "describe", "definitely-not-registered")
+        assert code != 0
+        assert "error:" in err
+
+    def test_diff_unreadable_artifact(self, capsys, tmp_path):
+        good = tmp_path / "a.json"
+        good.write_text(json.dumps(artifact()))
+        code, out, err = self.run_cli(
+            capsys, "diff", str(good), str(tmp_path / "missing.json")
+        )
+        assert code != 0
+        assert "error:" in err
+
+
+class TestDiffArtifacts:
+    def test_identical_artifacts_match(self):
+        left = artifact(points=[point()])
+        code, lines = diff_artifacts(left, json.loads(json.dumps(left)))
+        assert code == DIFF_MATCH
+        assert any("[OK]" in line for line in lines)
+
+    def test_ordering_divergence_is_a_mismatch(self):
+        left = artifact(points=[point(digest="a" * 64)])
+        right = artifact(points=[point(digest="b" * 64, throughput=90.0)])
+        code, lines = diff_artifacts(left, right)
+        assert code == DIFF_MISMATCH
+        text = "\n".join(lines)
+        assert "[DIVERGED]" in text
+        assert "throughput_tps" in text  # per-point delta reported
+
+    def test_missing_point_is_a_mismatch(self):
+        left = artifact(points=[point(label="a"), point(label="b")])
+        right = artifact(points=[point(label="a")])
+        code, lines = diff_artifacts(left, right)
+        assert code == DIFF_MISMATCH
+        assert any("[MISSING]" in line for line in lines)
+
+    def test_different_scenario_digests_explain_spec(self):
+        left = artifact(spec={"name": "x", "seed": 2})
+        right = artifact(scenario_digest="e" * 64, spec={"name": "x", "seed": 9})
+        code, lines = diff_artifacts(left, right)
+        assert code == DIFF_MISMATCH
+        text = "\n".join(lines)
+        assert "scenario digests differ" in text
+        assert "seed: 2 -> 9" in text
+
+    def test_nested_spec_difference_reported(self):
+        left = artifact(spec={"name": "x", "workload": {"shape": "constant"}})
+        right = artifact(
+            scenario_digest="e" * 64,
+            spec={"name": "x", "workload": {"shape": "burst"}},
+        )
+        code, lines = diff_artifacts(left, right)
+        assert code == DIFF_MISMATCH
+        assert any("workload.shape" in line for line in lines)
+
+    def test_load_artifact_rejects_junk(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"some": "document"}))
+        with pytest.raises(ConfigurationError):
+            load_artifact(str(path))
