@@ -2,7 +2,7 @@
 """Bench regression gate: diff a fresh bench JSON against the baseline.
 
 Compares the ``events_per_sec`` of every stage a freshly generated bench
-document shares with the committed baseline (``BENCH_PR3.json`` at the
+document shares with the committed baseline (``BENCH_PR4.json`` at the
 repository root, i.e. the trajectory recorded when the current
 optimization PR landed) and exits non-zero when any stage regressed by
 more than the threshold (default 10%).
@@ -24,8 +24,8 @@ perf win.
 Usage::
 
     python benchmarks/run_bench.py --smoke --output /tmp/bench.json
-    python benchmarks/check_regression.py /tmp/bench.json              # vs BENCH_PR3.json
-    python benchmarks/check_regression.py /tmp/bench.json --baseline BENCH_PR3.json
+    python benchmarks/check_regression.py /tmp/bench.json              # vs BENCH_PR4.json
+    python benchmarks/check_regression.py /tmp/bench.json --baseline BENCH_PR4.json
     python benchmarks/check_regression.py fresh.json --threshold 0.25  # override knob
 
 The threshold can also be overridden with the
@@ -45,7 +45,7 @@ import sys
 from typing import Dict, Iterable, List, Optional, Tuple
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_PR3.json")
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_PR4.json")
 DEFAULT_THRESHOLD = 0.10
 
 
@@ -117,6 +117,54 @@ def compare_stage(
     return findings
 
 
+def compare_scenario_stage(stage: str, fresh: dict, baseline: dict) -> List[Mismatch]:
+    """Digest-compare one scenario stage (``scenario_smoke``/``scenario_adversary``).
+
+    Scenario stages carry no events/sec, so the gate checks their
+    *outputs*: when both documents ran the same scenario (equal
+    ``scenario_digest``), every shared point must reproduce the
+    baseline's ordering digest — this is what pins the adversary
+    engine's behavior (honest and Byzantine alike) across PRs.  A
+    skipped/failed stage or a changed scenario definition is reported
+    and skipped, mirroring how absent perf stages are treated.
+    """
+    findings: List[Mismatch] = []
+    fresh_stage = fresh.get(stage) or {}
+    base_stage = baseline.get(stage) or {}
+    if not fresh_stage.get("points"):
+        findings.append(Mismatch(stage, "not run in fresh document, skipped", fatal=False))
+        return findings
+    if not base_stage.get("points"):
+        findings.append(Mismatch(stage, "not in baseline, skipped", fatal=False))
+        return findings
+    if fresh_stage.get("scenario_digest") != base_stage.get("scenario_digest"):
+        findings.append(
+            Mismatch(stage, "scenario definition changed, digest comparison skipped", fatal=False)
+        )
+        return findings
+    fresh_points = {point.get("label"): point for point in fresh_stage["points"]}
+    for point in base_stage["points"]:
+        label = point.get("label")
+        counterpart = fresh_points.get(label)
+        if counterpart is None:
+            findings.append(
+                Mismatch(stage, f"point {label!r} missing from fresh document", fatal=False)
+            )
+            continue
+        base_digest = point.get("ordering_digest")
+        fresh_digest = counterpart.get("ordering_digest")
+        if base_digest and fresh_digest and base_digest != fresh_digest:
+            findings.append(
+                Mismatch(
+                    f"{stage}:{label}",
+                    f"ordering digest changed: {fresh_digest[:16]}... vs "
+                    f"baseline {base_digest[:16]}...",
+                    fatal=True,
+                )
+            )
+    return findings
+
+
 def compare_documents(fresh: dict, baseline: dict, threshold: float) -> List[Mismatch]:
     """Compare every shared stage of two bench documents."""
     findings: List[Mismatch] = []
@@ -138,6 +186,8 @@ def compare_documents(fresh: dict, baseline: dict, threshold: float) -> List[Mis
         findings.extend(
             compare_stage(stage, fresh_committee.get(key), base_committee.get(key), threshold)
         )
+    for stage in ("scenario_smoke", "scenario_adversary"):
+        findings.extend(compare_scenario_stage(stage, fresh, baseline))
     if not (fresh_fig1 or fresh_committee):
         findings.append(
             Mismatch("document", "fresh document has no comparable stages", fatal=True)
@@ -151,7 +201,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--baseline",
         default=DEFAULT_BASELINE,
-        help="committed baseline document (default: BENCH_PR3.json)",
+        help="committed baseline document (default: BENCH_PR4.json)",
     )
     parser.add_argument(
         "--threshold",

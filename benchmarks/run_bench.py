@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Run the benchmark suite under a time budget and emit ``BENCH_PR3.json``.
+"""Run the benchmark suite under a time budget and emit ``BENCH_PR4.json``.
 
 Three stages, all optional and all budgeted:
 
@@ -7,15 +7,18 @@ Three stages, all optional and all budgeted:
    events/sec and wall-clock per figure-1 point, the committee-25 and
    committee-50 scaling stages (best-of-5, with the PR2 baseline and
    speedup recorded per stage), plus the parallel-sweep speedup.
-2. A **scenario smoke run**: one adversarial scenario from the registry
-   (``mixed-adversary``) at smoke scale through the full scenario
-   pipeline (spec → compile → sweep → artifact), so the perf trajectory
-   always covers the scenario layer and at least one adversarial run.
+2. Two **scenario smoke runs** at smoke scale through the full scenario
+   pipeline (spec → compile → sweep → artifact): ``mixed-adversary``
+   (crash/slow/disturbance faults) and ``reputation-gamer`` (the
+   ``scenario_adversary`` stage — a behavior-policy adversary, recorded
+   with its reputation-reaction metrics), so the perf trajectory always
+   covers the scenario layer, the adversary engine, and the policy
+   indirection on the honest hot paths.
 3. The tier-2 qualitative suite (``benchmarks/test_bench_*.py`` under
    pytest), run at ``REPRO_BENCH_SCALE=quick`` so it fits the budget;
    only the pass/fail outcome and wall-clock are recorded.
 
-The merged document is written to ``BENCH_PR3.json`` at the repository
+The merged document is written to ``BENCH_PR4.json`` at the repository
 root so future PRs can diff the performance trajectory;
 ``benchmarks/check_regression.py`` gates CI against it (>10% events/sec
 regression at any stage fails).
@@ -50,15 +53,24 @@ from bench_hotpaths import DEFAULT_OUTPUT, REPO_ROOT, run_benchmarks, write_resu
 DEFAULT_BUDGET_S = 600.0
 
 
-def run_scenario_smoke(name: str = "mixed-adversary") -> dict:
-    """Smoke-run one adversarial scenario through the scenario engine."""
+def run_scenario_smoke(name: str = "mixed-adversary", include_reputation: bool = False) -> dict:
+    """Smoke-run one scenario through the full scenario engine pipeline.
+
+    With ``include_reputation`` the stage also records the
+    reputation-reaction summary per point — used by the
+    ``scenario_adversary`` stage, which covers the behavior-policy
+    adversary engine end to end (policy installation through a compiled
+    BehaviorFault, the policy-bent decision points, and the metrics) so
+    the perf trajectory and the regression gate always exercise the
+    policy layer.
+    """
     from repro.scenarios import get_scenario, run_scenario
 
     spec = get_scenario(name).smoke()
     start = time.perf_counter()
     artifact = run_scenario(spec, parallelism=1)
     wall = time.perf_counter() - start
-    return {
+    document = {
         "scenario": name,
         "scenario_digest": artifact["scenario_digest"],
         "wall_s": round(wall, 3),
@@ -73,6 +85,19 @@ def run_scenario_smoke(name: str = "mixed-adversary") -> dict:
             for point in artifact["points"]
         ],
     }
+    if include_reputation:
+        document["reputation"] = [
+            {
+                "label": point["label"],
+                "faulty_validators": point["reputation"]["faulty_validators"],
+                "rounds_until_demotion": point["reputation"]["rounds_until_demotion"],
+                "faulty_slot_share_converged": point["reputation"][
+                    "faulty_slot_share_converged"
+                ],
+            }
+            for point in artifact["points"]
+        ]
+    return document
 
 
 def run_tier2_suite(budget_s: float) -> dict:
@@ -146,18 +171,27 @@ def main() -> int:
     )
     document["budget_s"] = args.budget
     document["smoke"] = bool(args.smoke)
-    if args.skip_scenario:
-        document["scenario_smoke"] = {"outcome": "skipped", "reason": "--skip-scenario"}
-    elif args.budget - (time.perf_counter() - start) < 10.0:
-        print("budget exhausted, skipping the scenario smoke")
-        document["scenario_smoke"] = {"outcome": "skipped", "reason": "budget exhausted"}
-    else:
-        print("running scenario smoke (mixed-adversary, smoke scale) ...")
-        try:
-            document["scenario_smoke"] = run_scenario_smoke()
-        except Exception as error:  # the bench document must still be written
-            print(f"scenario smoke failed: {error!r}")
-            document["scenario_smoke"] = {"outcome": "failed", "error": repr(error)}
+    scenario_stages = (
+        ("scenario_smoke", "mixed-adversary", False),
+        # The behavior-policy adversary engine: a BehaviorFault-compiled
+        # scenario with reputation-reaction metrics in the stage record.
+        ("scenario_adversary", "reputation-gamer", True),
+    )
+    for stage, scenario_name, include_reputation in scenario_stages:
+        if args.skip_scenario:
+            document[stage] = {"outcome": "skipped", "reason": "--skip-scenario"}
+        elif args.budget - (time.perf_counter() - start) < 10.0:
+            print(f"budget exhausted, skipping {stage}")
+            document[stage] = {"outcome": "skipped", "reason": "budget exhausted"}
+        else:
+            print(f"running {stage} ({scenario_name}, smoke scale) ...")
+            try:
+                document[stage] = run_scenario_smoke(
+                    scenario_name, include_reputation=include_reputation
+                )
+            except Exception as error:  # the bench document must still be written
+                print(f"{stage} failed: {error!r}")
+                document[stage] = {"outcome": "failed", "error": repr(error)}
     if not args.skip_suite:
         remaining = args.budget - (time.perf_counter() - start)
         if remaining > 30.0:
@@ -168,9 +202,10 @@ def main() -> int:
             document["tier2_suite"] = {"outcome": "skipped", "reason": "budget exhausted"}
     document["total_wall_s"] = round(time.perf_counter() - start, 2)
     write_results(document, args.output)
-    suite = document.get("tier2_suite", {})
-    smoke = document.get("scenario_smoke", {})
-    failed = suite.get("outcome") == "failed" or smoke.get("outcome") == "failed"
+    failed = any(
+        document.get(stage, {}).get("outcome") == "failed"
+        for stage in ("tier2_suite", "scenario_smoke", "scenario_adversary")
+    )
     return 1 if failed else 0
 
 

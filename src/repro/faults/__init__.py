@@ -2,10 +2,14 @@
 
 Fault plans are declarative descriptions of what goes wrong during a run;
 the simulation runner applies them to the network and the nodes at the
-scheduled virtual times.
+scheduled virtual times.  Byzantine *behavior* lives in
+:mod:`repro.behavior` as composable policies; :class:`BehaviorFault`
+installs them on a timeline (and :class:`VoteWithholdingFault` survives
+as a shim over the withholding policy).
 """
 
 from repro.faults.base import FaultPlan, FaultInjector
+from repro.faults.behavior import BehaviorFault
 from repro.faults.crash import CrashFault, CrashRecoveryFault, crash_last_f
 from repro.faults.slow import SlowValidatorFault, degrade_fraction
 from repro.faults.byzantine import VoteWithholdingFault
@@ -18,6 +22,7 @@ from repro.faults.partition import (
 __all__ = [
     "FaultPlan",
     "FaultInjector",
+    "BehaviorFault",
     "CrashFault",
     "CrashRecoveryFault",
     "crash_last_f",

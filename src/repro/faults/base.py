@@ -29,6 +29,24 @@ def tail_validators(
     return tuple(candidates[:count])
 
 
+def head_validators(
+    committee: Committee,
+    count: int,
+    protect: Sequence[ValidatorId] = (0,),
+) -> Tuple[ValidatorId, ...]:
+    """The ``count`` lowest-indexed validators, observer protected.
+
+    The mirror convention of :func:`tail_validators`, used to pick the
+    *victims* of targeted behaviors (equivocation, selective silence):
+    attackers come from the tail, victims from the head, so the two sets
+    never overlap until they meet in the middle.
+    """
+    candidates = [
+        validator for validator in committee.validators if validator not in protect
+    ]
+    return tuple(candidates[:count])
+
+
 class FaultPlan:
     """One fault affecting one or more validators.
 
@@ -37,7 +55,15 @@ class FaultPlan:
     """
 
     def affected_validators(self) -> Sequence[ValidatorId]:
-        raise NotImplementedError
+        """Validators this plan touches.
+
+        Defaults to the plan's ``validators`` field (empty for
+        fabric-wide plans without one): the injector calls this on every
+        run now that reputation metrics consume the faulty set, so a
+        subclass that only implements :meth:`schedule` must not crash at
+        result-build time.
+        """
+        return tuple(getattr(self, "validators", ()))
 
     def schedule(
         self,
@@ -72,7 +98,11 @@ class FaultInjector:
     def affected_validators(self) -> List[ValidatorId]:
         affected: List[ValidatorId] = []
         for plan in self.plans:
-            for validator in plan.affected_validators():
+            # Duck-typed plans (tests, external tooling) may implement
+            # only ``schedule``; fall back to their ``validators`` field.
+            selector = getattr(plan, "affected_validators", None)
+            validators = selector() if selector is not None else getattr(plan, "validators", ())
+            for validator in validators:
                 if validator not in affected:
                     affected.append(validator)
         return affected

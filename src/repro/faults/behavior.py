@@ -1,0 +1,70 @@
+"""Behavior faults: put adversarial policies on a timeline.
+
+A :class:`BehaviorFault` installs a fresh
+:class:`~repro.behavior.policy.BehaviorPolicy` (from a per-validator
+factory) on each selected validator at ``start`` and, when ``end`` is
+given, reverts the validators to honesty when the window closes.  The
+factory pattern keeps plans picklable for the parallel sweep engine:
+pass a policy class or a :func:`functools.partial` over one, never a
+lambda or a pre-built instance (policies bind to a single node).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.behavior.policy import HONEST, BehaviorPolicy
+from repro.faults.base import FaultPlan
+from repro.network.simulator import Simulator
+from repro.network.transport import Network
+from repro.node.validator import ValidatorNode
+from repro.types import SimTime, ValidatorId
+
+# A no-argument constructor of a policy instance.  Must be picklable
+# (module-level class, or functools.partial over one).
+PolicyFactory = Callable[[], BehaviorPolicy]
+
+
+@dataclasses.dataclass
+class BehaviorFault(FaultPlan):
+    """Equip ``validators`` with ``policy_factory()`` policies for a window."""
+
+    validators: Sequence[ValidatorId]
+    policy_factory: PolicyFactory
+    start: SimTime = 0.0
+    end: Optional[SimTime] = None
+
+    def __post_init__(self) -> None:
+        if self.end is not None and self.end <= self.start:
+            raise ValueError("a behavior window must close after it opens")
+
+    def affected_validators(self) -> Sequence[ValidatorId]:
+        return tuple(self.validators)
+
+    def schedule(
+        self,
+        simulator: Simulator,
+        network: Network,
+        nodes: Dict[ValidatorId, ValidatorNode],
+    ) -> None:
+        def install() -> None:
+            for validator in self.validators:
+                nodes[validator].set_behavior(self.policy_factory())
+
+        def restore() -> None:
+            for validator in self.validators:
+                nodes[validator].set_behavior(HONEST)
+
+        simulator.schedule_at(max(self.start, simulator.now), install)
+        if self.end is not None:
+            simulator.schedule_at(max(self.end, simulator.now), restore)
+
+    def describe(self) -> str:
+        window = f"from t={self.start:.1f}s"
+        if self.end is not None:
+            window += f" to t={self.end:.1f}s"
+        return (
+            f"behavior {self.policy_factory().describe()} on "
+            f"{list(self.validators)} {window}"
+        )

@@ -1,22 +1,27 @@
-"""Byzantine behaviour: vote withholding.
+"""Byzantine behaviour: vote withholding (legacy entry point).
 
 HammerHead's scoring rule "discourag[es] Byzantine actors from withholding
-their votes for honest leaders": a validator that systematically omits the
-parent link to the leader loses reputation and eventually loses its own
-leader slots.  :class:`VoteWithholdingFault` equips selected validators
-with a parent filter that drops the leader's vertex from their edges.
+their votes for honest leaders".  The attack itself now lives in
+:class:`repro.behavior.adversarial.VoteWithholdingPolicy`;
+:class:`VoteWithholdingFault` survives as a thin shim that installs that
+policy on the selected validators, keeping the historical constructor,
+equality, and ``describe()`` text (and therefore every previously
+recorded scenario digest) intact.  New attacks should use
+:class:`repro.faults.behavior.BehaviorFault` with a policy factory
+directly.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
+from repro.behavior.adversarial import VoteWithholdingPolicy
 from repro.faults.base import FaultPlan
 from repro.network.simulator import Simulator
 from repro.network.transport import Network
 from repro.node.validator import ValidatorNode
-from repro.types import Round, SimTime, ValidatorId, VertexId, is_anchor_round
+from repro.types import SimTime, ValidatorId
 
 
 @dataclasses.dataclass
@@ -37,32 +42,9 @@ class VoteWithholdingFault(FaultPlan):
     ) -> None:
         def install() -> None:
             for validator in self.validators:
-                node = nodes[validator]
-                node.parent_filter = _make_withholding_filter(node)
+                nodes[validator].set_behavior(VoteWithholdingPolicy())
 
         simulator.schedule_at(max(self.at_time, simulator.now), install)
 
     def describe(self) -> str:
         return f"vote withholding by {list(self.validators)} from t={self.at_time:.1f}s"
-
-
-def _make_withholding_filter(node: ValidatorNode):
-    """Drop the previous round's leader from the node's parent set."""
-
-    def parent_filter(round_number: Round, parents: List[VertexId]) -> List[VertexId]:
-        previous_round = round_number - 1
-        if not is_anchor_round(previous_round):
-            return parents
-        leader = node.schedule_manager.leader_for_round(previous_round)
-        leader_vertex = VertexId(round=previous_round, source=leader)
-        filtered = [parent for parent in parents if parent != leader_vertex]
-        # Never drop below the 2f+1 quorum the vertex structure requires;
-        # if dropping the leader would break the quorum, vote anyway (the
-        # adversary cannot forge a structurally invalid vertex and expect
-        # honest validators to accept it).
-        sources = {parent.source for parent in filtered}
-        if node.committee.has_quorum(sources):
-            return filtered
-        return parents
-
-    return parent_filter

@@ -1,10 +1,11 @@
-"""Metrics: end-to-end latency, throughput, and leader statistics."""
+"""Metrics: end-to-end latency, throughput, leader and reputation statistics."""
 
 from repro.metrics.latency import LatencyStats
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.execution import ExecutionModel
 from repro.metrics.leader_stats import LeaderUtilizationStats
 from repro.metrics.report import PerformanceReport, format_table
+from repro.metrics.reputation import reputation_metrics
 
 __all__ = [
     "LatencyStats",
@@ -13,4 +14,5 @@ __all__ = [
     "LeaderUtilizationStats",
     "PerformanceReport",
     "format_table",
+    "reputation_metrics",
 ]

@@ -1,0 +1,94 @@
+"""Reputation-reaction metrics: how fast a scoring rule punishes an adversary.
+
+The paper's qualitative claim is that the reputation schedule routes
+around misbehaving validators; these metrics make "how fast" and "how
+completely" measurable from an observer's schedule history:
+
+* **trajectory** — the per-epoch reputation scores at every schedule
+  change (the raw signal the scoring rule produced);
+* **rounds_until_demotion** — per faulty validator, the first schedule
+  ``initial_round`` at which it held fewer leader slots than the
+  stake-proportional baseline gave it (``None`` if it was never
+  demoted);
+* **slot shares** — the fraction of leader slots held by the faulty set
+  in the initial schedule, in the final schedule, and on average across
+  the post-change schedules ("after convergence"): a gaming adversary
+  that periodically escapes the demoted set shows up as a retained
+  share the naive attacker loses.
+
+Everything derives from the committed prefix (the schedule history and
+its change records), so the metrics are identical at every honest
+validator, like the schedules themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.types import ValidatorId
+
+
+def _slot_share(slots: Sequence[ValidatorId], members: frozenset) -> float:
+    if not slots:
+        return 0.0
+    return sum(1 for slot in slots if slot in members) / len(slots)
+
+
+def reputation_metrics(
+    schedule_manager: Any,
+    faulty: Sequence[ValidatorId] = (),
+) -> Dict[str, Any]:
+    """Summarize the reputation reaction recorded by ``schedule_manager``.
+
+    Works for any manager exposing ``history`` (all of them); the
+    trajectory additionally uses ``change_records`` when present (the
+    HammerHead manager).  The static baseline yields an empty trajectory
+    and no demotions, which is itself the measurement: Bullshark never
+    reacts.
+    """
+    history = list(schedule_manager.history)
+    records = list(getattr(schedule_manager, "change_records", ()))
+    faulty_set = frozenset(faulty)
+    base = history[0]
+    base_counts = base.slot_counts()
+
+    trajectory: List[Dict[str, Any]] = [
+        {
+            "epoch": record.epoch,
+            "triggered_by_round": record.triggered_by_round,
+            "new_initial_round": record.new_initial_round,
+            "scores": {int(v): s for v, s in sorted(record.scores.items())},
+            "demoted_slots": record.demoted_slots,
+        }
+        for record in records
+    ]
+
+    rounds_until_demotion: Dict[int, Optional[int]] = {}
+    demoted_epochs: Dict[int, int] = {}
+    for validator in sorted(faulty_set):
+        baseline_slots = base_counts.get(validator, 0)
+        first_demotion: Optional[int] = None
+        epochs_demoted = 0
+        for schedule in history[1:]:
+            if schedule.slot_counts().get(validator, 0) < baseline_slots:
+                epochs_demoted += 1
+                if first_demotion is None:
+                    first_demotion = schedule.initial_round
+        rounds_until_demotion[int(validator)] = first_demotion
+        demoted_epochs[int(validator)] = epochs_demoted
+
+    post_change = history[1:]
+    post_shares = [_slot_share(schedule.slots, faulty_set) for schedule in post_change]
+    return {
+        "faulty_validators": sorted(int(v) for v in faulty_set),
+        "schedule_changes": len(history) - 1,
+        "trajectory": trajectory,
+        "rounds_until_demotion": rounds_until_demotion,
+        "demoted_epochs": demoted_epochs,
+        "faulty_slot_share_initial": round(_slot_share(base.slots, faulty_set), 4),
+        "faulty_slot_share_final": round(_slot_share(history[-1].slots, faulty_set), 4),
+        "faulty_slot_share_converged": (
+            round(sum(post_shares) / len(post_shares), 4) if post_shares else
+            round(_slot_share(base.slots, faulty_set), 4)
+        ),
+    }

@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence
 
+from repro.behavior import HONEST, BehaviorPolicy
 from repro.committee import Committee
 from repro.consensus.bullshark import BullsharkConsensus
 from repro.consensus.committed import CommittedSubDag, OrderedVertex
@@ -40,8 +41,10 @@ from repro.rbc.certified import CertifiedBroadcast
 from repro.storage.store import PersistentStore
 from repro.types import Round, SimTime, ValidatorId, VertexId, is_anchor_round
 
-# Hook type used by the Byzantine fault injector to tamper with the parent
-# selection of a vertex before it is proposed.
+# Legacy hook type for tampering with proposal parent selection.  New code
+# expresses this (and the other behavioral decision points) through
+# :class:`repro.behavior.BehaviorPolicy`; the attribute survives so tests
+# and external tooling that patched ``node.parent_filter`` keep working.
 ParentFilter = Callable[[Round, List[VertexId]], List[VertexId]]
 
 
@@ -71,6 +74,13 @@ class ValidatorNode:
         self._vertices_family = self.store.family(PersistentStore.CF_VERTICES)
 
         self.simulator = network.simulator
+        # Behavior policy governing this validator's decision points
+        # (parent selection, proposal timing, fan-out, ack participation,
+        # fetch service).  The honest default is transparent: decision
+        # points skip the policy entirely, so honest runs stay
+        # byte-identical to a build without the policy layer.  Installed
+        # before the broadcast protocol so the protocol can share it.
+        self.behavior: BehaviorPolicy = HONEST
         self.dag = DagStore(committee)
         self.consensus = BullsharkConsensus(
             owner=validator_id,
@@ -98,7 +108,8 @@ class ValidatorNode:
         # Synchronizer state: missing parent -> last request time.
         self._fetch_requested: Dict[VertexId, SimTime] = {}
         self._fetch_timer: Optional[EventHandle] = None
-        # Optional Byzantine hook (set by the fault injection layer).
+        # Legacy Byzantine hook; superseded by ``self.behavior`` but still
+        # applied (after the policy) when external code sets it.
         self.parent_filter: Optional[ParentFilter] = None
         # Messages received before ``start()`` are buffered, not dropped:
         # with the tightest possible quorum (exactly 2f+1 alive validators)
@@ -203,16 +214,35 @@ class ValidatorNode:
 
     def _build_broadcast(self):
         if self.config.broadcast == "certified":
-            return CertifiedBroadcast(
+            protocol = CertifiedBroadcast(
                 self.id,
                 self.committee,
                 self.network,
                 self._on_broadcast_delivery,
                 batch_certificates=self.config.certificate_batching,
             )
-        return BrachaBroadcast(
-            self.id, self.committee, self.network, self._on_broadcast_delivery
-        )
+        else:
+            protocol = BrachaBroadcast(
+                self.id, self.committee, self.network, self._on_broadcast_delivery
+            )
+        protocol.policy = self.behavior
+        return protocol
+
+    def set_behavior(self, policy: Optional[BehaviorPolicy]) -> None:
+        """Install (or, with ``None``/honest, remove) a behavior policy.
+
+        The policy is shared with the broadcast protocol so both layers
+        consult the same object; fault plans call this on their timeline
+        to turn a validator adversarial and back.
+        """
+        if policy is None:
+            policy = HONEST
+        previous = self.behavior
+        if previous is not policy:
+            previous.detach(self)
+        self.behavior = policy
+        policy.attach(self)
+        self.broadcast_protocol.policy = policy
 
     def _rebuild_broadcast(self) -> None:
         self.broadcast_protocol = self._build_broadcast()
@@ -272,6 +302,9 @@ class ValidatorNode:
         if self.crashed:
             return
         parents = [vertex.id for vertex in self.dag.vertices_at(round_number - 1)]
+        behavior = self.behavior
+        if not behavior.transparent:
+            parents = behavior.select_parents(round_number, parents)
         if self.parent_filter is not None:
             parents = self.parent_filter(round_number, parents)
         batch = self._next_batch()
@@ -288,7 +321,29 @@ class ValidatorNode:
         # Persist the proposal before broadcasting so that a recovering
         # validator re-broadcasts the same vertex instead of equivocating.
         self.store.family("own_proposals").put(round_number, vertex)
+        if not behavior.transparent:
+            delay = behavior.proposal_delay(round_number)
+            if delay > 0.0:
+                self._broadcast_later(vertex, round_number, delay)
+                return
         self.broadcast_protocol.broadcast(vertex, round_number)
+
+    def _broadcast_later(self, vertex: Vertex, round_number: Round, delay: SimTime) -> None:
+        """Sit on an own proposal (lazy-leader behavior policies).
+
+        The proposal is already persisted, so a crash before the delayed
+        broadcast fires recovers into the normal re-broadcast path; the
+        fire-time guards make the delayed event a no-op in that case
+        (the rebuilt protocol instance owns the round by then).
+        """
+        protocol = self.broadcast_protocol
+
+        def fire() -> None:
+            if self.crashed or self.broadcast_protocol is not protocol:
+                return
+            protocol.broadcast(vertex, round_number)
+
+        self.simulator.schedule(delay, fire)
 
     def _next_batch(self) -> Sequence:
         pool = self.transaction_pool
@@ -479,6 +534,10 @@ class ValidatorNode:
         return self.simulator.rng.choice(peers)
 
     def _handle_fetch_request(self, sender: ValidatorId, request: FetchRequest) -> None:
+        behavior = self.behavior
+        if not behavior.transparent and not behavior.should_serve_fetch(sender):
+            # Behavior policy: starve this peer's synchronizer.
+            return
         found: List[Vertex] = []
         seen: set = set()
         for vertex_id in request.missing:

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from functools import partial
+from typing import Any, Callable, Optional
 
 from repro.committee import Committee
 from repro.network.transport import Network
-from repro.rbc.messages import BroadcastMessage
+from repro.rbc.messages import BroadcastMessage, ProposeMessage
 from repro.types import Round, SimTime, ValidatorId
 
 
@@ -72,6 +73,13 @@ class BroadcastProtocol:
         self.committee = committee
         self.network = network
         self.on_deliver = on_deliver
+        # Behavior policy governing this node's fan-out and participation
+        # decisions (see :mod:`repro.behavior`).  ``None`` and transparent
+        # policies take the unconditional fast path below, so standalone
+        # protocol use and honest runs stay on the pre-policy instruction
+        # sequence.  The owning node keeps this in sync via
+        # ``ValidatorNode.set_behavior``.
+        self.policy: Optional[Any] = None
         # Delivered (origin, round) pairs: enforces the Integrity property
         # (at most one delivery per origin and round).
         self._delivered: set = set()
@@ -95,6 +103,57 @@ class BroadcastProtocol:
 
     def owns(self, message: Any) -> bool:
         return isinstance(message, BroadcastMessage)
+
+    def make_propose(self, payload: Any, round_number: Round) -> ProposeMessage:
+        """Build a well-formed proposal for ``payload`` (protocol digest).
+
+        Used by the fan-out enactment below to turn a policy's payload
+        substitution (equivocation) into a wire message whose digest the
+        receiving validators will verify successfully.
+        """
+        raise NotImplementedError
+
+    def _fanout(self, message: Any, round_number: Round) -> None:
+        """Fan an own message out to the committee, policy permitting.
+
+        The honest path is the first branch: without an active policy the
+        call collapses to the transport broadcast this method replaced,
+        preserving RNG draw order and event sequence exactly.  An active
+        policy may return a per-recipient plan; recipients omitted from
+        the plan are dropped, directives may substitute the payload
+        (proposals only) or delay the send by extra virtual time.
+        """
+        policy = self.policy
+        if policy is None or policy.transparent:
+            self.network.broadcast(self.node_id, message, include_self=True)
+            return
+        plan = policy.plan_fanout(message, round_number, self.committee.validators)
+        if plan is None:
+            self.network.broadcast(self.node_id, message, include_self=True)
+            return
+        network = self.network
+        simulator = network.simulator
+        substitutable = isinstance(message, ProposeMessage)
+        for directive in plan:
+            wire = message
+            if directive.payload is not None and substitutable:
+                wire = self.make_propose(directive.payload, round_number)
+            if directive.delay > 0.0:
+                # Crash/partition/loss state is evaluated when the send
+                # fires, exactly as for an honest message sent late.
+                simulator.schedule(
+                    directive.delay,
+                    partial(network.send, self.node_id, directive.recipient, wire),
+                )
+            else:
+                network.send(self.node_id, directive.recipient, wire)
+
+    def _participates(self, origin: ValidatorId, round_number: Round) -> bool:
+        """Ack/echo participation decision for ``origin``'s proposal."""
+        policy = self.policy
+        if policy is None or policy.transparent:
+            return True
+        return policy.should_ack(origin, round_number)
 
     def _deliver(self, payload: Any, round_number: Round, origin: ValidatorId) -> None:
         key = (origin, round_number)

@@ -52,14 +52,15 @@ class BrachaBroadcast(BroadcastProtocol):
     # -- broadcasting ------------------------------------------------------------
 
     def broadcast(self, payload: Any, round_number: Round) -> None:
-        digest = self._digest(self.node_id, round_number, payload)
-        message = ProposeMessage(
+        self._fanout(self.make_propose(payload, round_number), round_number)
+
+    def make_propose(self, payload: Any, round_number: Round) -> ProposeMessage:
+        return ProposeMessage(
             origin=self.node_id,
             round=round_number,
-            digest=digest,
+            digest=self._digest(self.node_id, round_number, payload),
             payload=payload,
         )
-        self.network.broadcast(self.node_id, message, include_self=True)
 
     # -- message handling ------------------------------------------------------------
 
@@ -79,6 +80,10 @@ class BrachaBroadcast(BroadcastProtocol):
         if sender != message.origin:
             return
         self._record_payload(message.origin, message.round, message.digest, message.payload)
+        if not self._participates(message.origin, message.round):
+            # Behavior policy: sit the echo phase out for this origin (the
+            # payload stays recorded so delivery via honest echoes works).
+            return
         self._send_echo(message)
 
     def _send_echo(self, message: ProposeMessage) -> None:
@@ -92,7 +97,7 @@ class BrachaBroadcast(BroadcastProtocol):
             digest=message.digest,
             payload=message.payload,
         )
-        self.network.broadcast(self.node_id, echo, include_self=True)
+        self._fanout(echo, message.round)
 
     def _handle_echo(self, sender: ValidatorId, message: EchoMessage) -> None:
         key = (message.origin, message.round)
@@ -119,7 +124,7 @@ class BrachaBroadcast(BroadcastProtocol):
             return
         self._readied.add(key)
         ready = ReadyMessage(origin=origin, round=round_number, digest=digest)
-        self.network.broadcast(self.node_id, ready, include_self=True)
+        self._fanout(ready, round_number)
 
     # -- helpers ---------------------------------------------------------------------
 

@@ -149,7 +149,15 @@ class CertifiedBroadcast(BroadcastProtocol):
             digest=digest,
             payload=payload,
         )
-        self.network.broadcast(self.node_id, message, include_self=True)
+        self._fanout(message, round_number)
+
+    def make_propose(self, payload: Any, round_number: Round) -> ProposeMessage:
+        return ProposeMessage(
+            origin=self.node_id,
+            round=round_number,
+            digest=self._broadcast_digest(self.node_id, round_number, payload),
+            payload=payload,
+        )
 
     def _emit_certificates(
         self, round_number: Round, certificates: Tuple[CertificateMessage, ...]
@@ -168,10 +176,10 @@ class CertifiedBroadcast(BroadcastProtocol):
                 digest=certificates[0].digest,
                 certificates=certificates,
             )
-            self.network.broadcast(self.node_id, envelope, include_self=True)
+            self._fanout(envelope, round_number)
         else:
             for certificate in certificates:
-                self.network.broadcast(self.node_id, certificate, include_self=True)
+                self._fanout(certificate, round_number)
 
     # -- message handling ----------------------------------------------------------
 
@@ -185,6 +193,10 @@ class CertifiedBroadcast(BroadcastProtocol):
     def _handle_propose(self, sender: ValidatorId, message: ProposeMessage) -> None:
         if sender != message.origin:
             # Proposals are only valid coming directly from their origin.
+            return
+        if not self._participates(message.origin, message.round):
+            # Behavior policy: withhold the acknowledgement entirely (and
+            # record nothing, so an honest relapse could still ack).
             return
         key = (message.origin, message.round)
         previously_acked = self._acked.get(key)

@@ -3,11 +3,14 @@
 This package is the layer between "I want to see how the schedule behaves
 under X" and the raw experiment harness.  A scenario is *data* — a
 :class:`ScenarioSpec` describing committee/load presets, a phased
-timeline of fault injections (crash, crash-recovery, slow, Byzantine
-vote withholding), network disturbances (partitions, jitter/loss
-windows), and a workload shape (constant, burst, ramp, diurnal) — that
-serializes to JSON, validates on the way back in, and hashes to a
-deterministic ``scenario_digest``.
+timeline of fault injections (crash, crash-recovery, slow, and the
+behavior-policy adversaries: vote withholding, equivocation, selective
+silence, lazy leaders, reputation gaming), network disturbances
+(partitions, jitter/loss windows), and a workload shape (constant,
+burst, ramp, diurnal) — that serializes to JSON, validates on the way
+back in, and hashes to a deterministic ``scenario_digest``.  Timeline
+instants may be committee-size-relative expressions resolved per sweep
+point, and specs concatenate in time with :meth:`ScenarioSpec.then`.
 
 :func:`compile_spec` lowers a spec onto the existing simulation stack
 (:class:`~repro.sim.experiment.ExperimentConfig` plus
@@ -24,11 +27,14 @@ Command line::
     python -m repro.scenarios sweep figure2-faults --seeds 1 2 3
     python -m repro.scenarios run --spec my_scenario.json
 
-The registry ships eight curated scenarios (``faultless``,
-``figure2-faults``, ``sui-incident``, ``rolling-crash-churn``,
-``targeted-leader-attack``, ``asymmetric-partition``, ``load-spike``,
-``mixed-adversary``); the ``examples/`` figure scripts are thin wrappers
-over the first three.
+The registry ships fourteen curated scenarios: the paper's evaluation
+(``faultless``, ``figure2-faults``, ``sui-incident``), environmental
+adversity (``rolling-crash-churn``, ``asymmetric-partition``,
+``load-spike``, ``mixed-adversary``, ``partition-failover``,
+``maintenance-churn+recovery-spike``), and the behavior-policy attacks
+(``targeted-leader-attack``, ``equivocation-split``, ``silent-saboteur``,
+``lazy-leader``, ``reputation-gamer``).  The ``examples/`` figure
+scripts are thin wrappers over the first three.
 """
 
 from repro.scenarios.registry import (

@@ -189,6 +189,134 @@ register_scenario(
 
 register_scenario(
     ScenarioSpec(
+        name="equivocation-split",
+        description=(
+            "Byzantine equivocation: two validators send conflicting "
+            "vertices to a deceived head subset; quorum intersection keeps "
+            "the fork out of the DAG and the schedule reacts to the damage"
+        ),
+        protocols=("hammerhead", "bullshark"),
+        committee_sizes=(10,),
+        loads=(1200.0,),
+        duration=80.0,
+        warmup=30.0,
+        seed=8,
+        faults=(FaultSpec(kind="equivocate", count=2, at=10.0, target_count=3),),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="silent-saboteur",
+        description=(
+            "Targeted DoS: two validators go silent towards a victim pair "
+            "(no traffic, no acks, no fetch service) for a mid-run window; "
+            "the victims limp along through third parties"
+        ),
+        protocols=("hammerhead", "bullshark"),
+        committee_sizes=(10,),
+        loads=(1200.0,),
+        duration=80.0,
+        warmup=30.0,
+        seed=10,
+        faults=(
+            FaultSpec(kind="silent-fanout", count=2, at=10.0, end=60.0, target_count=2),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="lazy-leader",
+        description=(
+            "Timing adversary: f validators behave perfectly except on "
+            "their own leader slots, which they delay past the leader "
+            "timeout — leader-based scoring sees skips, vote-based sees "
+            "nothing"
+        ),
+        protocols=("hammerhead", "bullshark"),
+        committee_sizes=(10,),
+        loads=(1500.0,),
+        duration=80.0,
+        warmup=30.0,
+        seed=11,
+        faults=(FaultSpec(kind="lazy-leader", max_faulty=True, at=0.0, extra_delay=6.0),),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="reputation-gamer",
+        description=(
+            "An attack on the scoring rule itself: the adversary withholds "
+            "votes except around its own leader slots, harvesting just "
+            "enough reputation to dodge the demoted set entirely"
+        ),
+        protocols=("hammerhead", "bullshark"),
+        committee_sizes=(10,),
+        loads=(1500.0,),
+        duration=80.0,
+        warmup=30.0,
+        seed=4,
+        faults=(FaultSpec(kind="reputation-gaming", count=1, at=0.0, window=9),),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="partition-failover",
+        description=(
+            "The asymmetric partition with client failover enabled: load "
+            "abandons the minority side while the window is open and "
+            "returns at the heal"
+        ),
+        protocols=("hammerhead", "bullshark"),
+        committee_sizes=(12,),
+        loads=(1200.0,),
+        duration=90.0,
+        warmup=15.0,
+        seed=6,
+        partitions=(PartitionSpec(isolate_fraction=0.25, start=30.0, end=55.0),),
+        partition_failover=True,
+    )
+)
+
+# Scenario composition (ScenarioSpec.then): maintenance churn, a quiet
+# gap, then a traffic spike while the committee digests the churn.
+_churn_phase = ScenarioSpec(
+    name="maintenance-churn",
+    description="two validators crash and recover in sequence",
+    protocols=("hammerhead", "bullshark"),
+    committee_sizes=(10,),
+    workload=WorkloadSpec(kind="constant", tps=1200.0),
+    duration=45.0,
+    warmup=15.0,
+    seed=12,
+    faults=(
+        FaultSpec(kind="crash-recovery", validators=(9,), at=10.0, recover_at=25.0),
+        FaultSpec(kind="crash-recovery", validators=(8,), at=20.0, recover_at=35.0),
+    ),
+)
+_spike_phase = ScenarioSpec(
+    name="recovery-spike",
+    description="a 2.5x burst lands while the committee digests the churn",
+    protocols=("hammerhead", "bullshark"),
+    committee_sizes=(10,),
+    workload=WorkloadSpec(
+        kind="burst",
+        tps=1200.0,
+        burst_tps=3000.0,
+        burst_start=10.0,
+        burst_end=20.0,
+    ),
+    duration=35.0,
+    warmup=10.0,
+    seed=12,
+)
+register_scenario(_churn_phase.then(_spike_phase, gap=5.0))
+
+register_scenario(
+    ScenarioSpec(
         name="mixed-adversary",
         description=(
             "Everything at once: a crash, degraded validators, a jitter/loss "

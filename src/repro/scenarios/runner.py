@@ -65,6 +65,10 @@ def build_artifact(
                 "ordered_count": ordered_count,
                 "schedule_changes": result.report.schedule_changes,
                 "crashed_validators": list(result.crashed_validators),
+                # Reputation-reaction summary (observer's schedule history):
+                # score trajectory per change, rounds-until-demotion and
+                # leader-slot share of the fault-affected validators.
+                "reputation": result.reputation,
             }
         )
     return {

@@ -21,12 +21,20 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from functools import partial
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
+from repro.behavior.adversarial import (
+    EquivocationPolicy,
+    LazyLeaderPolicy,
+    ReputationGamingPolicy,
+    SilentFanoutPolicy,
+)
 from repro.committee import Committee, equal_stake, geometric_stake, zipfian_stake
 from repro.crypto.hashing import digest_hex
 from repro.errors import ConfigurationError
-from repro.faults.base import FaultPlan, tail_validators
+from repro.faults.base import FaultPlan, head_validators, tail_validators
+from repro.faults.behavior import BehaviorFault
 from repro.faults.byzantine import VoteWithholdingFault
 from repro.faults.crash import CrashFault, CrashRecoveryFault
 from repro.faults.partition import (
@@ -44,8 +52,21 @@ from repro.workload.phases import (
     validate_phases,
 )
 
+# Behavior-policy fault kinds (compiled to BehaviorFault plans installing
+# the matching repro.behavior policy on a timeline).
+BEHAVIOR_FAULT_KINDS = (
+    "equivocate",
+    "silent-fanout",
+    "lazy-leader",
+    "reputation-gaming",
+)
 # Fault kinds understood by the timeline.
-FAULT_KINDS = ("crash", "crash-recovery", "slow", "vote-withholding")
+FAULT_KINDS = (
+    "crash",
+    "crash-recovery",
+    "slow",
+    "vote-withholding",
+) + BEHAVIOR_FAULT_KINDS
 # Workload shapes understood by the compiler.
 WORKLOAD_KINDS = ("constant", "burst", "ramp", "diurnal")
 
@@ -56,6 +77,63 @@ SPEC_VERSION = 1
 def _require(condition: bool, message: str) -> None:
     if not condition:
         raise ConfigurationError(message)
+
+
+def _is_int(value: Any) -> bool:
+    """A true integer — JSON ``true``/``false`` must not pass as 1/0."""
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+# A timeline instant: either an absolute number of seconds, or a small
+# committee-size-relative expression ``{"base": b, "per_validator": p}``
+# resolved to ``b + p * committee_size`` per sweep point at compile time
+# (the per-point scenario axes of the roadmap, minimal form).
+TimeExpr = Union[int, float, Mapping]
+
+_TIME_EXPR_KEYS = frozenset(("base", "per_validator"))
+
+
+def _validate_time(value: Optional[TimeExpr], field: str) -> None:
+    if value is None:
+        return
+    if isinstance(value, Mapping):
+        unknown = set(value) - _TIME_EXPR_KEYS
+        _require(not unknown, f"unknown {field!r} expression keys: {sorted(unknown)}")
+        _require(bool(value), f"a {field!r} expression needs base and/or per_validator")
+        for key, entry in value.items():
+            _require(
+                isinstance(entry, (int, float)) and not isinstance(entry, bool),
+                f"{field!r} expression values must be numbers",
+            )
+            _require(entry >= 0.0, f"{field!r} expression values must be non-negative")
+        return
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        f"{field!r} must be a number or a time expression",
+    )
+    _require(value >= 0.0, f"{field!r} must be non-negative")
+
+
+def resolve_time(value: Optional[TimeExpr], committee_size: int) -> Optional[float]:
+    """Resolve a :data:`TimeExpr` against a concrete committee size."""
+    if value is None:
+        return None
+    if isinstance(value, Mapping):
+        return float(value.get("base", 0.0)) + float(
+            value.get("per_validator", 0.0)
+        ) * committee_size
+    return float(value)
+
+
+def _shift_time(value: Optional[TimeExpr], offset: float) -> Optional[TimeExpr]:
+    """Shift a :data:`TimeExpr` later by ``offset`` seconds (for ``then``)."""
+    if value is None:
+        return None
+    if isinstance(value, Mapping):
+        shifted = dict(value)
+        shifted["base"] = float(shifted.get("base", 0.0)) + offset
+        return shifted
+    return round(float(value) + offset, 6)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -69,6 +147,17 @@ class FaultSpec:
       convention, observer protected);
     * ``fraction`` — like ``count`` but as a committee fraction;
     * ``max_faulty`` — the maximum tolerable ``f``.
+
+    Timeline instants (``at``, ``recover_at``, ``end``) accept either
+    absolute seconds or a committee-size-relative expression
+    ``{"base": b, "per_validator": p}`` resolved per sweep point.
+
+    The targeted behavior kinds (``equivocate``, ``silent-fanout``) pick
+    their *victims* with ``targets`` (explicit ids) or ``target_count``
+    (the lowest-indexed non-observer validators — the mirror of the
+    attacker tail convention); ``window`` is the honest-round window of
+    ``reputation-gaming``, and ``extra_delay`` doubles as the
+    ``lazy-leader`` proposal delay.
     """
 
     kind: str
@@ -76,13 +165,17 @@ class FaultSpec:
     count: Optional[int] = None
     fraction: Optional[float] = None
     max_faulty: bool = False
-    at: float = 0.0
-    recover_at: Optional[float] = None  # crash-recovery only
-    extra_delay: float = 0.5  # slow only
-    end: Optional[float] = None  # slow only
+    at: TimeExpr = 0.0
+    recover_at: Optional[TimeExpr] = None  # crash-recovery only
+    extra_delay: float = 0.5  # slow and lazy-leader
+    end: Optional[TimeExpr] = None  # slow and behavior kinds
+    targets: Tuple[int, ...] = ()  # equivocate / silent-fanout victims
+    target_count: Optional[int] = None  # like targets, head-of-committee
+    window: Optional[int] = None  # reputation-gaming only
 
     def validate(self) -> "FaultSpec":
         _require(self.kind in FAULT_KINDS, f"unknown fault kind {self.kind!r}")
+        behavior = self.kind in BEHAVIOR_FAULT_KINDS
         selectors = [
             bool(self.validators),
             self.count is not None,
@@ -98,20 +191,55 @@ class FaultSpec:
             _require(self.count >= 1, "a fault count must be at least 1")
         if self.fraction is not None:
             _require(0.0 < self.fraction <= 1.0, "a fault fraction must lie in (0, 1]")
-        _require(self.at >= 0.0, "fault times must be non-negative")
+        _validate_time(self.at, "at")
         if self.kind == "crash-recovery":
             _require(
-                self.recover_at is not None and self.recover_at > self.at,
+                self.recover_at is not None,
                 "crash-recovery needs recover_at after the crash time",
             )
+            _validate_time(self.recover_at, "recover_at")
+            if not isinstance(self.at, Mapping) and not isinstance(self.recover_at, Mapping):
+                _require(
+                    self.recover_at > self.at,
+                    "crash-recovery needs recover_at after the crash time",
+                )
         else:
             _require(self.recover_at is None, f"{self.kind!r} does not take recover_at")
-        if self.kind == "slow":
-            _require(self.extra_delay > 0.0, "a slow fault needs a positive extra delay")
-            if self.end is not None:
-                _require(self.end > self.at, "a slow window must close after it opens")
+        if self.kind in ("slow", "lazy-leader"):
+            _require(
+                self.extra_delay > 0.0, f"a {self.kind} fault needs a positive extra delay"
+            )
+        if self.kind == "slow" or behavior:
+            _validate_time(self.end, "end")
+            if (
+                self.end is not None
+                and not isinstance(self.end, Mapping)
+                and not isinstance(self.at, Mapping)
+            ):
+                _require(self.end > self.at, "a fault window must close after it opens")
         else:
             _require(self.end is None, f"{self.kind!r} does not take an end time")
+        if self.kind in ("equivocate", "silent-fanout"):
+            _require(
+                not (self.targets and self.target_count is not None),
+                f"{self.kind!r} takes targets or target_count, not both",
+            )
+            for target in self.targets:
+                _require(_is_int(target), "targets must be validator ids (integers)")
+            if self.target_count is not None:
+                _require(_is_int(self.target_count), "target_count must be an integer")
+                _require(self.target_count >= 1, "target_count must be at least 1")
+        else:
+            _require(
+                not self.targets and self.target_count is None,
+                f"{self.kind!r} does not take targets",
+            )
+        if self.kind == "reputation-gaming":
+            if self.window is not None:
+                _require(_is_int(self.window), "the honest window must be an integer")
+                _require(self.window >= 0, "the honest window must be non-negative")
+        else:
+            _require(self.window is None, f"{self.kind!r} does not take a window")
         return self
 
 
@@ -239,6 +367,11 @@ class ScenarioSpec:
     faults: Tuple[FaultSpec, ...] = ()
     partitions: Tuple[PartitionSpec, ...] = ()
     disturbances: Tuple[DisturbanceSpec, ...] = ()
+    # Clients fail over away from minority-side validators while a
+    # partition window is open (see SimulationRunner).  Off by default:
+    # failover changes submission patterns, so the historical partition
+    # scenario digests only hold with the flag off.
+    partition_failover: bool = False
 
     # -- validation -----------------------------------------------------------
 
@@ -301,9 +434,25 @@ class ScenarioSpec:
     # -- serialization --------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-JSON dictionary form (tuples become lists)."""
+        """Plain-JSON dictionary form (tuples become lists).
+
+        Fields introduced after spec version 1 shipped are omitted at
+        their default values: the canonical form (and therefore
+        :meth:`scenario_digest`) of a spec that does not use them is
+        identical to what earlier revisions produced, so previously
+        recorded scenario digests remain valid.
+        """
         data = dataclasses.asdict(self)
         data["version"] = SPEC_VERSION
+        if not data["partition_failover"]:
+            del data["partition_failover"]
+        for fault in data["faults"]:
+            if not fault["targets"]:
+                del fault["targets"]
+            if fault["target_count"] is None:
+                del fault["target_count"]
+            if fault["window"] is None:
+                del fault["window"]
         return json.loads(json.dumps(data))
 
     def to_json(self, indent: int = 2) -> str:
@@ -342,6 +491,9 @@ class ScenarioSpec:
             faults=_parse_nested_tuple(payload, "faults", FaultSpec),
             partitions=_parse_nested_tuple(payload, "partitions", PartitionSpec),
             disturbances=_parse_nested_tuple(payload, "disturbances", DisturbanceSpec),
+            partition_failover=_parse_scalar(
+                payload, "partition_failover", bool, default=False
+            ),
         )
         _require(not payload, f"unknown scenario spec keys: {sorted(payload)}")
         return spec.validate()
@@ -375,6 +527,106 @@ class ScenarioSpec:
         """The healthy twin: same run, empty fault/disturbance timelines."""
         return self.with_overrides(faults=(), partitions=(), disturbances=())
 
+    # -- composition ----------------------------------------------------------
+
+    def then(self, other: "ScenarioSpec", gap: float = 0.0) -> "ScenarioSpec":
+        """Concatenate ``other`` after this scenario, ``gap`` quiet seconds apart.
+
+        The result runs this scenario's timeline first, then — shifted by
+        ``duration + gap`` — the other's faults, partitions, and
+        disturbances ("churn, then partition, then spike").  The two
+        specs must agree on every per-point axis (protocols, committees,
+        loads, seed, stake, scoring, latency); workloads combine when
+        they share a base rate (two matching constants, or one burst over
+        the shared base — a spec layer cannot splice two distinct burst
+        windows into one profile).  The combination is an ordinary
+        validated spec: it serializes, digests, and smokes like any
+        other.
+        """
+        _require(gap >= 0.0, "the gap between combined scenarios must be non-negative")
+        for field in (
+            "protocols",
+            "committee_sizes",
+            "loads",
+            "seed",
+            "stake",
+            "commits_per_schedule",
+            "scoring",
+            "latency_model",
+            "gst",
+            "delta",
+            "partition_failover",
+        ):
+            _require(
+                getattr(self, field) == getattr(other, field),
+                f"combined scenarios must agree on {field!r}",
+            )
+        offset = self.duration + gap
+        shifted_faults = tuple(
+            dataclasses.replace(
+                fault,
+                at=_shift_time(fault.at, offset),
+                recover_at=_shift_time(fault.recover_at, offset),
+                end=_shift_time(fault.end, offset),
+            )
+            for fault in other.faults
+        )
+        shifted_partitions = tuple(
+            dataclasses.replace(
+                p,
+                start=round(p.start + offset, 6),
+                end=None if p.end is None else round(p.end + offset, 6),
+            )
+            for p in other.partitions
+        )
+        shifted_disturbances = tuple(
+            dataclasses.replace(
+                d,
+                start=round(d.start + offset, 6),
+                end=None if d.end is None else round(d.end + offset, 6),
+            )
+            for d in other.disturbances
+        )
+        return self.with_overrides(
+            name=f"{self.name}+{other.name}",
+            description=f"{self.description} — then — {other.description}".strip(" —"),
+            duration=self.duration + gap + other.duration,
+            workload=self._combine_workload(other, offset),
+            faults=self.faults + shifted_faults,
+            partitions=self.partitions + shifted_partitions,
+            disturbances=self.disturbances + shifted_disturbances,
+        )
+
+    def _combine_workload(self, other: "ScenarioSpec", offset: float) -> WorkloadSpec:
+        first, second = self.workload, other.workload
+        if first.kind == "constant" and second.kind == "constant":
+            _require(
+                first.tps == second.tps,
+                "combined constant workloads must share one rate "
+                f"({first.tps} vs {second.tps})",
+            )
+            return first
+        if first.kind == "constant" and second.kind == "burst":
+            _require(
+                second.tps == first.tps,
+                "a burst joined after a constant workload must share its base rate",
+            )
+            return dataclasses.replace(
+                second,
+                burst_start=round(second.burst_start + offset, 6),
+                burst_end=round(second.burst_end + offset, 6),
+            )
+        if first.kind == "burst" and second.kind == "constant":
+            _require(
+                second.tps == first.tps,
+                "a constant workload joined after a burst must share its base rate",
+            )
+            return first
+        raise ConfigurationError(
+            "combined scenarios support matching constant workloads or a single "
+            f"burst over a shared base rate (got {first.kind!r} then {second.kind!r})"
+        )
+
     def smoke(self) -> "ScenarioSpec":
         """A tiny-committee, short-horizon variant for CI smoke runs.
 
@@ -388,9 +640,18 @@ class ScenarioSpec:
         """
         duration = min(self.duration, 15.0)
         scale = duration / self.duration
+        smoke_committee = 4
 
         def scaled(time: float) -> float:
             return round(time * scale, 3)
+
+        def scaled_time(value: Optional[TimeExpr]) -> Optional[float]:
+            # Committee-relative expressions are resolved against the
+            # smoke committee before scaling (the smoke variant has one
+            # concrete committee size, so nothing is lost).
+            if value is None:
+                return None
+            return round(resolve_time(value, smoke_committee) * scale, 3)
 
         # Distinct stand-in validators for explicit selections (committee
         # of 4, observer 0 protected).
@@ -404,15 +665,20 @@ class ScenarioSpec:
                     continue
                 seen_permanent_crash = True
             changes: Dict[str, Any] = {
-                "at": scaled(fault.at),
-                "recover_at": None if fault.recover_at is None else scaled(fault.recover_at),
-                "end": None if fault.end is None else scaled(fault.end),
+                "at": scaled_time(fault.at),
+                "recover_at": scaled_time(fault.recover_at),
+                "end": scaled_time(fault.end),
             }
             if fault.validators:
                 changes["validators"] = (smoke_ids[next_smoke_id % len(smoke_ids)],)
                 next_smoke_id += 1
             if fault.count is not None:
                 changes["count"] = 1
+            if fault.kind in ("equivocate", "silent-fanout"):
+                # Victim selections shrink to one head victim; explicit
+                # ids may not exist in the 4-member committee.
+                changes["targets"] = ()
+                changes["target_count"] = 1
             faults.append(dataclasses.replace(fault, **changes))
         partitions = tuple(
             dataclasses.replace(
@@ -576,6 +842,28 @@ def _resolve_tail(committee: Committee, fault: FaultSpec, protect=(0,)) -> Tuple
     return tail_validators(committee, count, protect)
 
 
+def _resolve_targets(fault: FaultSpec, committee: Committee) -> Tuple[int, ...]:
+    """Resolve the victim selection of a targeted behavior fault."""
+    if fault.targets:
+        targets = tuple(v for v in fault.targets if v in committee.validators)
+    else:
+        targets = head_validators(committee, fault.target_count or 1)
+    _require(bool(targets), f"fault {fault.kind!r} selects no targets")
+    return targets
+
+
+def _behavior_factory(fault: FaultSpec, committee: Committee):
+    """The picklable policy factory a behavior fault installs per validator."""
+    if fault.kind == "equivocate":
+        return partial(EquivocationPolicy, victims=_resolve_targets(fault, committee))
+    if fault.kind == "silent-fanout":
+        return partial(SilentFanoutPolicy, targets=_resolve_targets(fault, committee))
+    if fault.kind == "lazy-leader":
+        return partial(LazyLeaderPolicy, delay=fault.extra_delay)
+    window = 6 if fault.window is None else fault.window
+    return partial(ReputationGamingPolicy, window=window)
+
+
 def _compile_faults(
     spec: ScenarioSpec, committee: Committee
 ) -> Tuple[int, float, Tuple[FaultPlan, ...]]:
@@ -591,34 +879,49 @@ def _compile_faults(
     builtin_time = 0.0
     plans: List[FaultPlan] = []
     for fault in spec.faults:
+        # Timeline instants resolve per sweep point: a committee-relative
+        # expression yields a different concrete time at each size.
+        at = resolve_time(fault.at, committee.size)
+        recover_at = resolve_time(fault.recover_at, committee.size)
+        end = resolve_time(fault.end, committee.size)
         if fault.kind == "crash" and not fault.validators:
             # Tail-selected permanent crash: the builtin path.
             builtin_faults = len(_resolve_tail(committee, fault))
-            builtin_time = fault.at
+            builtin_time = at
             continue
         if fault.kind in ("crash", "crash-recovery"):
             validators = fault.validators or _resolve_tail(committee, fault)
             validators = tuple(v for v in validators if v in committee.validators)
             _require(bool(validators), f"fault {fault.kind!r} selects no validators")
             if fault.kind == "crash":
-                plans.append(CrashFault(validators=validators, at_time=fault.at))
+                plans.append(CrashFault(validators=validators, at_time=at))
             else:
+                _require(
+                    recover_at > at,
+                    "crash-recovery needs recover_at after the crash time "
+                    f"(resolved to {at} and {recover_at} at committee {committee.size})",
+                )
                 plans.append(
                     CrashRecoveryFault(
                         validators=validators,
-                        crash_at=fault.at,
-                        recover_at=fault.recover_at,
+                        crash_at=at,
+                        recover_at=recover_at,
                     )
                 )
         elif fault.kind == "slow":
+            _require(
+                end is None or end > at,
+                "a slow window must close after it opens "
+                f"(resolved to {at} and {end} at committee {committee.size})",
+            )
             if fault.fraction is not None and not fault.validators:
                 plans.append(
                     degrade_fraction(
                         committee,
                         fraction=fault.fraction,
                         extra_delay=fault.extra_delay,
-                        start=fault.at,
-                        end=fault.end,
+                        start=at,
+                        end=end,
                     )
                 )
             else:
@@ -627,13 +930,30 @@ def _compile_faults(
                     SlowValidatorFault(
                         validators=tuple(validators),
                         extra_delay=fault.extra_delay,
-                        start=fault.at,
-                        end=fault.end,
+                        start=at,
+                        end=end,
                     )
                 )
         elif fault.kind == "vote-withholding":
             validators = fault.validators or _resolve_tail(committee, fault)
-            plans.append(VoteWithholdingFault(validators=tuple(validators), at_time=fault.at))
+            plans.append(VoteWithholdingFault(validators=tuple(validators), at_time=at))
+        elif fault.kind in BEHAVIOR_FAULT_KINDS:
+            validators = fault.validators or _resolve_tail(committee, fault)
+            validators = tuple(v for v in validators if v in committee.validators)
+            _require(bool(validators), f"fault {fault.kind!r} selects no validators")
+            _require(
+                end is None or end > at,
+                "a behavior window must close after it opens "
+                f"(resolved to {at} and {end} at committee {committee.size})",
+            )
+            plans.append(
+                BehaviorFault(
+                    validators=validators,
+                    policy_factory=_behavior_factory(fault, committee),
+                    start=at,
+                    end=end,
+                )
+            )
     for partition in spec.partitions:
         if partition.isolate_fraction is not None:
             plans.append(
@@ -737,6 +1057,7 @@ def compile_spec(spec: ScenarioSpec, seed: Optional[int] = None) -> List[Compile
                     gst=spec.gst,
                     delta=spec.delta,
                     seed=run_seed,
+                    partition_failover=spec.partition_failover,
                 ).validate()
                 points.append(
                     CompiledPoint(

@@ -11,7 +11,7 @@ safety and schedule agreement).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.faults.base import FaultPlan
@@ -67,6 +67,13 @@ class ExperimentConfig:
     execution_capacity_tps: Optional[float] = None
     # Certificate fan-out wire format (see NodeConfig.certificate_batching).
     certificate_batching: bool = True
+    # Client failover during partition windows: when on, load generators
+    # retarget to the majority side while a PartitionPlan window is open
+    # (the way real benchmark clients abandon unreachable endpoints) and
+    # return to the full target set at the heal.  Off by default — it
+    # changes submission patterns, so the historical partition digests
+    # only hold with the flag off.
+    partition_failover: bool = False
 
     # Simulation control.
     seed: int = 1
@@ -147,6 +154,11 @@ class ExperimentResult:
     commits_per_leader: Dict[int, int]
     skipped_rounds_per_leader: Dict[int, int]
     crashed_validators: List[int]
+    # Reputation-reaction summary from the observer's schedule history
+    # (see :func:`repro.metrics.reputation.reputation_metrics`): score
+    # trajectory per schedule change, rounds-until-demotion and leader-
+    # slot share of the fault-affected validators.
+    reputation: Dict[str, Any] = dataclasses.field(default_factory=dict)
 
     @property
     def throughput(self) -> float:

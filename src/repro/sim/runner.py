@@ -22,10 +22,12 @@ from repro.core.schedule_change import CommitCountPolicy, RoundBasedPolicy
 from repro.core.scoring import CarouselScoring, HammerHeadScoring, ShoalScoring
 from repro.faults.base import FaultInjector
 from repro.faults.crash import crash_last_f
+from repro.faults.partition import PartitionPlan
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.execution import ExecutionModel
 from repro.metrics.leader_stats import LeaderUtilizationStats
 from repro.metrics.report import PerformanceReport
+from repro.metrics.reputation import reputation_metrics
 from repro.network.latency import GeoLatencyModel, UniformLatencyModel
 from repro.network.simulator import Simulator
 from repro.network.synchrony import AlwaysSynchronous, PartialSynchrony
@@ -40,7 +42,7 @@ from repro.sim.experiment import (
 )
 from repro.sim.presets import execution_capacity_for, node_config_for
 from repro.types import ValidatorId
-from repro.workload.generator import spawn_load
+from repro.workload.generator import LoadGenerator, spawn_load
 from repro.workload.phases import LoadPhase, spawn_phased_load
 
 
@@ -66,6 +68,9 @@ class SimulationRunner:
         )
         self.leader_stats = LeaderUtilizationStats()
         self.fault_injector = self._build_faults()
+        # Live load generators (filled by _start_load); partition-aware
+        # failover retargets them while a partition window is open.
+        self._load_generators: List[LoadGenerator] = []
         self._wire_observers()
 
     # -- construction ---------------------------------------------------------------
@@ -186,6 +191,8 @@ class SimulationRunner:
             self.fault_injector.schedule_all(self.simulator, self.network, self.nodes)
             self._start_nodes()
             self._start_load()
+            if config.partition_failover:
+                self._schedule_partition_failover()
             self.simulator.run(until=config.duration)
             return self._build_result()
         finally:
@@ -217,7 +224,7 @@ class SimulationRunner:
             phases = [
                 LoadPhase(start, end, tps) for start, end, tps in self.config.load_phases
             ]
-            spawn_phased_load(
+            self._load_generators = spawn_phased_load(
                 simulator=self.simulator,
                 targets=self._load_targets(),
                 phases=phases,
@@ -227,7 +234,7 @@ class SimulationRunner:
         if self.config.input_load_tps <= 0:
             return
         targets = self._load_targets()
-        spawn_load(
+        self._load_generators = spawn_load(
             simulator=self.simulator,
             targets=targets,
             total_rate=self.config.input_load_tps,
@@ -252,6 +259,53 @@ class SimulationRunner:
             node for validator, node in sorted(self.nodes.items()) if validator not in excluded
         ]
         return targets if targets else list(self.nodes.values())
+
+    # -- partition-aware client failover ----------------------------------------
+
+    def _schedule_partition_failover(self) -> None:
+        """Retarget clients to the majority side over partition windows.
+
+        Mirrors how real load generators abandon unreachable endpoints:
+        while a :class:`PartitionPlan` window is open, every client
+        submits only to validators on a side that still holds a stake
+        quorum (if no side does, targeting is left alone — there is no
+        good side to fail over to); at the heal, clients return to the
+        full healthy target set.  Gated by
+        ``ExperimentConfig.partition_failover`` so historical partition
+        runs keep their recorded digests.
+        """
+        for plan in self.fault_injector.plans:
+            if not isinstance(plan, PartitionPlan):
+                continue
+            majority = self._majority_side(plan)
+            if majority is None:
+                continue
+            inside = [node for node in self._load_targets() if node.id in majority]
+            if not inside:
+                continue
+
+            def fail_over(targets=inside) -> None:
+                for generator in self._load_generators:
+                    generator.set_targets(targets)
+
+            def fail_back() -> None:
+                targets = self._load_targets()
+                for generator in self._load_generators:
+                    generator.set_targets(targets)
+
+            self.simulator.schedule_at(max(plan.start, 0.0), fail_over)
+            if plan.end is not None:
+                self.simulator.schedule_at(plan.end, fail_back)
+
+    def _majority_side(self, plan: PartitionPlan):
+        """The side of ``plan`` holding a stake quorum, if any."""
+        listed = {validator for group in plan.groups for validator in group}
+        implicit = [v for v in self.committee.validators if v not in listed]
+        sides = [tuple(implicit)] + [tuple(group) for group in plan.groups]
+        for side in sides:
+            if side and self.committee.has_quorum(side):
+                return frozenset(side)
+        return None
 
     # -- result assembly -------------------------------------------------------------------
 
@@ -317,4 +371,8 @@ class SimulationRunner:
             commits_per_leader=self.leader_stats.commits_per_leader(),
             skipped_rounds_per_leader=self.leader_stats.skipped_rounds_per_leader(),
             crashed_validators=crashed,
+            reputation=reputation_metrics(
+                observer.schedule_manager,
+                faulty=self.fault_injector.affected_validators(),
+            ),
         )

@@ -127,6 +127,17 @@ class LoadGenerator:
                 self._first_time + self.submission_delay, self._deliver_next
             )
 
+    def set_targets(self, targets: Sequence[ValidatorNode]) -> None:
+        """Fail the client over to a new target set (partition failover).
+
+        The round-robin cycle restarts at the head of the new set; no RNG
+        is involved, so retargeting keeps runs deterministic.
+        """
+        if not targets:
+            raise WorkloadError("a load generator needs at least one target validator")
+        self.targets = list(targets)
+        self._target_cycle = itertools.cycle(self.targets)
+
     def _deliver_next(self) -> None:
         """Deliver one transaction and schedule the next delivery.
 

@@ -151,3 +151,52 @@ class TestMainEntry:
     def test_invalid_threshold_rejected(self, tmp_path):
         base = self.write(tmp_path, "base.json", document())
         assert check_regression.main([base, "--baseline", base, "--threshold", "1.5"]) == 2
+
+
+def scenario_stage(digest="abc", points=None):
+    return {
+        "scenario": "reputation-gamer",
+        "scenario_digest": digest,
+        "points": points
+        if points is not None
+        else [{"label": "hammerhead - 4 nodes @ 300 tx/s", "ordering_digest": "d1" * 32}],
+    }
+
+
+class TestScenarioStageComparison:
+    def test_matching_scenario_stage_passes(self):
+        doc = dict(document([fig1_point(4000.0, 1.0)]), scenario_adversary=scenario_stage())
+        findings = check_regression.compare_documents(doc, doc, 0.10)
+        assert not any(finding.fatal for finding in findings)
+
+    def test_ordering_digest_change_is_fatal(self):
+        base = dict(document([fig1_point(4000.0, 1.0)]), scenario_adversary=scenario_stage())
+        fresh = dict(
+            document([fig1_point(4000.0, 1.0)]),
+            scenario_adversary=scenario_stage(
+                points=[{"label": "hammerhead - 4 nodes @ 300 tx/s", "ordering_digest": "e2" * 32}]
+            ),
+        )
+        findings = check_regression.compare_documents(fresh, base, 0.10)
+        assert any(finding.fatal and "scenario_adversary" in finding.stage for finding in findings)
+
+    def test_changed_scenario_definition_skips(self):
+        base = dict(document([fig1_point(4000.0, 1.0)]), scenario_smoke=scenario_stage("old"))
+        fresh = dict(
+            document([fig1_point(4000.0, 1.0)]),
+            scenario_smoke=scenario_stage(
+                "new",
+                points=[{"label": "hammerhead - 4 nodes @ 300 tx/s", "ordering_digest": "e2" * 32}],
+            ),
+        )
+        findings = check_regression.compare_documents(fresh, base, 0.10)
+        assert not any(finding.fatal for finding in findings)
+
+    def test_skipped_stage_is_not_fatal(self):
+        base = dict(document([fig1_point(4000.0, 1.0)]), scenario_adversary=scenario_stage())
+        fresh = dict(
+            document([fig1_point(4000.0, 1.0)]),
+            scenario_adversary={"outcome": "skipped", "reason": "--skip-scenario"},
+        )
+        findings = check_regression.compare_documents(fresh, base, 0.10)
+        assert not any(finding.fatal for finding in findings)
