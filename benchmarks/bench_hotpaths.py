@@ -17,10 +17,10 @@ Measures the three things this repo's performance work optimizes:
 * **Sweep speed** — wall-clock for a 4-point latency/throughput curve run
   serially versus through the parallel :class:`SweepEngine`.
 
-Results are written to ``BENCH_PR4.json`` at the repository root so that
+Results are written to ``BENCH_PR5.json`` at the repository root so that
 future PRs can diff the perf trajectory (``benchmarks/run_bench.py``
 wraps this together with a scenario smoke run and the tier-2 qualitative
-suite; ``BENCH_PR1.json``–``BENCH_PR3.json`` hold earlier trajectories).
+suite; ``BENCH_PR1.json``–``BENCH_PR4.json`` hold earlier trajectories).
 ``benchmarks/check_regression.py`` compares a freshly generated document
 against the committed baseline and fails CI on a >10% events/sec drop.
 
@@ -49,7 +49,7 @@ from repro.sim.experiment import ExperimentConfig, ExperimentResult, run_experim
 from repro.sim.sweep import SweepEngine, default_parallelism
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR4.json")
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR5.json")
 
 # The figure-1 faultless preset: the paper's smallest committee under
 # increasing load, with the peak (4,000 tx/s) as the last point.

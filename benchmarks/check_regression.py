@@ -2,10 +2,19 @@
 """Bench regression gate: diff a fresh bench JSON against the baseline.
 
 Compares the ``events_per_sec`` of every stage a freshly generated bench
-document shares with the committed baseline (``BENCH_PR4.json`` at the
+document shares with the committed baseline (``BENCH_PR5.json`` at the
 repository root, i.e. the trajectory recorded when the current
 optimization PR landed) and exits non-zero when any stage regressed by
 more than the threshold (default 10%).
+
+When both documents carry a CPU-calibration stage (``calibration`` —
+see ``run_bench.run_cpu_calibration``), every events/sec ratio is
+divided by the hosts' calibration ratio first: a hosted runner that is
+uniformly 2x slower than the reference container then compares clean
+against a reference-recorded baseline, so the gate can run at its tight
+threshold instead of the 0.35-wide compensation it needed before.
+Disable with ``--no-calibration`` (or ``REPRO_BENCH_NO_CALIBRATION=1``)
+to compare raw numbers.
 
 Stages are matched by identity, never by position:
 
@@ -24,9 +33,10 @@ perf win.
 Usage::
 
     python benchmarks/run_bench.py --smoke --output /tmp/bench.json
-    python benchmarks/check_regression.py /tmp/bench.json              # vs BENCH_PR4.json
-    python benchmarks/check_regression.py /tmp/bench.json --baseline BENCH_PR4.json
+    python benchmarks/check_regression.py /tmp/bench.json              # vs BENCH_PR5.json
+    python benchmarks/check_regression.py /tmp/bench.json --baseline BENCH_PR5.json
     python benchmarks/check_regression.py fresh.json --threshold 0.25  # override knob
+    python benchmarks/check_regression.py fresh.json --no-calibration  # raw ratios
 
 The threshold can also be overridden with the
 ``REPRO_BENCH_REGRESSION_THRESHOLD`` environment variable (CI sets it to
@@ -45,8 +55,14 @@ import sys
 from typing import Dict, Iterable, List, Optional, Tuple
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_PR4.json")
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_PR5.json")
 DEFAULT_THRESHOLD = 0.10
+
+# Calibration ratios outside this band mean the hosts differ by more
+# than single-core speed (different memory pressure, thermal state, or a
+# broken calibration stage); the gate then refuses to extrapolate and
+# falls back to raw comparison, reporting why.
+CALIBRATION_RATIO_BOUNDS = (0.2, 5.0)
 
 
 class Mismatch:
@@ -73,11 +89,30 @@ def _index_points(points: Iterable[dict], keys: Tuple[str, ...]) -> Dict[tuple, 
     return indexed
 
 
+def calibration_ratio(fresh: dict, baseline: dict) -> Optional[float]:
+    """fresh_cpu_score / baseline_cpu_score, or ``None`` when unusable.
+
+    ``None`` (no calibration in either document, non-positive scores, or
+    a ratio outside :data:`CALIBRATION_RATIO_BOUNDS`) means the caller
+    must compare raw events/sec.
+    """
+    fresh_score = float((fresh.get("calibration") or {}).get("cpu_score") or 0.0)
+    base_score = float((baseline.get("calibration") or {}).get("cpu_score") or 0.0)
+    if fresh_score <= 0.0 or base_score <= 0.0:
+        return None
+    ratio = fresh_score / base_score
+    low, high = CALIBRATION_RATIO_BOUNDS
+    if not low <= ratio <= high:
+        return None
+    return ratio
+
+
 def compare_stage(
     stage: str,
     fresh: Optional[dict],
     baseline: Optional[dict],
     threshold: float,
+    cpu_ratio: Optional[float] = None,
 ) -> List[Mismatch]:
     """Compare one matched stage; returns the findings (possibly empty)."""
     findings: List[Mismatch] = []
@@ -93,13 +128,18 @@ def compare_stage(
         findings.append(Mismatch(stage, "baseline has no events/sec, skipped", fatal=False))
     else:
         ratio = fresh_eps / base_eps
+        note = ""
+        if cpu_ratio is not None:
+            # Normalize out the hosts' single-core speed difference.
+            ratio = ratio / cpu_ratio
+            note = f", cpu-normalized by {cpu_ratio:.3f}"
         if ratio < 1.0 - threshold:
             findings.append(
                 Mismatch(
                     stage,
                     f"events/sec regressed {100 * (1 - ratio):.1f}%: "
                     f"{fresh_eps:,.0f} vs baseline {base_eps:,.0f} "
-                    f"(threshold {100 * threshold:.0f}%)",
+                    f"(threshold {100 * threshold:.0f}%{note})",
                     fatal=True,
                 )
             )
@@ -165,15 +205,86 @@ def compare_scenario_stage(stage: str, fresh: dict, baseline: dict) -> List[Mism
     return findings
 
 
-def compare_documents(fresh: dict, baseline: dict, threshold: float) -> List[Mismatch]:
+def compare_matrix_stage(fresh: dict, baseline: dict) -> List[Mismatch]:
+    """Digest-compare the ``scenario_matrix`` stage cell by cell.
+
+    Cells are matched on (attack, rule, label); a cell whose per-attack
+    scenario digest is unchanged must reproduce the baseline's ordering
+    digest — the pin that keeps the coalition adversaries and the
+    scoring-rule sweep axis deterministic across PRs.
+    """
+    stage = "scenario_matrix"
+    findings: List[Mismatch] = []
+    fresh_stage = fresh.get(stage) or {}
+    base_stage = baseline.get(stage) or {}
+    if not fresh_stage.get("cells"):
+        findings.append(Mismatch(stage, "not run in fresh document, skipped", fatal=False))
+        return findings
+    if not base_stage.get("cells"):
+        findings.append(Mismatch(stage, "not in baseline, skipped", fatal=False))
+        return findings
+    keys = ("attack", "rule", "label")
+    fresh_cells = {tuple(cell.get(k) for k in keys): cell for cell in fresh_stage["cells"]}
+    for cell in base_stage["cells"]:
+        key = tuple(cell.get(k) for k in keys)
+        counterpart = fresh_cells.get(key)
+        label = f"{stage}:{cell.get('attack')}/{cell.get('rule')}"
+        if counterpart is None:
+            findings.append(
+                Mismatch(stage, f"cell {key!r} missing from fresh document", fatal=False)
+            )
+            continue
+        if cell.get("scenario_digest") != counterpart.get("scenario_digest"):
+            findings.append(
+                Mismatch(label, "attack definition changed, digest comparison skipped", fatal=False)
+            )
+            continue
+        base_digest = cell.get("ordering_digest")
+        fresh_digest = counterpart.get("ordering_digest")
+        if base_digest and fresh_digest and base_digest != fresh_digest:
+            findings.append(
+                Mismatch(
+                    label,
+                    f"ordering digest changed: {fresh_digest[:16]}... vs "
+                    f"baseline {base_digest[:16]}...",
+                    fatal=True,
+                )
+            )
+    return findings
+
+
+def compare_documents(
+    fresh: dict,
+    baseline: dict,
+    threshold: float,
+    calibrate: bool = True,
+) -> List[Mismatch]:
     """Compare every shared stage of two bench documents."""
     findings: List[Mismatch] = []
+    cpu_ratio = calibration_ratio(fresh, baseline) if calibrate else None
+    if calibrate and cpu_ratio is None:
+        findings.append(
+            Mismatch(
+                "calibration",
+                "no usable CPU calibration in both documents; comparing raw events/sec",
+                fatal=False,
+            )
+        )
+    elif cpu_ratio is not None and abs(cpu_ratio - 1.0) > 0.02:
+        findings.append(
+            Mismatch(
+                "calibration",
+                f"hosts differ by {cpu_ratio:.3f}x single-core speed; "
+                "events/sec ratios are cpu-normalized",
+                fatal=False,
+            )
+        )
     fresh_fig1 = _index_points(fresh.get("points", ()), ("input_load_tps",))
     base_fig1 = _index_points(baseline.get("points", ()), ("input_load_tps",))
     for key in sorted(set(fresh_fig1) | set(base_fig1), key=str):
         stage = f"fig1@{key[0]:.0f}tps"
         findings.extend(
-            compare_stage(stage, fresh_fig1.get(key), base_fig1.get(key), threshold)
+            compare_stage(stage, fresh_fig1.get(key), base_fig1.get(key), threshold, cpu_ratio)
         )
     # Duration participates in the identity: a stage whose virtual
     # duration changed is a different measurement (and a different
@@ -184,10 +295,13 @@ def compare_documents(fresh: dict, baseline: dict, threshold: float) -> List[Mis
     for key in sorted(set(fresh_committee) | set(base_committee), key=str):
         stage = f"committee{key[0]}@{key[1]:.0f}tps"
         findings.extend(
-            compare_stage(stage, fresh_committee.get(key), base_committee.get(key), threshold)
+            compare_stage(
+                stage, fresh_committee.get(key), base_committee.get(key), threshold, cpu_ratio
+            )
         )
     for stage in ("scenario_smoke", "scenario_adversary"):
         findings.extend(compare_scenario_stage(stage, fresh, baseline))
+    findings.extend(compare_matrix_stage(fresh, baseline))
     if not (fresh_fig1 or fresh_committee):
         findings.append(
             Mismatch("document", "fresh document has no comparable stages", fatal=True)
@@ -201,7 +315,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--baseline",
         default=DEFAULT_BASELINE,
-        help="committed baseline document (default: BENCH_PR4.json)",
+        help="committed baseline document (default: BENCH_PR5.json)",
+    )
+    parser.add_argument(
+        "--no-calibration",
+        action="store_true",
+        default=os.environ.get("REPRO_BENCH_NO_CALIBRATION", "").strip().lower()
+        not in ("", "0", "false", "no"),
+        help="compare raw events/sec without CPU-calibration normalization",
     )
     parser.add_argument(
         "--threshold",
@@ -221,7 +342,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (OSError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    findings = compare_documents(fresh, baseline, args.threshold)
+    findings = compare_documents(
+        fresh, baseline, args.threshold, calibrate=not args.no_calibration
+    )
     fatal = [finding for finding in findings if finding.fatal]
     for finding in findings:
         marker = "FAIL" if finding.fatal else "info"

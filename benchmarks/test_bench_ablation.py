@@ -102,7 +102,7 @@ def test_exclusion_fraction_ablation(benchmark):
 def _run_scoring_rule_ablation():
     scale, committee_size, faults, load = _fault_setup()
     results = {}
-    for scoring in ("hammerhead", "shoal", "carousel"):
+    for scoring in ("hammerhead", "shoal", "carousel", "completeness"):
         config = base_config(scale, committee_size, faults=faults).with_overrides(
             protocol="hammerhead", input_load_tps=load, scoring=scoring
         )
@@ -123,8 +123,8 @@ def test_scoring_rule_ablation(benchmark):
         "ABL-SCORE - scoring rule comparison under crash faults",
         reports,
     )
-    # All three deterministic rules identify crash-faulted validators, so
-    # all three keep the system live and within a similar latency band.
+    # All four deterministic rules identify crash-faulted validators, so
+    # all of them keep the system live and within a similar latency band.
     latencies = [result.avg_latency for result in results.values()]
     assert max(latencies) <= 2.5 * min(latencies)
     for result in results.values():

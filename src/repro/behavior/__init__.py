@@ -18,6 +18,15 @@ from repro.behavior.adversarial import (
     VoteWithholdingPolicy,
     withhold_leader_parent,
 )
+from repro.behavior.coordination import (
+    AdaptiveEquivocationPolicy,
+    AdaptiveSilentFanoutPolicy,
+    AdversaryCoordinator,
+    CoalitionGamingPolicy,
+    ColludingSilencePolicy,
+    CoordinatedPolicy,
+    upcoming_duty_roster,
+)
 from repro.behavior.policy import (
     HONEST,
     BehaviorPolicy,
@@ -40,4 +49,11 @@ __all__ = [
     "LazyLeaderPolicy",
     "ReputationGamingPolicy",
     "withhold_leader_parent",
+    "AdversaryCoordinator",
+    "CoordinatedPolicy",
+    "ColludingSilencePolicy",
+    "AdaptiveSilentFanoutPolicy",
+    "AdaptiveEquivocationPolicy",
+    "CoalitionGamingPolicy",
+    "upcoming_duty_roster",
 ]

@@ -19,10 +19,15 @@ This package holds the paper's primary contribution:
 from repro.core.scores import ReputationScores
 from repro.core.scoring import (
     CarouselScoring,
+    CompletenessScoring,
     HammerHeadScoring,
     ScoringContext,
     ScoringRule,
+    ScoringView,
     ShoalScoring,
+    make_scoring_rule,
+    register_scoring_rule,
+    scoring_rule_names,
 )
 from repro.core.schedule_change import (
     CommitCountPolicy,
@@ -30,6 +35,7 @@ from repro.core.schedule_change import (
     ScheduleChangePolicy,
     compute_next_schedule,
     select_swap_sets,
+    swap_summary,
 )
 from repro.core.manager import (
     HammerHeadScheduleManager,
@@ -41,14 +47,20 @@ __all__ = [
     "ReputationScores",
     "ScoringRule",
     "ScoringContext",
+    "ScoringView",
     "HammerHeadScoring",
     "ShoalScoring",
     "CarouselScoring",
+    "CompletenessScoring",
+    "register_scoring_rule",
+    "scoring_rule_names",
+    "make_scoring_rule",
     "ScheduleChangePolicy",
     "CommitCountPolicy",
     "RoundBasedPolicy",
     "compute_next_schedule",
     "select_swap_sets",
+    "swap_summary",
     "ScheduleManager",
     "HammerHeadScheduleManager",
     "StaticScheduleManager",

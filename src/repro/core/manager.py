@@ -28,13 +28,21 @@ from repro.core.schedule_change import (
     CommitCountPolicy,
     ScheduleChangePolicy,
     compute_next_schedule,
+    swap_summary,
 )
 from repro.core.scores import ReputationScores
-from repro.core.scoring import HammerHeadScoring, ScoringContext, ScoringRule
+from repro.core.scoring import HammerHeadScoring, ScoringRule, ScoringView
 from repro.dag.vertex import Vertex
 from repro.errors import ScheduleError
 from repro.schedule.base import LeaderSchedule
 from repro.types import Round, ValidatorId, VertexId, is_anchor_round
+
+
+# How many rounds of leader-presence markers the scoring view keeps below
+# the commit frontier.  Must stay comfortably above the node's GC depth
+# (50 rounds): a straggler vote can only name a leader that is still
+# above the GC horizon.
+_LEADER_MEMORY_ROUNDS = 64
 
 
 @dataclasses.dataclass(frozen=True)
@@ -46,6 +54,9 @@ class ScheduleChangeRecord:
     new_initial_round: Round
     scores: Dict[ValidatorId, float]
     demoted_slots: int
+    # Name of the scoring rule that produced ``scores`` (the attack x rule
+    # matrix labels trajectories with it).
+    scoring: str = ""
 
 
 class ScheduleManager:
@@ -131,12 +142,18 @@ class ScheduleManager:
         schedules: List[LeaderSchedule],
         scores: Dict[ValidatorId, float],
         commits_in_epoch: int,
+        vote_accounting=None,
     ) -> None:
         """Adopt schedule state received through state sync (checkpoints).
 
         The static manager has no dynamic state beyond its single schedule,
         so the default implementation is a no-op.
         """
+
+    def vote_accounting_snapshot(self):
+        """Vote accounting carried by state-sync snapshots (``None`` unless
+        the manager runs a rule that tracks votes)."""
+        return None
 
     # -- introspection ---------------------------------------------------------------
 
@@ -176,7 +193,14 @@ class HammerHeadScheduleManager(ScheduleManager):
         # original representation at the next schedule change.
         self._base_slots = initial.slots
         self.scores = ReputationScores(committee)
-        self._context = ScoringContext(committee=committee, scores=self.scores)
+        # The widened scoring view: committee + scores as before, plus
+        # schedule access, expected-voter sets, and committed-prefix round
+        # accounting.  ``_context`` survives as an alias for external code
+        # that reached for the old name.
+        self._view = ScoringView(committee, self.scores, manager=self)
+        self._view.track_votes = bool(getattr(self.scoring, "needs_vote_accounting", False))
+        self._track_votes = self._view.track_votes
+        self._context = self._view
         self.commits_in_epoch = 0
         self.change_records: List[ScheduleChangeRecord] = []
 
@@ -191,27 +215,60 @@ class HammerHeadScheduleManager(ScheduleManager):
         links to the leader vertex of the previous (anchor) round, the
         vertex's source voted for that leader.
         """
-        self.scoring.on_vertex_in_committed_subdag(
-            vertex.source, vertex.round, self._context
-        )
+        view = self._view
+        self.scoring.on_vertex_in_committed_subdag(vertex.source, vertex.round, view)
         previous_round = vertex.round - 1
         if not is_anchor_round(previous_round):
+            # ``vertex.round`` is an anchor round (or 0/1): record the
+            # leader vertex entering the committed prefix, which is what
+            # later marks its round-``r+1`` voters as *expected*.
+            if (
+                self._track_votes
+                and is_anchor_round(vertex.round)
+                and vertex.source == self.leader_for_round(vertex.round)
+            ):
+                # Voters whose non-voting vertex preceded this leader in
+                # the linearization missed a vote that only now became
+                # countable; record the opportunities retroactively.
+                for voter in view.note_leader_ordered(vertex.round):
+                    view.note_expected_vote(voter, vertex.round, False)
+                    self.scoring.on_expected_vote(voter, vertex.round, False, view)
             return
         leader = self.leader_for_round(previous_round)
         leader_vertex = VertexId(round=previous_round, source=leader)
-        if leader_vertex in vertex.edges:
-            self.scoring.on_vote(vertex.source, previous_round, self._context)
+        voted = leader_vertex in vertex.edges
+        if self._track_votes:
+            if view.leader_was_ordered(previous_round):
+                # The leader vertex precedes this vertex in the
+                # linearization (it is a causal ancestor whenever the vote
+                # exists), so the vote was *possible*: count the
+                # opportunity either way.
+                view.note_expected_vote(vertex.source, previous_round, voted)
+                self.scoring.on_expected_vote(vertex.source, previous_round, voted, view)
+            elif not voted:
+                # The leader vertex may still enter the prefix later; park
+                # the missed vote until it does (or is pruned).
+                view.note_vote_before_leader(vertex.source, previous_round)
+        if voted:
+            self.scoring.on_vote(vertex.source, previous_round, view)
 
     def on_anchor_skipped(self, round_number: Round) -> None:
         if not is_anchor_round(round_number):
             return
         leader = self.leader_for_round(round_number)
-        self.scoring.on_anchor_skipped(leader, round_number, self._context)
+        self.scoring.on_anchor_skipped(leader, round_number, self._view)
 
     def on_anchor_committed(self, anchor: Vertex) -> Optional[LeaderSchedule]:
         """Count the commit and switch schedules when the policy fires."""
-        self.scoring.on_anchor_committed(anchor.source, anchor.round, self._context)
+        view = self._view
+        self.scoring.on_anchor_committed(anchor.source, anchor.round, view)
+        view.note_anchor_committed(anchor.round)
         self.commits_in_epoch += 1
+        if self._track_votes:
+            # Leader-presence markers span epochs (a straggler vote may
+            # name a long-ordered leader) but never need to outlive the
+            # GC horizon; pruning at the commit frontier bounds them.
+            view.prune_below(anchor.round - _LEADER_MEMORY_ROUNDS)
         active = self.active_schedule
         if anchor.round < active.initial_round:
             # An anchor committed retroactively under an older schedule
@@ -221,6 +278,9 @@ class HammerHeadScheduleManager(ScheduleManager):
             return None
         if not self.policy.should_change(self.commits_in_epoch, anchor.round, active):
             return None
+        # Ratio-style rules materialize their epoch scores only now, just
+        # before the swap sets read them.
+        self.scoring.prepare_epoch_scores(view)
         new_initial_round = anchor.round + 2
         new_schedule = compute_next_schedule(
             previous=active,
@@ -230,21 +290,20 @@ class HammerHeadScheduleManager(ScheduleManager):
             exclude_fraction=self.exclude_fraction,
             base_slots=self._base_slots,
         )
-        demoted_slots = sum(
-            1 for old, new in zip(active.slots, new_schedule.slots) if old != new
-        )
         self.change_records.append(
             ScheduleChangeRecord(
                 epoch=new_schedule.epoch,
                 triggered_by_round=anchor.round,
                 new_initial_round=new_initial_round,
                 scores=self.scores.as_dict(),
-                demoted_slots=demoted_slots,
+                demoted_slots=swap_summary(active, new_schedule),
+                scoring=self.scoring.name,
             )
         )
         self.history.append(new_schedule)
         self.scores.reset()
         self.commits_in_epoch = 0
+        view.reset_epoch()
         return new_schedule
 
     # -- state sync -----------------------------------------------------------------------
@@ -254,14 +313,18 @@ class HammerHeadScheduleManager(ScheduleManager):
         schedules: List[LeaderSchedule],
         scores: Dict[ValidatorId, float],
         commits_in_epoch: int,
+        vote_accounting=None,
     ) -> None:
         """Adopt the schedule state carried by a state-sync snapshot.
 
         A validator that resumes from a checkpoint cannot re-derive the
         schedule history from the (pruned) DAG, so it takes over the serving
-        peer's history, current-epoch scores, and commit counter; from that
-        point on its own deterministic updates keep it in agreement with
-        the rest of the committee.
+        peer's history, current-epoch scores, commit counter, and — when the
+        active rule tracks votes — the peer's cast/expected counters and
+        leader-presence markers (``vote_accounting``, the triple produced by
+        :meth:`vote_accounting_snapshot`); from that point on its own
+        deterministic updates keep it in agreement with the rest of the
+        committee.
         """
         if schedules:
             self.history = list(schedules)
@@ -271,6 +334,28 @@ class HammerHeadScheduleManager(ScheduleManager):
             if value:
                 self.scores.add(validator, value)
         self.commits_in_epoch = commits_in_epoch
+        view = self._view
+        view.reset_epoch()
+        view.last_committed_anchor_round = None
+        if self._track_votes and vote_accounting is not None:
+            cast, expected, leader_rounds, pending = vote_accounting
+            view.adopt_accounting(dict(cast), dict(expected), leader_rounds, pending)
+
+    def vote_accounting_snapshot(self):
+        """The view's vote accounting as a picklable triple (state sync).
+
+        ``None`` when the active rule does not track votes, so snapshots
+        under the count-based rules stay byte-for-byte what they were.
+        """
+        if not self._track_votes:
+            return None
+        view = self._view
+        return (
+            tuple(sorted(view.votes_cast.items())),
+            tuple(sorted(view.votes_expected.items())),
+            view.ordered_leader_rounds(),
+            view.pending_votes_snapshot(),
+        )
 
     # -- introspection -------------------------------------------------------------------
 

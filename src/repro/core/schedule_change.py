@@ -116,6 +116,15 @@ def select_swap_sets(
     return demoted, promoted
 
 
+def swap_summary(previous: LeaderSchedule, new: LeaderSchedule) -> int:
+    """Number of slots the swap reassigned between two consecutive schedules.
+
+    This is the ``demoted_slots`` bookkeeping of the schedule-change
+    records: a slot counts when its holder changed between the schedules.
+    """
+    return sum(1 for old, new_slot in zip(previous.slots, new.slots) if old != new_slot)
+
+
 def compute_next_schedule(
     previous: LeaderSchedule,
     scores: ReputationScores,

@@ -32,6 +32,13 @@ class ReputationScores:
             raise ScheduleError(f"validator {validator} is not in the committee")
         self._scores[validator] += points
 
+    def set(self, validator: ValidatorId, value: float) -> None:
+        """Overwrite a validator's score (ratio-style rules materialize
+        their per-epoch scores in one write instead of accumulating)."""
+        if validator not in self._scores:
+            raise ScheduleError(f"validator {validator} is not in the committee")
+        self._scores[validator] = value
+
     def reset(self) -> None:
         """Zero all scores (called at the start of a new schedule epoch)."""
         for validator in self._scores:

@@ -7,12 +7,30 @@ given, reverts the validators to honesty when the window closes.  The
 factory pattern keeps plans picklable for the parallel sweep engine:
 pass a policy class or a :func:`functools.partial` over one, never a
 lambda or a pre-built instance (policies bind to a single node).
+
+Two guarantees the scenario layer leans on:
+
+* **Coalitions.**  With ``coordinated=True`` the fault creates one
+  :class:`~repro.behavior.coordination.AdversaryCoordinator` per window
+  at install time and joins every member policy to it (policies without
+  a ``join`` hook are installed as-is), so colluding policies share
+  deterministic per-run state without the plan itself having to carry
+  unpicklable objects.
+* **Deterministic restore.**  The window-close restore only reverts a
+  validator whose *current* policy is the one this fault installed.
+  Abutting windows (one fault's ``end`` equal to another's ``start``,
+  firing in either order) and overlapping installs therefore converge to
+  the same final policy regardless of event insertion order — the old
+  unconditional restore was a last-writer-wins race.  Truly overlapping
+  windows on the same validator are rejected by the scenario validator
+  (:func:`validate_behavior_windows`): the later install wins while both
+  are open, which is almost never what a spec author meant.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.behavior.policy import HONEST, BehaviorPolicy
 from repro.faults.base import FaultPlan
@@ -34,6 +52,9 @@ class BehaviorFault(FaultPlan):
     policy_factory: PolicyFactory
     start: SimTime = 0.0
     end: Optional[SimTime] = None
+    # Create one AdversaryCoordinator per window and join every member's
+    # policy to it (coalition attacks).
+    coordinated: bool = False
 
     def __post_init__(self) -> None:
         if self.end is not None and self.end <= self.start:
@@ -48,13 +69,41 @@ class BehaviorFault(FaultPlan):
         network: Network,
         nodes: Dict[ValidatorId, ValidatorNode],
     ) -> None:
+        # Policies installed by *this* window, so the restore can tell
+        # its own installs apart from a later fault's (identity check —
+        # the deterministic-restore guarantee in the module docstring).
+        installed: Dict[ValidatorId, BehaviorPolicy] = {}
+
         def install() -> None:
-            for validator in self.validators:
-                nodes[validator].set_behavior(self.policy_factory())
+            policies = {validator: self.policy_factory() for validator in self.validators}
+            if self.coordinated:
+                # Imported here: the coordination module pulls in the
+                # adversarial policies, which plain behavior faults do
+                # not need.
+                from repro.behavior.coordination import AdversaryCoordinator
+
+                # The duty-rotation throttle lives on the policies (the
+                # factory bakes it in); the shared coordinator must carry
+                # the same stride or the rotation the spec configured
+                # would silently degenerate to attack-every-anchor.
+                first = next(iter(policies.values()))
+                coordinator = AdversaryCoordinator(
+                    tuple(self.validators),
+                    stride=max(1, int(getattr(first, "stride", 1))),
+                )
+                for policy in policies.values():
+                    join = getattr(policy, "join", None)
+                    if join is not None:
+                        join(coordinator)
+            for validator, policy in policies.items():
+                installed[validator] = policy
+                nodes[validator].set_behavior(policy)
 
         def restore() -> None:
             for validator in self.validators:
-                nodes[validator].set_behavior(HONEST)
+                node = nodes[validator]
+                if node.behavior is installed.get(validator):
+                    node.set_behavior(HONEST)
 
         simulator.schedule_at(max(self.start, simulator.now), install)
         if self.end is not None:
@@ -64,7 +113,41 @@ class BehaviorFault(FaultPlan):
         window = f"from t={self.start:.1f}s"
         if self.end is not None:
             window += f" to t={self.end:.1f}s"
+        coalition = " (coordinated coalition)" if self.coordinated else ""
         return (
             f"behavior {self.policy_factory().describe()} on "
-            f"{list(self.validators)} {window}"
+            f"{list(self.validators)}{coalition} {window}"
         )
+
+
+def validate_behavior_windows(
+    windows: Iterable[Tuple[Sequence[ValidatorId], SimTime, Optional[SimTime], str]],
+) -> None:
+    """Reject truly overlapping behavior windows on a shared validator.
+
+    ``windows`` is an iterable of ``(validators, start, end, label)``
+    tuples with concrete (resolved) times; ``end=None`` means the window
+    stays open for the rest of the run.  Abutting windows (``end ==
+    start``) are fine — the identity-checked restore makes them
+    deterministic — but windows that genuinely overlap in time on the
+    same validator enact an ambiguous adversary and raise ``ValueError``
+    (the scenario layer converts this into its configuration error).
+    """
+    entries = [
+        (frozenset(validators), float(start), end if end is None else float(end), label)
+        for validators, start, end, label in windows
+    ]
+    for index, (members_a, start_a, end_a, label_a) in enumerate(entries):
+        for members_b, start_b, end_b, label_b in entries[index + 1 :]:
+            shared = members_a & members_b
+            if not shared:
+                continue
+            # Overlap test on half-open windows [start, end).
+            a_end = float("inf") if end_a is None else end_a
+            b_end = float("inf") if end_b is None else end_b
+            if start_a < b_end and start_b < a_end:
+                raise ValueError(
+                    f"behavior windows {label_a!r} and {label_b!r} overlap on "
+                    f"validator(s) {sorted(shared)}: windows on the same "
+                    "validator must not overlap (abutting is allowed)"
+                )

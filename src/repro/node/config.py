@@ -54,6 +54,13 @@ class NodeConfig:
     # for the differential property tests and as an escape hatch.
     certificate_batching: bool = True
 
+    # Scoring rule driving this node's reputation accounting, by registry
+    # name (see :mod:`repro.core.scoring`).  The simulation runner's
+    # schedule-manager factory reads this field (after copying
+    # ``ExperimentConfig.scoring`` into it), so it is the per-node knob a
+    # standalone deployment sets to pick its rule.
+    scoring_rule: str = "hammerhead"
+
     # Record the full ordered sequence in memory (needed by safety checks;
     # disabled for very large simulations).
     record_sequence: bool = True
@@ -77,6 +84,15 @@ class NodeConfig:
         if self.broadcast not in ("certified", "bracha"):
             raise ConfigurationError(
                 f"unknown broadcast implementation {self.broadcast!r}"
+            )
+        # Imported here: the scoring registry sits above the node layer in
+        # the package graph, and config validation is not a hot path.
+        from repro.core.scoring import scoring_rule_names
+
+        if self.scoring_rule not in scoring_rule_names():
+            raise ConfigurationError(
+                f"unknown scoring rule {self.scoring_rule!r} "
+                f"(known: {', '.join(scoring_rule_names())})"
             )
         if self.max_round is not None and self.max_round < 1:
             raise ConfigurationError("max_round must be at least 1")

@@ -34,6 +34,10 @@ class ConsensusSnapshot:
     scores: Dict[ValidatorId, float]
     commits_in_epoch: int
     ordered_vertices: FrozenSet[VertexId]
+    # Vote accounting of ratio-style scoring rules (cast counts, expected
+    # counts, ordered-leader rounds), or ``None`` under the count-based
+    # rules — see ``HammerHeadScheduleManager.vote_accounting_snapshot``.
+    vote_accounting: Optional[tuple] = None
 
 
 @dataclasses.dataclass(frozen=True)

@@ -582,6 +582,7 @@ class ValidatorNode:
             scores=scores,
             commits_in_epoch=commits_in_epoch,
             ordered_vertices=ordered_above_horizon,
+            vote_accounting=self.schedule_manager.vote_accounting_snapshot(),
         )
 
     def _handle_fetch_response(self, response: FetchResponse) -> None:
@@ -609,7 +610,10 @@ class ValidatorNode:
         self.consensus.fast_forward(snapshot.last_ordered_anchor_round)
         self.consensus.ordered_vertices.update(snapshot.ordered_vertices)
         self.schedule_manager.adopt_state(
-            list(snapshot.schedules), dict(snapshot.scores), snapshot.commits_in_epoch
+            list(snapshot.schedules),
+            dict(snapshot.scores),
+            snapshot.commits_in_epoch,
+            vote_accounting=getattr(snapshot, "vote_accounting", None),
         )
         # The adopted schedule history can change any round's leader, so
         # the incremental commit scan must re-derive its candidates.

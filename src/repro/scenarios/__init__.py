@@ -25,18 +25,29 @@ Command line::
     python -m repro.scenarios run sui-incident --output sui.json
     python -m repro.scenarios run mixed-adversary --smoke
     python -m repro.scenarios sweep figure2-faults --seeds 1 2 3
+    python -m repro.scenarios matrix --smoke
     python -m repro.scenarios run --spec my_scenario.json
 
-The registry ships fourteen curated scenarios: the paper's evaluation
+The registry ships nineteen curated scenarios: the paper's evaluation
 (``faultless``, ``figure2-faults``, ``sui-incident``), environmental
 adversity (``rolling-crash-churn``, ``asymmetric-partition``,
 ``load-spike``, ``mixed-adversary``, ``partition-failover``,
-``maintenance-churn+recovery-spike``), and the behavior-policy attacks
+``maintenance-churn+recovery-spike``), the behavior-policy attacks
 (``targeted-leader-attack``, ``equivocation-split``, ``silent-saboteur``,
-``lazy-leader``, ``reputation-gamer``).  The ``examples/`` figure
-scripts are thin wrappers over the first three.
+``lazy-leader``, ``reputation-gamer``, ``reputation-gamer-strict``,
+``adaptive-equivocation``), and the coalition attacks
+(``colluding-silence``, ``adaptive-dos``, ``coalition-gaming``).  The
+``examples/`` figure scripts are thin wrappers over the first three;
+``python -m repro.scenarios matrix`` runs the attack x scoring-rule
+ablation over the curated attack set (:mod:`repro.scenarios.matrix`).
 """
 
+from repro.scenarios.matrix import (
+    DEFAULT_MATRIX_ATTACKS,
+    format_matrix_table,
+    run_matrix,
+    summarize_matrix,
+)
 from repro.scenarios.registry import (
     all_scenarios,
     get_scenario,
@@ -75,4 +86,8 @@ __all__ = [
     "build_artifact",
     "write_artifact",
     "default_artifact_path",
+    "run_matrix",
+    "summarize_matrix",
+    "format_matrix_table",
+    "DEFAULT_MATRIX_ATTACKS",
 ]

@@ -7,6 +7,9 @@ Subcommands::
     run NAME                   run a scenario, print the report table,
                                and write the reproducibility artifact
     sweep NAME --seeds 1 2 3   run a scenario across several seeds
+    matrix                     run the attack x scoring-rule ablation
+                               matrix (--attacks / --rules subset it)
+                               and write its artifact
     diff A.json B.json         compare two artifacts: same scenario
                                digest -> per-point ordering-digest and
                                performance deltas; different digests ->
@@ -71,10 +74,17 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     spec = _load_spec(args)
     print(spec.to_json())
     print(f"scenario_digest: {spec.scenario_digest()}")
+    if spec.scoring_rules:
+        print(f"scoring-rule sweep axis: {', '.join(spec.scoring_rules)}")
+    else:
+        print(f"scoring rule: {spec.scoring}")
     points = compile_spec(spec)
     print(f"compiles to {len(points)} experiment point(s):")
     for point in points:
-        print(f"  {point.config.label()}")
+        label = point.config.label()
+        if spec.scoring_rules:
+            label += f" [scoring {point.scoring}]"
+        print(f"  {label}")
         for plan in point.config.extra_faults:
             print(f"    - {plan.describe()}")
     return 0
@@ -123,6 +133,28 @@ def _print_artifact_table(spec: ScenarioSpec, artifact: dict) -> None:
         )
 
 
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from repro.scenarios.matrix import format_matrix_table, run_matrix
+
+    attacks = args.attacks or None
+    rules = args.rules or None
+    print("Running the attack x scoring-rule matrix ...")
+    document = run_matrix(
+        attacks=attacks,
+        rules=rules,
+        smoke=args.smoke,
+        parallelism=args.parallelism,
+    )
+    print()
+    print(format_matrix_table(document))
+    print()
+    print("cell verdicts read 'culprits demoted / culprit count[@first round]'")
+    path = args.output or ("scenario-matrix-smoke.json" if args.smoke else "scenario-matrix.json")
+    write_artifact(document, path)
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_diff(args: argparse.Namespace) -> int:
     from repro.scenarios.diff import diff_artifact_files
 
@@ -153,6 +185,35 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = commands.add_parser("sweep", help="run a scenario across several seeds")
     _add_spec_arguments(sweep)
     _add_run_arguments(sweep)
+
+    matrix = commands.add_parser(
+        "matrix",
+        help="run the attack x scoring-rule ablation matrix",
+    )
+    matrix.add_argument(
+        "--attacks",
+        nargs="+",
+        default=None,
+        help="registry scenarios to use as attacks (default: the curated attack set)",
+    )
+    matrix.add_argument(
+        "--rules",
+        nargs="+",
+        default=None,
+        help="scoring rules to ablate over (default: every registered rule)",
+    )
+    matrix.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink every attack to smoke scale (CI)",
+    )
+    matrix.add_argument(
+        "--parallelism",
+        type=int,
+        default=None,
+        help="sweep worker processes (default: REPRO_SWEEP_PARALLELISM or CPU count)",
+    )
+    matrix.add_argument("--output", default=None, help="matrix artifact JSON path")
 
     diff = commands.add_parser(
         "diff",
@@ -200,6 +261,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "describe": _cmd_describe,
         "run": _cmd_run,
         "sweep": _cmd_run,  # sweep is run with --seeds made prominent
+        "matrix": _cmd_matrix,
         "diff": _cmd_diff,
     }
     try:

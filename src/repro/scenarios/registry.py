@@ -281,6 +281,110 @@ register_scenario(
     )
 )
 
+register_scenario(
+    ScenarioSpec(
+        name="reputation-gamer-strict",
+        description=(
+            "The window-9 gamer on a committee where the window actually "
+            "bites: at 13 validators the 19-round honest window no longer "
+            "covers the 26-round rotation, so the adversary must withhold "
+            "real votes — completeness reads the deficit exactly"
+        ),
+        protocols=("hammerhead", "bullshark"),
+        committee_sizes=(13,),
+        loads=(1500.0,),
+        duration=80.0,
+        warmup=30.0,
+        seed=4,
+        faults=(FaultSpec(kind="reputation-gaming", count=1, at=0.0, window=9),),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="colluding-silence",
+        description=(
+            "A three-member coalition splits a victim set between its "
+            "members: every victim is starved of traffic, acks, and fetch "
+            "service, but each colluder only ever touches a third of them"
+        ),
+        protocols=("hammerhead", "bullshark"),
+        committee_sizes=(10,),
+        loads=(1200.0,),
+        duration=80.0,
+        warmup=30.0,
+        seed=10,
+        faults=(
+            FaultSpec(
+                kind="colluding-silence",
+                coalition=(7, 8, 9),
+                at=10.0,
+                end=60.0,
+                targets=(1, 2, 3),
+            ),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="adaptive-dos",
+        description=(
+            "Schedule-aware DoS coalition: each anchor round the duty "
+            "member re-aims at the leader the current schedule is about to "
+            "elect — silence plus a withheld vote — so schedule changes "
+            "never shake the attack off"
+        ),
+        protocols=("hammerhead", "bullshark"),
+        committee_sizes=(10,),
+        loads=(1500.0,),
+        duration=80.0,
+        warmup=30.0,
+        seed=4,
+        faults=(
+            FaultSpec(kind="adaptive-dos", coalition=(7, 8, 9), at=0.0, stride=2),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="coalition-gaming",
+        description=(
+            "The coalition reputation gamer: vote withholding rotates "
+            "through the members so each one misses only a sliver of its "
+            "vote opportunities per epoch — the probe for how far the "
+            "completeness rule can be stretched"
+        ),
+        protocols=("hammerhead", "bullshark"),
+        committee_sizes=(10,),
+        loads=(1500.0,),
+        duration=80.0,
+        warmup=30.0,
+        seed=4,
+        faults=(
+            FaultSpec(kind="coalition-gaming", coalition=(7, 8, 9), at=0.0, stride=3),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="adaptive-equivocation",
+        description=(
+            "Equivocation re-aimed every round at the upcoming leaders of "
+            "the current schedule instead of a fixed victim set"
+        ),
+        protocols=("hammerhead", "bullshark"),
+        committee_sizes=(10,),
+        loads=(1200.0,),
+        duration=80.0,
+        warmup=30.0,
+        seed=8,
+        faults=(FaultSpec(kind="adaptive-equivocation", count=1, at=10.0),),
+    )
+)
+
 # Scenario composition (ScenarioSpec.then): maintenance churn, a quiet
 # gap, then a traffic spike while the committee digests the churn.
 _churn_phase = ScenarioSpec(

@@ -50,16 +50,24 @@ def build_artifact(
 ) -> Dict[str, Any]:
     """Assemble the reproducibility artifact for a finished run."""
     artifact_points = []
+    # With a scoring_rules sweep axis, the config label alone no longer
+    # identifies a point; suffix the rule so artifact diffing and the
+    # bench gate keep a unique per-point key.
+    label_needs_rule = bool(getattr(spec, "scoring_rules", ()))
     for point, result in zip(points, results):
         observer = result.config.observer
         ordered_count, ordering_digest = result.ordering_digests[observer]
+        label = result.config.label()
+        if label_needs_rule:
+            label = f"{label} [{result.config.scoring}]"
         artifact_points.append(
             {
                 "committee_size": point.committee_size,
                 "protocol": point.protocol,
                 "load": point.load,
+                "scoring": getattr(point, "scoring", result.config.scoring),
                 "seed": result.config.seed,
-                "label": result.config.label(),
+                "label": label,
                 "report": result.report.as_dict(),
                 "ordering_digest": ordering_digest,
                 "ordered_count": ordered_count,

@@ -30,11 +30,18 @@ from repro.behavior.adversarial import (
     ReputationGamingPolicy,
     SilentFanoutPolicy,
 )
+from repro.behavior.coordination import (
+    AdaptiveEquivocationPolicy,
+    AdaptiveSilentFanoutPolicy,
+    CoalitionGamingPolicy,
+    ColludingSilencePolicy,
+)
+from repro.core.scoring import scoring_rule_names
 from repro.committee import Committee, equal_stake, geometric_stake, zipfian_stake
 from repro.crypto.hashing import digest_hex
 from repro.errors import ConfigurationError
 from repro.faults.base import FaultPlan, head_validators, tail_validators
-from repro.faults.behavior import BehaviorFault
+from repro.faults.behavior import BehaviorFault, validate_behavior_windows
 from repro.faults.byzantine import VoteWithholdingFault
 from repro.faults.crash import CrashFault, CrashRecoveryFault
 from repro.faults.partition import (
@@ -52,6 +59,13 @@ from repro.workload.phases import (
     validate_phases,
 )
 
+# Coalition fault kinds: the selected validators share one
+# AdversaryCoordinator per fault window (colluding attacks).
+COALITION_FAULT_KINDS = (
+    "colluding-silence",
+    "adaptive-dos",
+    "coalition-gaming",
+)
 # Behavior-policy fault kinds (compiled to BehaviorFault plans installing
 # the matching repro.behavior policy on a timeline).
 BEHAVIOR_FAULT_KINDS = (
@@ -59,7 +73,8 @@ BEHAVIOR_FAULT_KINDS = (
     "silent-fanout",
     "lazy-leader",
     "reputation-gaming",
-)
+    "adaptive-equivocation",
+) + COALITION_FAULT_KINDS
 # Fault kinds understood by the timeline.
 FAULT_KINDS = (
     "crash",
@@ -152,12 +167,20 @@ class FaultSpec:
     absolute seconds or a committee-size-relative expression
     ``{"base": b, "per_validator": p}`` resolved per sweep point.
 
-    The targeted behavior kinds (``equivocate``, ``silent-fanout``) pick
-    their *victims* with ``targets`` (explicit ids) or ``target_count``
-    (the lowest-indexed non-observer validators — the mirror of the
-    attacker tail convention); ``window`` is the honest-round window of
-    ``reputation-gaming``, and ``extra_delay`` doubles as the
-    ``lazy-leader`` proposal delay.
+    The targeted behavior kinds (``equivocate``, ``silent-fanout``,
+    ``colluding-silence``) pick their *victims* with ``targets`` (explicit
+    ids) or ``target_count`` (the lowest-indexed non-observer validators —
+    the mirror of the attacker tail convention); ``window`` is the
+    honest-round window of ``reputation-gaming``, and ``extra_delay``
+    doubles as the ``lazy-leader`` proposal delay.
+
+    The coalition kinds (``colluding-silence``, ``adaptive-dos``,
+    ``coalition-gaming``) may name their members explicitly with the
+    ``coalition`` selector (counts as the one selector) or fall back to
+    the tail convention like any other fault; either way the members
+    share one deterministic :class:`AdversaryCoordinator` per fault
+    window.  ``stride`` throttles the coalition's duty rotation (attack
+    one in every ``len(coalition) * stride`` anchors).
     """
 
     kind: str
@@ -172,20 +195,41 @@ class FaultSpec:
     targets: Tuple[int, ...] = ()  # equivocate / silent-fanout victims
     target_count: Optional[int] = None  # like targets, head-of-committee
     window: Optional[int] = None  # reputation-gaming only
+    coalition: Tuple[int, ...] = ()  # coalition kinds: explicit members
+    stride: Optional[int] = None  # coalition kinds: duty rotation throttle
 
     def validate(self) -> "FaultSpec":
         _require(self.kind in FAULT_KINDS, f"unknown fault kind {self.kind!r}")
         behavior = self.kind in BEHAVIOR_FAULT_KINDS
+        coalition_kind = self.kind in COALITION_FAULT_KINDS
+        if self.coalition:
+            _require(
+                coalition_kind,
+                f"{self.kind!r} does not take a coalition selector "
+                f"(coalition kinds: {', '.join(COALITION_FAULT_KINDS)})",
+            )
+            for member in self.coalition:
+                _require(_is_int(member), "coalition members must be validator ids (integers)")
+            _require(
+                len(set(self.coalition)) == len(self.coalition),
+                "coalition members must be distinct",
+            )
+        if self.stride is not None:
+            _require(coalition_kind, f"{self.kind!r} does not take a stride")
+            _require(_is_int(self.stride), "the duty stride must be an integer")
+            _require(self.stride >= 1, "the duty stride must be at least 1")
         selectors = [
             bool(self.validators),
             self.count is not None,
             self.fraction is not None,
             self.max_faulty,
+            bool(self.coalition),
         ]
         _require(
             sum(selectors) == 1,
             f"fault {self.kind!r} needs exactly one selector "
-            "(validators, count, fraction, or max_faulty)",
+            "(validators, count, fraction, max_faulty"
+            + (", or coalition)" if coalition_kind else ")"),
         )
         if self.count is not None:
             _require(self.count >= 1, "a fault count must be at least 1")
@@ -219,7 +263,7 @@ class FaultSpec:
                 _require(self.end > self.at, "a fault window must close after it opens")
         else:
             _require(self.end is None, f"{self.kind!r} does not take an end time")
-        if self.kind in ("equivocate", "silent-fanout"):
+        if self.kind in ("equivocate", "silent-fanout", "colluding-silence"):
             _require(
                 not (self.targets and self.target_count is not None),
                 f"{self.kind!r} takes targets or target_count, not both",
@@ -361,6 +405,12 @@ class ScenarioSpec:
     stake: str = "equal"
     commits_per_schedule: int = 10
     scoring: str = "hammerhead"
+    # The scoring-rule sweep axis: when non-empty, the scenario fans out
+    # over these rules (each compiled point carries one) instead of the
+    # single ``scoring`` value — the axis the attack x rule ablation
+    # matrix sweeps.  Empty keeps the spec's canonical form (and digest)
+    # identical to earlier revisions.
+    scoring_rules: Tuple[str, ...] = ()
     latency_model: str = "geo"
     gst: float = 0.0
     delta: float = 2.0
@@ -399,11 +449,27 @@ class ScenarioSpec:
                 and self.workload.burst_end <= self.duration,
                 f"the burst window must lie within [{LOAD_START}s, duration]",
             )
+        _require(
+            self.scoring in scoring_rule_names(),
+            f"unknown scoring rule {self.scoring!r} "
+            f"(known: {', '.join(scoring_rule_names())})",
+        )
+        for rule in self.scoring_rules:
+            _require(
+                rule in scoring_rule_names(),
+                f"unknown scoring rule {rule!r} in scoring_rules "
+                f"(known: {', '.join(scoring_rule_names())})",
+            )
+        _require(
+            len(set(self.scoring_rules)) == len(self.scoring_rules),
+            "scoring_rules must not repeat a rule",
+        )
         tail_crashes = 0
         for fault in self.faults:
             fault.validate()
             if fault.kind == "crash" and not fault.validators:
                 tail_crashes += 1
+        self._validate_behavior_windows()
         _require(
             tail_crashes <= 1,
             "at most one permanent crash fault may use a tail selector (count/"
@@ -431,6 +497,54 @@ class ScenarioSpec:
         # (stake, scoring, seed range, fault bounds) at compile time.
         return self
 
+    def _validate_behavior_windows(self) -> None:
+        """Best-effort overlap rejection at spec level.
+
+        Two behavior windows on the same validator must not truly overlap
+        (abutting is fine): the later install would silently win while
+        both are open.  At spec level only plain-number times can be
+        compared and only explicit selections (``validators``/
+        ``coalition``) or two tail-convention selectors are provably
+        shared; everything else is re-checked exactly at compile time,
+        once selectors and committee-relative times are resolved
+        (:func:`compile_spec`).
+        """
+        entries = []
+        for index, fault in enumerate(self.faults):
+            if fault.kind not in BEHAVIOR_FAULT_KINDS:
+                continue
+            if isinstance(fault.at, Mapping) or isinstance(fault.end, Mapping):
+                continue
+            members = tuple(fault.coalition or fault.validators)
+            entries.append(
+                (
+                    bool(members),
+                    frozenset(members),
+                    float(fault.at),
+                    None if fault.end is None else float(fault.end),
+                    f"faults[{index}] ({fault.kind})",
+                )
+            )
+        for position, (explicit_a, members_a, start_a, end_a, label_a) in enumerate(entries):
+            for explicit_b, members_b, start_b, end_b, label_b in entries[position + 1 :]:
+                if explicit_a and explicit_b:
+                    shared = members_a & members_b
+                    if not shared:
+                        continue
+                elif explicit_a != explicit_b:
+                    # One explicit, one selector-based: membership is only
+                    # known per committee size — compile re-checks.
+                    continue
+                # Both tail-convention selectors always share the tail.
+                a_end = float("inf") if end_a is None else end_a
+                b_end = float("inf") if end_b is None else end_b
+                _require(
+                    not (start_a < b_end and start_b < a_end),
+                    f"behavior windows {label_a} and {label_b} overlap on the "
+                    "same validators; windows on a shared validator must not "
+                    "overlap (abutting is allowed)",
+                )
+
     # -- serialization --------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -446,6 +560,8 @@ class ScenarioSpec:
         data["version"] = SPEC_VERSION
         if not data["partition_failover"]:
             del data["partition_failover"]
+        if not data["scoring_rules"]:
+            del data["scoring_rules"]
         for fault in data["faults"]:
             if not fault["targets"]:
                 del fault["targets"]
@@ -453,6 +569,10 @@ class ScenarioSpec:
                 del fault["target_count"]
             if fault["window"] is None:
                 del fault["window"]
+            if not fault["coalition"]:
+                del fault["coalition"]
+            if fault["stride"] is None:
+                del fault["stride"]
         return json.loads(json.dumps(data))
 
     def to_json(self, indent: int = 2) -> str:
@@ -485,6 +605,7 @@ class ScenarioSpec:
             stake=_parse_scalar(payload, "stake", str, default="equal"),
             commits_per_schedule=_parse_scalar(payload, "commits_per_schedule", int, default=10),
             scoring=_parse_scalar(payload, "scoring", str, default="hammerhead"),
+            scoring_rules=_parse_tuple(payload, "scoring_rules", str, default=()),
             latency_model=_parse_scalar(payload, "latency_model", str, default="geo"),
             gst=_parse_scalar(payload, "gst", (int, float), default=0.0, cast=float),
             delta=_parse_scalar(payload, "delta", (int, float), default=2.0, cast=float),
@@ -552,6 +673,7 @@ class ScenarioSpec:
             "stake",
             "commits_per_schedule",
             "scoring",
+            "scoring_rules",
             "latency_model",
             "gst",
             "delta",
@@ -674,7 +796,11 @@ class ScenarioSpec:
                 next_smoke_id += 1
             if fault.count is not None:
                 changes["count"] = 1
-            if fault.kind in ("equivocate", "silent-fanout"):
+            if fault.coalition:
+                # A coalition shrinks to two distinct members so the
+                # coordination channel is still exercised at smoke scale.
+                changes["coalition"] = (3, 2)
+            if fault.kind in ("equivocate", "silent-fanout", "colluding-silence"):
                 # Victim selections shrink to one head victim; explicit
                 # ids may not exist in the 4-member committee.
                 changes["targets"] = ()
@@ -815,6 +941,9 @@ class CompiledPoint:
     protocol: str
     load: float
     config: ExperimentConfig
+    # The scoring rule this point runs under (one entry of the spec's
+    # ``scoring_rules`` axis, or its single ``scoring`` value).
+    scoring: str = "hammerhead"
 
 
 def _build_committee(spec: ScenarioSpec, size: int) -> Committee:
@@ -860,6 +989,18 @@ def _behavior_factory(fault: FaultSpec, committee: Committee):
         return partial(SilentFanoutPolicy, targets=_resolve_targets(fault, committee))
     if fault.kind == "lazy-leader":
         return partial(LazyLeaderPolicy, delay=fault.extra_delay)
+    if fault.kind == "adaptive-equivocation":
+        return partial(AdaptiveEquivocationPolicy)
+    if fault.kind == "colluding-silence":
+        return partial(
+            ColludingSilencePolicy,
+            victims=_resolve_targets(fault, committee),
+            stride=fault.stride or 1,
+        )
+    if fault.kind == "adaptive-dos":
+        return partial(AdaptiveSilentFanoutPolicy, stride=fault.stride or 3)
+    if fault.kind == "coalition-gaming":
+        return partial(CoalitionGamingPolicy, stride=fault.stride or 3)
     window = 6 if fault.window is None else fault.window
     return partial(ReputationGamingPolicy, window=window)
 
@@ -878,6 +1019,10 @@ def _compile_faults(
     builtin_faults = 0
     builtin_time = 0.0
     plans: List[FaultPlan] = []
+    # (validators, start, end, label) of every behavior fault, with
+    # selectors and committee-relative times resolved: the exact overlap
+    # check the spec-level validator can only approximate.
+    behavior_windows: List[Tuple[Tuple[int, ...], float, Optional[float], str]] = []
     for fault in spec.faults:
         # Timeline instants resolve per sweep point: a committee-relative
         # expression yields a different concrete time at each size.
@@ -938,7 +1083,9 @@ def _compile_faults(
             validators = fault.validators or _resolve_tail(committee, fault)
             plans.append(VoteWithholdingFault(validators=tuple(validators), at_time=at))
         elif fault.kind in BEHAVIOR_FAULT_KINDS:
-            validators = fault.validators or _resolve_tail(committee, fault)
+            validators = (
+                fault.coalition or fault.validators or _resolve_tail(committee, fault)
+            )
             validators = tuple(v for v in validators if v in committee.validators)
             _require(bool(validators), f"fault {fault.kind!r} selects no validators")
             _require(
@@ -946,14 +1093,21 @@ def _compile_faults(
                 "a behavior window must close after it opens "
                 f"(resolved to {at} and {end} at committee {committee.size})",
             )
+            behavior_windows.append((validators, at, end, fault.kind))
             plans.append(
                 BehaviorFault(
                     validators=validators,
                     policy_factory=_behavior_factory(fault, committee),
                     start=at,
                     end=end,
+                    coordinated=fault.kind in COALITION_FAULT_KINDS,
                 )
             )
+    if len(behavior_windows) > 1:
+        try:
+            validate_behavior_windows(behavior_windows)
+        except ValueError as error:
+            raise ConfigurationError(str(error)) from None
     for partition in spec.partitions:
         if partition.isolate_fraction is not None:
             plans.append(
@@ -1033,6 +1187,9 @@ def compile_spec(spec: ScenarioSpec, seed: Optional[int] = None) -> List[Compile
     """
     spec = spec.validate()
     run_seed = spec.seed if seed is None else seed
+    # The scoring-rule sweep axis: innermost, so existing single-rule
+    # scenarios keep their historical compile order (and digests).
+    scoring_rules = spec.scoring_rules or (spec.scoring,)
     points: List[CompiledPoint] = []
     for committee_size in spec.committee_sizes:
         committee = _build_committee(spec, committee_size)
@@ -1040,32 +1197,34 @@ def compile_spec(spec: ScenarioSpec, seed: Optional[int] = None) -> List[Compile
         loads, load_phases = _compile_workload(spec)
         for protocol in spec.protocols:
             for load in loads:
-                config = ExperimentConfig(
-                    protocol=protocol,
-                    committee_size=committee_size,
-                    stake=spec.stake,
-                    input_load_tps=load,
-                    load_phases=load_phases,
-                    duration=spec.duration,
-                    warmup=spec.warmup,
-                    faults=builtin_faults,
-                    fault_time=builtin_time,
-                    extra_faults=plans,
-                    commits_per_schedule=spec.commits_per_schedule,
-                    scoring=spec.scoring,
-                    latency_model=spec.latency_model,
-                    gst=spec.gst,
-                    delta=spec.delta,
-                    seed=run_seed,
-                    partition_failover=spec.partition_failover,
-                ).validate()
-                points.append(
-                    CompiledPoint(
-                        scenario=spec.name,
-                        committee_size=committee_size,
+                for scoring in scoring_rules:
+                    config = ExperimentConfig(
                         protocol=protocol,
-                        load=load,
-                        config=config,
+                        committee_size=committee_size,
+                        stake=spec.stake,
+                        input_load_tps=load,
+                        load_phases=load_phases,
+                        duration=spec.duration,
+                        warmup=spec.warmup,
+                        faults=builtin_faults,
+                        fault_time=builtin_time,
+                        extra_faults=plans,
+                        commits_per_schedule=spec.commits_per_schedule,
+                        scoring=scoring,
+                        latency_model=spec.latency_model,
+                        gst=spec.gst,
+                        delta=spec.delta,
+                        seed=run_seed,
+                        partition_failover=spec.partition_failover,
+                    ).validate()
+                    points.append(
+                        CompiledPoint(
+                            scenario=spec.name,
+                            committee_size=committee_size,
+                            protocol=protocol,
+                            load=load,
+                            config=config,
+                            scoring=scoring,
+                        )
                     )
-                )
     return points

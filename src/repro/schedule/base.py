@@ -17,6 +17,7 @@ from typing import Dict, Tuple
 
 from repro.errors import ScheduleError
 from repro.types import Round, ValidatorId, is_anchor_round
+from repro.types import next_anchor_round as _next_anchor_round
 
 
 @dataclasses.dataclass(frozen=True)
@@ -58,6 +59,23 @@ class LeaderSchedule:
     def covers(self, round_number: Round) -> bool:
         """``True`` when the schedule assigns a leader to ``round_number``."""
         return is_anchor_round(round_number) and round_number >= self.initial_round
+
+    def next_anchor_round(self, round_number: Round) -> Round:
+        """The first anchor round at or after ``round_number`` this schedule covers."""
+        return max(_next_anchor_round(round_number), self.initial_round)
+
+    def upcoming_leaders(self, round_number: Round, count: int = 1) -> Tuple[ValidatorId, ...]:
+        """Leaders of the next ``count`` anchor rounds at or after ``round_number``.
+
+        Duplicates are preserved (a validator holding consecutive slots
+        appears once per slot).  This is the lookup the schedule-adaptive
+        adversaries use to re-aim at whoever the *current* schedule is
+        about to make a leader.
+        """
+        if count <= 0:
+            return ()
+        start = self.next_anchor_round(round_number)
+        return tuple(self.leader_for_round(start + 2 * index) for index in range(count))
 
     # -- slot accounting ------------------------------------------------------------
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.scoring import scoring_rule_names
 from repro.errors import ConfigurationError
 from repro.faults.base import FaultPlan
 from repro.metrics.report import PerformanceReport
@@ -22,8 +23,10 @@ from repro.types import SimTime
 PROTOCOL_HAMMERHEAD = "hammerhead"
 PROTOCOL_BULLSHARK = "bullshark"
 
-# Scoring rule identifiers (ablation ABL-SCORE).
-SCORING_RULES = ("hammerhead", "shoal", "carousel")
+# Scoring rule identifiers (ablation ABL-SCORE).  Derived from the
+# scoring-rule registry at import time; validation consults the registry
+# live so rules registered later are accepted too.
+SCORING_RULES = scoring_rule_names()
 
 
 @dataclasses.dataclass
@@ -116,8 +119,11 @@ class ExperimentConfig:
                 f"a committee of {self.committee_size} tolerates at most "
                 f"{max_faulty} faults, not {self.faults}"
             )
-        if self.scoring not in SCORING_RULES:
-            raise ConfigurationError(f"unknown scoring rule {self.scoring!r}")
+        if self.scoring not in scoring_rule_names():
+            raise ConfigurationError(
+                f"unknown scoring rule {self.scoring!r} "
+                f"(known: {', '.join(scoring_rule_names())})"
+            )
         if self.schedule_change_policy not in ("commits", "rounds"):
             raise ConfigurationError(
                 f"unknown schedule change policy {self.schedule_change_policy!r}"

@@ -19,7 +19,7 @@ from repro.core.manager import (
     StaticScheduleManager,
 )
 from repro.core.schedule_change import CommitCountPolicy, RoundBasedPolicy
-from repro.core.scoring import CarouselScoring, HammerHeadScoring, ShoalScoring
+from repro.core.scoring import make_scoring_rule
 from repro.faults.base import FaultInjector
 from repro.faults.crash import crash_last_f
 from repro.faults.partition import PartitionPlan
@@ -105,6 +105,7 @@ class SimulationRunner:
             base.max_batch_size = self.config.max_batch_size
         base.record_sequence = self.config.record_sequences
         base.certificate_batching = self.config.certificate_batching
+        base.scoring_rule = self.config.scoring
         return base.validate()
 
     def _execution_capacity(self) -> float:
@@ -115,6 +116,10 @@ class SimulationRunner:
     def _schedule_manager_factory(self) -> Callable[[], ScheduleManager]:
         config = self.config
         committee = self.committee
+        # The node config is the authoritative per-node knob (the runner
+        # keeps it in sync with ExperimentConfig.scoring in
+        # _build_node_config; standalone deployments set it directly).
+        scoring_rule = self.node_config.scoring_rule
 
         def factory() -> ScheduleManager:
             schedule = initial_schedule(committee, seed=config.seed)
@@ -124,11 +129,7 @@ class SimulationRunner:
                 policy = CommitCountPolicy(config.commits_per_schedule)
             else:
                 policy = RoundBasedPolicy(config.rounds_per_schedule)
-            scoring = {
-                "hammerhead": HammerHeadScoring,
-                "shoal": ShoalScoring,
-                "carousel": CarouselScoring,
-            }[config.scoring]()
+            scoring = make_scoring_rule(scoring_rule)
             return HammerHeadScheduleManager(
                 committee,
                 schedule,

@@ -44,6 +44,16 @@ def is_vote_round(round_number: Round) -> bool:
     return round_number % 2 == 1
 
 
+def next_anchor_round(round_number: Round) -> Round:
+    """The first anchor round at or after ``round_number`` (at least 2).
+
+    The single definition of "which anchor is coming up" shared by the
+    schedule lookup helpers and the schedule-adaptive adversaries.
+    """
+    anchor = round_number if round_number % 2 == 0 else round_number + 1
+    return max(anchor, 2)
+
+
 def anchor_rounds_between(start: Round, end: Round) -> Iterator[Round]:
     """Yield every anchor round in the half-open interval ``(start, end]``.
 

@@ -71,6 +71,38 @@ PR3_SCENARIO_DIGESTS = {
     ],
 }
 
+# Per PR 4 registry scenario (smoke scale): the same shape, recorded at
+# the PR 4 HEAD (commit ``924cf69``) immediately before the scoring-view
+# refactor and the coalition adversaries landed.  The scoring stack grew
+# a view, a registry, and a fourth rule in this PR; none of it may move
+# a single byte of these runs.
+PR4_SCENARIO_DIGESTS = {
+    "equivocation-split": [
+        ["hammerhead", 300.0, 129, "7e67eb06b346c052653dbabeaf501fcdef0df619fcb992028571ddfbf3d228c6"],
+        ["bullshark", 300.0, 129, "51e823f618fd2275b9cb1c1d97e3041a11fb4f5f49c7b6ac0d37beb4514a9cfb"],
+    ],
+    "silent-saboteur": [
+        ["hammerhead", 300.0, 129, "7a5dfb8735bfac1270128298e756ad01eff00b6ef921559b3e4afc8a0b2a7460"],
+        ["bullshark", 300.0, 129, "dea7aee9a58b1c0a06e06dc0eddcb60278b0acf4e7f6119dc5b9a5d747e1afed"],
+    ],
+    "lazy-leader": [
+        ["hammerhead", 300.0, 51, "01bc30cfb644d2ff165b02bb7820a356ba5656a8f93b06f32ecda83b2fb44073"],
+        ["bullshark", 300.0, 51, "01bc30cfb644d2ff165b02bb7820a356ba5656a8f93b06f32ecda83b2fb44073"],
+    ],
+    "reputation-gamer": [
+        ["hammerhead", 300.0, 129, "bbbd10b0de25438cb2107e430fdbd9fbbaee108243ae8f5aee0756182bbf3a6e"],
+        ["bullshark", 300.0, 129, "738d5f4b899a5650398480752788fbf69f8d37961d392b20242db58276f9e970"],
+    ],
+    "partition-failover": [
+        ["hammerhead", 300.0, 85, "d318822791fc10ce90436f367693a98afee982508f8c325e3f40eaa0093db38f"],
+        ["bullshark", 300.0, 85, "d318822791fc10ce90436f367693a98afee982508f8c325e3f40eaa0093db38f"],
+    ],
+    "maintenance-churn+recovery-spike": [
+        ["hammerhead", 248.69, 97, "76b698e6b22579e04757bc8c05d66a61867326d5e7055f5e42e45686de4e8239"],
+        ["bullshark", 248.69, 97, "eca3283bef95a269183a0c10d1f9c0c7fededb18e9df9c94c606aac10850173c"],
+    ],
+}
+
 
 def differential_config(committee_size: int) -> ExperimentConfig:
     """The exact configuration the pre-refactor digests were recorded with."""
@@ -113,3 +145,33 @@ class TestHonestPolicyDifferential:
         # no node may hold a non-transparent policy.
         result = run_experiment(differential_config(10))
         assert result.reputation["faulty_validators"] == [9]
+
+    @pytest.mark.parametrize("name", sorted(PR4_SCENARIO_DIGESTS))
+    def test_pr4_scenario_matches_pre_refactor_digest(self, name):
+        expected = PR4_SCENARIO_DIGESTS[name]
+        points = compile_spec(get_scenario(name).smoke())
+        assert len(points) == len(expected)
+        for point, (protocol, load, count, digest) in zip(points, expected):
+            assert point.protocol == protocol
+            assert point.load == pytest.approx(load)
+            result = run_experiment(point.config)
+            observed_count, observed_digest = result.ordering_digests[0]
+            assert (observed_count, observed_digest) == (count, digest), (
+                f"{name} [{point.config.label()}] diverged from the PR 4 ordering"
+            )
+
+    @pytest.mark.parametrize("scoring", ["shoal", "carousel"])
+    @pytest.mark.parametrize("committee_size", sorted(PR3_CONFIG_DIGESTS))
+    def test_every_existing_rule_reproduces_the_pinned_digest(
+        self, scoring, committee_size
+    ):
+        """The registry refactor may not move a byte under any old rule.
+
+        At the PR 4 HEAD these configurations produced identical digests
+        under all three rules (the single early crash dominates every
+        ranking), so the hammerhead-recorded pins cover shoal and
+        carousel too — re-verified at capture time.
+        """
+        config = differential_config(committee_size).with_overrides(scoring=scoring)
+        result = run_experiment(config)
+        assert tuple(result.ordering_digests[0]) == PR3_CONFIG_DIGESTS[committee_size]

@@ -1,0 +1,223 @@
+"""Regression tests: BehaviorFault windows restore honesty deterministically.
+
+The pre-fix restore unconditionally reset the validator to HONEST when a
+window closed.  With abutting windows ([0, 5) then [5, 10)) the two
+t=5 events — restore of the first fault and install of the second — ran
+in plan-scheduling order, so listing the second fault first in the plan
+sequence made the first fault's restore clobber the fresh install:
+last-writer-wins.  The restore now only reverts a policy it installed
+itself, making the outcome independent of plan order; truly overlapping
+windows are rejected up front (``validate_behavior_windows`` /
+scenario validation).
+"""
+
+import pytest
+
+from repro.behavior import HONEST, BehaviorPolicy, VoteWithholdingPolicy
+from repro.errors import ConfigurationError
+from repro.faults.behavior import BehaviorFault, validate_behavior_windows
+from repro.network.simulator import Simulator
+from repro.scenarios.spec import FaultSpec, ScenarioSpec, compile_spec
+
+
+class RecordingNode:
+    """A stand-in exposing exactly the surface BehaviorFault touches."""
+
+    def __init__(self, node_id):
+        self.id = node_id
+        self.behavior = HONEST
+        self.transitions = []
+
+    def set_behavior(self, policy):
+        if policy is None:
+            policy = HONEST
+        self.behavior = policy
+        self.transitions.append(policy)
+
+
+def run_faults(faults, until=20.0):
+    simulator = Simulator(seed=1)
+    nodes = {0: RecordingNode(0), 1: RecordingNode(1)}
+    for fault in faults:
+        fault.schedule(simulator, network=None, nodes=nodes)
+    simulator.run(until=until)
+    return nodes
+
+
+class TestDeterministicRestore:
+    @pytest.mark.parametrize("reverse_plan_order", [False, True])
+    def test_abutting_windows_end_honest_regardless_of_order(self, reverse_plan_order):
+        first = BehaviorFault(
+            validators=(0,), policy_factory=VoteWithholdingPolicy, start=1.0, end=5.0
+        )
+        second = BehaviorFault(
+            validators=(0,), policy_factory=VoteWithholdingPolicy, start=5.0, end=9.0
+        )
+        plans = [second, first] if reverse_plan_order else [first, second]
+        nodes = run_faults(plans)
+        # Regardless of scheduling order, the final state is honest and
+        # the second window's policy was live between t=5 and t=9 (the
+        # first fault's restore never clobbered it).
+        assert nodes[0].behavior is HONEST
+        adversarial = [p for p in nodes[0].transitions if not p.transparent]
+        assert len(adversarial) == 2
+
+    def test_abutting_windows_install_fires_even_when_restore_runs_late(self):
+        # The adversarial regression: second window scheduled first, so
+        # at t=5 its install fires *before* the first window's restore.
+        first = BehaviorFault(
+            validators=(0,), policy_factory=VoteWithholdingPolicy, start=1.0, end=5.0
+        )
+        second = BehaviorFault(
+            validators=(0,), policy_factory=VoteWithholdingPolicy, start=5.0, end=9.0
+        )
+        simulator = Simulator(seed=1)
+        nodes = {0: RecordingNode(0)}
+        second.schedule(simulator, network=None, nodes=nodes)
+        first.schedule(simulator, network=None, nodes=nodes)
+        simulator.run(until=7.0)
+        # Mid-second-window the node must still be adversarial: the
+        # first fault's t=5 restore saw a policy it did not install.
+        assert not nodes[0].behavior.transparent
+        simulator.run(until=12.0)
+        assert nodes[0].behavior is HONEST
+
+    def test_open_ended_window_never_restores(self):
+        fault = BehaviorFault(validators=(0,), policy_factory=VoteWithholdingPolicy, start=2.0)
+        nodes = run_faults([fault])
+        assert not nodes[0].behavior.transparent
+
+    def test_externally_replaced_policy_is_not_clobbered(self):
+        fault = BehaviorFault(
+            validators=(0,), policy_factory=VoteWithholdingPolicy, start=1.0, end=5.0
+        )
+        simulator = Simulator(seed=1)
+        nodes = {0: RecordingNode(0)}
+        fault.schedule(simulator, network=None, nodes=nodes)
+        simulator.run(until=3.0)
+        replacement = BehaviorPolicy()
+        nodes[0].set_behavior(replacement)
+        simulator.run(until=10.0)
+        # The window's restore does not undo a policy someone else set.
+        assert nodes[0].behavior is replacement
+
+
+class TestOverlapRejection:
+    def test_helper_rejects_true_overlap_on_shared_validator(self):
+        with pytest.raises(ValueError, match="overlap"):
+            validate_behavior_windows(
+                [
+                    ((0, 1), 0.0, 10.0, "a"),
+                    ((1, 2), 5.0, 15.0, "b"),
+                ]
+            )
+
+    def test_helper_accepts_abutting_and_disjoint(self):
+        validate_behavior_windows(
+            [
+                ((0,), 0.0, 5.0, "a"),
+                ((0,), 5.0, 10.0, "b"),
+                ((1,), 2.0, 8.0, "c"),
+            ]
+        )
+
+    def test_open_ended_window_overlaps_everything_later(self):
+        with pytest.raises(ValueError):
+            validate_behavior_windows(
+                [
+                    ((0,), 0.0, None, "a"),
+                    ((0,), 50.0, 60.0, "b"),
+                ]
+            )
+
+    def test_spec_validation_rejects_overlapping_explicit_windows(self):
+        with pytest.raises(ConfigurationError, match="overlap"):
+            ScenarioSpec(
+                name="bad",
+                faults=(
+                    FaultSpec(kind="lazy-leader", validators=(9,), at=0.0, end=10.0),
+                    FaultSpec(
+                        kind="reputation-gaming", validators=(9,), at=5.0, end=15.0
+                    ),
+                ),
+            ).validate()
+
+    def test_spec_validation_rejects_two_overlapping_tail_selectors(self):
+        with pytest.raises(ConfigurationError, match="overlap"):
+            ScenarioSpec(
+                name="bad",
+                faults=(
+                    FaultSpec(kind="lazy-leader", count=1, at=0.0, end=10.0),
+                    FaultSpec(kind="reputation-gaming", count=1, at=5.0, end=15.0),
+                ),
+            ).validate()
+
+    def test_compile_rejects_overlap_hidden_behind_selectors(self):
+        # One explicit, one tail-selected: the spec validator cannot
+        # prove sharing, the compiler can (tail of 10 = validator 9).
+        spec = ScenarioSpec(
+            name="bad",
+            faults=(
+                FaultSpec(kind="lazy-leader", validators=(9,), at=0.0, end=10.0),
+                FaultSpec(kind="reputation-gaming", count=1, at=5.0, end=15.0),
+            ),
+        )
+        with pytest.raises(ConfigurationError, match="overlap"):
+            compile_spec(spec)
+
+    def test_abutting_windows_compile_cleanly(self):
+        spec = ScenarioSpec(
+            name="ok",
+            faults=(
+                FaultSpec(kind="lazy-leader", validators=(9,), at=0.0, end=10.0),
+                FaultSpec(kind="reputation-gaming", validators=(9,), at=10.0, end=20.0),
+            ),
+        )
+        assert compile_spec(spec.validate())
+
+
+class TestCoordinatedInstall:
+    def test_installed_coordinator_carries_the_policy_stride(self):
+        """Regression: the per-window coordinator must adopt the stride the
+        factory bakes into the policies — a stride-1 coordinator would
+        silently turn the configured rotation throttle into
+        attack-every-anchor."""
+        from functools import partial
+
+        from repro.behavior import CoalitionGamingPolicy
+
+        fault = BehaviorFault(
+            validators=(0, 1),
+            policy_factory=partial(CoalitionGamingPolicy, stride=3),
+            coordinated=True,
+        )
+        nodes = run_faults([fault], until=1.0)
+        policies = [nodes[v].behavior for v in (0, 1)]
+        coordinators = {id(policy.coordinator) for policy in policies}
+        assert len(coordinators) == 1, "members must share one coordinator"
+        assert policies[0].coordinator.stride == 3
+        assert policies[0].coordinator.members == (0, 1)
+
+    def test_compiled_coalition_scenario_installs_matching_stride(self):
+        """The stride written in the registry spec survives compile +
+        install: spec -> factory partial -> policy -> shared coordinator."""
+        from repro.scenarios import get_scenario
+        from repro.scenarios.spec import compile_spec
+
+        (point,) = [
+            p
+            for p in compile_spec(get_scenario("adaptive-dos"))
+            if p.protocol == "hammerhead"
+        ]
+        (plan,) = [
+            plan for plan in point.config.extra_faults if isinstance(plan, BehaviorFault)
+        ]
+        spec_stride = get_scenario("adaptive-dos").faults[0].stride
+        simulator = Simulator(seed=1)
+        nodes = {v: RecordingNode(v) for v in plan.validators}
+        plan.schedule(simulator, network=None, nodes=nodes)
+        simulator.run(until=1.0)
+        coordinators = {id(nodes[v].behavior.coordinator) for v in plan.validators}
+        assert len(coordinators) == 1
+        member = plan.validators[0]
+        assert nodes[member].behavior.coordinator.stride == spec_stride == 2

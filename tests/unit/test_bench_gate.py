@@ -200,3 +200,108 @@ class TestScenarioStageComparison:
         )
         findings = check_regression.compare_documents(fresh, base, 0.10)
         assert not any(finding.fatal for finding in findings)
+
+
+def calibrated(doc, cpu_score):
+    out = dict(doc)
+    out["calibration"] = {"cpu_score": cpu_score}
+    return out
+
+
+class TestCalibrationNormalization:
+    def test_slower_host_passes_after_normalization(self):
+        base = calibrated(document([fig1_point(4000.0, 100000.0)]), 1000.0)
+        # Half-speed host, half the events/sec: raw -50%, normalized 0%.
+        fresh = calibrated(document([fig1_point(4000.0, 50000.0)]), 500.0)
+        findings = check_regression.compare_documents(fresh, base, 0.10)
+        assert not any(finding.fatal for finding in findings)
+        # Without calibration the same documents fail.
+        raw = check_regression.compare_documents(fresh, base, 0.10, calibrate=False)
+        assert any(finding.fatal for finding in raw)
+
+    def test_real_regression_still_fails_on_slower_host(self):
+        base = calibrated(document([fig1_point(4000.0, 100000.0)]), 1000.0)
+        # Half-speed host but only a third of the events/sec: a genuine
+        # ~33% regression after normalization.
+        fresh = calibrated(document([fig1_point(4000.0, 33000.0)]), 500.0)
+        findings = check_regression.compare_documents(fresh, base, 0.10)
+        assert any(finding.fatal for finding in findings)
+
+    def test_missing_calibration_falls_back_to_raw(self):
+        base = document([fig1_point(4000.0, 100000.0)])
+        fresh = calibrated(document([fig1_point(4000.0, 100000.0)]), 500.0)
+        findings = check_regression.compare_documents(fresh, base, 0.10)
+        assert not any(finding.fatal for finding in findings)
+        assert any(
+            finding.stage == "calibration" and "raw" in finding.message
+            for finding in findings
+        )
+
+    def test_out_of_band_ratio_falls_back_to_raw(self):
+        base = calibrated(document([fig1_point(4000.0, 100000.0)]), 1000.0)
+        fresh = calibrated(document([fig1_point(4000.0, 100000.0)]), 10.0)
+        assert check_regression.calibration_ratio(fresh, base) is None
+
+    def test_calibration_ratio_in_band(self):
+        base = calibrated({}, 1000.0)
+        fresh = calibrated({}, 925.0)
+        assert check_regression.calibration_ratio(fresh, base) == 0.925
+
+
+def matrix_cell(attack, rule, digest, scenario_digest="s" * 64, label=None):
+    return {
+        "attack": attack,
+        "rule": rule,
+        "label": label or f"{attack}/{rule}",
+        "scenario_digest": scenario_digest,
+        "ordering_digest": digest,
+    }
+
+
+def with_matrix(doc, cells):
+    out = dict(doc)
+    out["scenario_matrix"] = {"cells": list(cells)}
+    return out
+
+
+class TestMatrixStageComparison:
+    def _base_doc(self):
+        return document([fig1_point(4000.0, 100000.0)])
+
+    def test_matching_cells_pass(self):
+        doc = with_matrix(
+            self._base_doc(), [matrix_cell("gamer", "completeness", "a" * 64)]
+        )
+        findings = check_regression.compare_documents(doc, doc, 0.10)
+        assert not any(finding.fatal for finding in findings)
+
+    def test_cell_digest_change_is_fatal(self):
+        base = with_matrix(
+            self._base_doc(), [matrix_cell("gamer", "completeness", "a" * 64)]
+        )
+        fresh = with_matrix(
+            self._base_doc(), [matrix_cell("gamer", "completeness", "b" * 64)]
+        )
+        findings = check_regression.compare_documents(fresh, base, 0.10)
+        fatal = [finding for finding in findings if finding.fatal]
+        assert fatal and "scenario_matrix:gamer/completeness" in fatal[0].stage
+
+    def test_changed_attack_definition_skips_cell(self):
+        base = with_matrix(
+            self._base_doc(),
+            [matrix_cell("gamer", "completeness", "a" * 64, scenario_digest="1" * 64)],
+        )
+        fresh = with_matrix(
+            self._base_doc(),
+            [matrix_cell("gamer", "completeness", "b" * 64, scenario_digest="2" * 64)],
+        )
+        findings = check_regression.compare_documents(fresh, base, 0.10)
+        assert not any(finding.fatal for finding in findings)
+
+    def test_missing_matrix_stage_skips(self):
+        base = with_matrix(
+            self._base_doc(), [matrix_cell("gamer", "completeness", "a" * 64)]
+        )
+        findings = check_regression.compare_documents(self._base_doc(), base, 0.10)
+        assert not any(finding.fatal for finding in findings)
+        assert any("scenario_matrix" in finding.stage for finding in findings)

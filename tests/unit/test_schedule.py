@@ -125,3 +125,30 @@ class TestScheduleConstruction:
         assert rounds.count(0) == 4
         assert rounds.count(1) == 2
         assert rounds.count(2) == 1
+
+
+class TestUpcomingLeaders:
+    def _schedule(self):
+        from repro.schedule.base import LeaderSchedule
+
+        return LeaderSchedule(epoch=0, initial_round=2, slots=(0, 1, 2, 3))
+
+    def test_next_anchor_round_snaps_forward(self):
+        schedule = self._schedule()
+        assert schedule.next_anchor_round(0) == 2
+        assert schedule.next_anchor_round(3) == 4
+        assert schedule.next_anchor_round(4) == 4
+
+    def test_upcoming_leaders_walks_the_rotation(self):
+        schedule = self._schedule()
+        assert schedule.upcoming_leaders(3, count=3) == (1, 2, 3)
+        # Duplicates preserved across a wrap of the cycle.
+        assert schedule.upcoming_leaders(7, count=5) == (3, 0, 1, 2, 3)
+        assert schedule.upcoming_leaders(2, count=0) == ()
+
+    def test_rounds_before_the_schedule_start_at_its_first_anchor(self):
+        from repro.schedule.base import LeaderSchedule
+
+        late = LeaderSchedule(epoch=1, initial_round=10, slots=(5, 6))
+        assert late.next_anchor_round(3) == 10
+        assert late.upcoming_leaders(3, count=2) == (5, 6)
