@@ -52,7 +52,7 @@ def _run_incident():
 def test_incident_degraded_validators_low_load(benchmark):
     results = benchmark.pedantic(_run_incident, rounds=1, iterations=1)
     reports = []
-    for (protocol, degraded), result in sorted(results.items()):
+    for (_protocol, degraded), result in sorted(results.items()):
         report = result.report
         report.extra["degraded_validators"] = 1.0 if degraded else 0.0
         reports.append(report)

@@ -1,0 +1,48 @@
+"""Determinism auditor: AST-based static analysis of the reproduction.
+
+Every result this repository reports rests on one invariant: the
+ordering digest of an honest run is a pure function of the scenario
+spec.  The differential test suite enforces that *dynamically* for a
+finite set of configurations; this package enforces it *statically*,
+so a PR that drags nondeterminism into the commit path fails lint
+before any test runs.
+
+The package mirrors the layering of the rest of the library:
+
+``rules/``
+    One module per determinism rule (DET001..DET005), registered in
+    ``ANALYSIS_RULE_REGISTRY`` exactly like scoring rules register in
+    ``SCORING_RULE_REGISTRY``.
+``purity.py``
+    The digest purity map: an import/call-graph closure rooted at the
+    commit path, with a checked-in baseline that CI diffs.
+``engine.py``
+    Orchestration: load sources, run rules, apply waivers, build the
+    purity map, compare the baseline.
+``cli.py`` / ``__main__.py``
+    The ``python -m repro.analysis`` entry point
+    (``check`` / ``explain RULE`` / ``purity-map``).
+
+Use :func:`repro.analysis.engine.analyze` programmatically, or the CLI
+from a shell.  See the README "Static analysis" runbook.
+"""
+
+from repro.analysis.engine import AnalysisReport, analyze
+from repro.analysis.config import AnalyzerConfig, repo_config
+from repro.analysis.rules import (
+    ANALYSIS_RULE_REGISTRY,
+    analysis_rule_names,
+    make_analysis_rule,
+    register_analysis_rule,
+)
+
+__all__ = [
+    "ANALYSIS_RULE_REGISTRY",
+    "AnalysisReport",
+    "AnalyzerConfig",
+    "analysis_rule_names",
+    "analyze",
+    "make_analysis_rule",
+    "register_analysis_rule",
+    "repo_config",
+]

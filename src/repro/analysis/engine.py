@@ -1,0 +1,158 @@
+"""Analysis orchestration: load, index, run rules, map purity, diff.
+
+:func:`analyze` is the single entry point both the CLI and the tests
+use.  It produces an :class:`AnalysisReport` carrying everything a
+caller might render: active findings, waived findings, the purity map,
+purity violations (DET001/DET002 findings reachable from the commit
+path), and the baseline comparison when a baseline file is configured.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.config import AnalyzerConfig
+from repro.analysis.purity import (
+    MODULE_NODE,
+    PurityMap,
+    baseline_payload,
+    build_purity_map,
+    compare_baseline,
+)
+from repro.analysis.rules import analysis_rule_names, make_analysis_rule
+from repro.analysis.rules.base import Finding, RuleContext
+from repro.analysis.source import SourceModule, load_package
+from repro.analysis.typeflow import build_project_index
+from repro.errors import ReproError
+
+# Rules whose findings poison the commit path outright: reachability
+# from the ordering digest to one of these is a purity violation even
+# if the finding itself was waived at its own site.
+_PURITY_RULES = ("DET001", "DET002")
+
+
+@dataclasses.dataclass(frozen=True)
+class AnalysisReport:
+    """Everything one analysis pass learned."""
+
+    findings: Tuple[Finding, ...]
+    waived: Tuple[Finding, ...]
+    purity: PurityMap
+    purity_violations: Tuple[Finding, ...]
+    baseline_diff: Tuple[str, ...]
+    module_count: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.purity_violations and not self.baseline_diff
+
+    def render_lines(self) -> List[str]:
+        """The ``check`` report, one line per problem plus a summary."""
+        lines = [finding.render() for finding in self.findings]
+        for violation in self.purity_violations:
+            lines.append(f"{violation.render()} [reachable from the ordering digest]")
+        for diff in self.baseline_diff:
+            lines.append(f"purity baseline drift: {diff}")
+        verdict = "FAIL" if not self.ok else "OK"
+        lines.append(
+            f"{verdict}: {len(self.findings)} finding(s), "
+            f"{len(self.purity_violations)} purity violation(s), "
+            f"{len(self.baseline_diff)} baseline drift line(s); "
+            f"{len(self.waived)} waived; {self.module_count} modules scanned; "
+            f"purity closure {len(self.purity.closure)} modules / "
+            f"{len(self.purity.reachable)} reachable functions"
+        )
+        return lines
+
+
+def analyze(
+    config: AnalyzerConfig,
+    rules: Optional[Sequence[str]] = None,
+    modules: Optional[Dict[str, SourceModule]] = None,
+) -> AnalysisReport:
+    """Run ``rules`` (default: all registered) over the configured tree.
+
+    ``modules`` can be supplied directly for in-memory fixtures; when
+    omitted the package is loaded from ``config.root``.
+    """
+    if modules is None:
+        modules = load_package(config.root, config.package)
+    index = build_project_index(modules.values())
+    purity = build_purity_map(modules, config)
+    context = RuleContext(
+        config=config,
+        modules=modules,
+        index=index,
+        purity_closure=frozenset(purity.closure),
+    )
+    rule_names = tuple(rules) if rules is not None else analysis_rule_names()
+
+    active: List[Finding] = []
+    waived: List[Finding] = []
+    purity_poison: List[Finding] = []
+    for rule_name in rule_names:
+        rule = make_analysis_rule(rule_name)
+        for module_name in sorted(modules):
+            module = modules[module_name]
+            # Rules may emit duplicates when nested functions are walked
+            # from both enclosing scopes; the sorted-set pass collapses
+            # them and fixes the report order in one step.
+            for finding in sorted(set(rule.check(module, context))):
+                if rule_name in _PURITY_RULES:
+                    purity_poison.append(finding)
+                if module.is_waived(finding.rule, finding.line):
+                    waived.append(finding)
+                else:
+                    active.append(finding)
+
+    violations = _purity_violations(purity, purity_poison)
+    current = baseline_payload(purity)
+    baseline_diff: Tuple[str, ...] = ()
+    if config.baseline_path is not None and Path(config.baseline_path).exists():
+        baseline = load_baseline(Path(config.baseline_path))
+        baseline_diff = tuple(compare_baseline(current, baseline))
+
+    return AnalysisReport(
+        findings=tuple(sorted(set(active))),
+        waived=tuple(sorted(set(waived))),
+        purity=purity,
+        purity_violations=tuple(sorted(set(violations))),
+        baseline_diff=baseline_diff,
+        module_count=len(modules),
+    )
+
+
+def _purity_violations(
+    purity: PurityMap, poison: Sequence[Finding]
+) -> List[Finding]:
+    """DET001/DET002 findings sitting on commit-path-reachable functions."""
+    reachable = purity.reachable_set()
+    violations = []
+    for finding in poison:
+        function = finding.function or MODULE_NODE
+        if f"{finding.module}:{function}" in reachable:
+            violations.append(finding)
+    return violations
+
+
+def load_baseline(path: Path) -> Dict[str, object]:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise ReproError(f"cannot read purity baseline {str(path)!r}: {error}") from None
+    try:
+        data = json.loads(text)
+    except ValueError as error:
+        raise ReproError(f"purity baseline {str(path)!r} is not valid JSON: {error}") from None
+    if not isinstance(data, dict):
+        raise ReproError(f"purity baseline {str(path)!r} must be a JSON object")
+    return data
+
+
+def write_baseline(purity: PurityMap, path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = baseline_payload(purity)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")

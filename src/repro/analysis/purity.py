@@ -1,0 +1,306 @@
+"""The digest purity map: what can the commit path reach?
+
+The ordering digest is a fold over the vertices
+:class:`~repro.consensus.bullshark.BullsharkConsensus` emits.  The set
+of functions that computation can call — transitively, through the DAG
+store, the canonical hashing helpers, and the leader schedule — is the
+*commit path*.  This module computes an over-approximation of that set
+in two stages:
+
+1. **Module closure**: the transitive import closure of the configured
+   purity roots within the scanned package.  Imports are an
+   over-approximation of "can call into".
+2. **Function reachability**: a call graph over the closure, resolved
+   by name.  Calls that cannot be resolved precisely (method calls on
+   values of unknown class) fall back to matching every closure
+   function with the same bare name.  Over-approximating keeps the
+   guarantee one-sided: the map may list a function the digest can
+   never actually reach, but it cannot *miss* one that is reachable via
+   a name the source mentions.
+
+The map is serialised into ``analysis/purity_baseline.json`` (sorted,
+with a content digest) and diffed by CI: a PR that newly drags a module
+or function into the commit path must regenerate the baseline, making
+the expansion reviewable — and if the new code trips DET001/DET002, the
+check fails outright before any test runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import hashlib
+import json
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.analysis.config import AnalyzerConfig
+from repro.analysis.source import SourceModule, resolve_relative_import
+
+BASELINE_VERSION = 1
+
+# The pseudo-function under which module-level statements are recorded.
+MODULE_NODE = "<module>"
+
+
+@dataclasses.dataclass(frozen=True)
+class PurityMap:
+    """The commit-path closure, ready for reporting and serialisation."""
+
+    roots: Tuple[str, ...]
+    closure: Tuple[str, ...]
+    reachable: Tuple[str, ...]  # "module:qualname", sorted
+    edge_count: int
+
+    def reachable_set(self) -> FrozenSet[str]:
+        return frozenset(self.reachable)
+
+    def functions_in(self, module: str) -> Tuple[str, ...]:
+        prefix = f"{module}:"
+        return tuple(node for node in self.reachable if node.startswith(prefix))
+
+
+# -- module closure -----------------------------------------------------------------
+
+
+def module_imports(module: SourceModule, modules: Dict[str, SourceModule]) -> Set[str]:
+    """In-package modules that ``module`` imports (directly)."""
+    found: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                found.update(_expand_module_name(name.name, modules))
+        elif isinstance(node, ast.ImportFrom):
+            resolved = resolve_relative_import(module.name, node, module.is_package)
+            if resolved is None:
+                continue
+            found.update(_expand_module_name(resolved, modules))
+            # ``from repro.dag import store`` imports a *module* through
+            # its package; ``from repro.dag.store import DagStore``
+            # imports a name.  Both resolve here.
+            for name in node.names:
+                candidate = f"{resolved}.{name.name}"
+                if candidate in modules:
+                    found.add(candidate)
+    found.discard(module.name)
+    return found
+
+
+def _expand_module_name(name: str, modules: Dict[str, SourceModule]) -> Set[str]:
+    """The module itself, when it is part of the scanned package.
+
+    Ancestor packages are deliberately *not* pulled in: importing
+    ``repro.dag.store`` does execute ``repro/__init__``, but treating
+    every ancestor ``__init__`` as part of the commit path would fold
+    the whole library into the closure (the top-level package imports
+    broadly for convenience) and make the purity map meaningless.
+    Package ``__init__`` re-exports that the commit path actually calls
+    through still enter the closure via their own import statements.
+    """
+    return {name} if name in modules else set()
+
+
+def import_closure(
+    roots: Iterable[str], modules: Dict[str, SourceModule]
+) -> Tuple[str, ...]:
+    """Transitive import closure of ``roots``, sorted."""
+    seen: Set[str] = set()
+    frontier = sorted(root for root in roots if root in modules)
+    while frontier:
+        current = frontier.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        for imported in sorted(module_imports(modules[current], modules)):
+            if imported not in seen:
+                frontier.append(imported)
+    return tuple(sorted(seen))
+
+
+# -- call graph ---------------------------------------------------------------------
+
+
+def _bare_name_index(
+    closure: Iterable[str], modules: Dict[str, SourceModule]
+) -> Dict[str, Dict[str, List[str]]]:
+    """Per-module map from bare function name to full node ids."""
+    index: Dict[str, Dict[str, List[str]]] = {}
+    for module_name in closure:
+        per_module: Dict[str, List[str]] = {}
+        for qualname, _node in modules[module_name].functions():
+            bare = qualname.rsplit(".", 1)[-1]
+            per_module.setdefault(bare, []).append(f"{module_name}:{qualname}")
+        index[module_name] = per_module
+    return index
+
+
+def _import_bindings(module: SourceModule, modules: Dict[str, SourceModule]):
+    """Resolve names bound by imports: alias -> module, name -> (module, func)."""
+    module_aliases: Dict[str, str] = {}
+    name_bindings: Dict[str, Tuple[str, str]] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.name in modules:
+                    module_aliases[name.asname or name.name.split(".")[0]] = name.name
+        elif isinstance(node, ast.ImportFrom):
+            resolved = resolve_relative_import(module.name, node, module.is_package)
+            if resolved is None:
+                continue
+            for name in node.names:
+                bound = name.asname or name.name
+                submodule = f"{resolved}.{name.name}"
+                if submodule in modules:
+                    module_aliases[bound] = submodule
+                elif resolved in modules:
+                    name_bindings[bound] = (resolved, name.name)
+    return module_aliases, name_bindings
+
+
+def _call_targets(
+    call: ast.Call,
+    module: SourceModule,
+    module_aliases: Dict[str, str],
+    name_bindings: Dict[str, Tuple[str, str]],
+    bare_index: Dict[str, Dict[str, List[str]]],
+) -> List[str]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        name = func.id
+        if name in name_bindings:
+            target_module, target_name = name_bindings[name]
+            return list(bare_index.get(target_module, {}).get(target_name, []))
+        return list(bare_index.get(module.name, {}).get(name, []))
+    if isinstance(func, ast.Attribute):
+        attr = func.attr
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            if receiver.id in module_aliases:
+                target_module = module_aliases[receiver.id]
+                return list(bare_index.get(target_module, {}).get(attr, []))
+            if receiver.id == "self":
+                local = bare_index.get(module.name, {}).get(attr)
+                if local:
+                    return list(local)
+        # Unresolvable receiver: over-approximate by bare method name
+        # across the whole closure.
+        targets: List[str] = []
+        for per_module in bare_index.values():
+            targets.extend(per_module.get(attr, []))
+        return targets
+    return []
+
+
+def _record_edges(
+    edges: Dict[str, Set[str]],
+    node_id: str,
+    tree: ast.AST,
+    module: SourceModule,
+    module_aliases: Dict[str, str],
+    name_bindings: Dict[str, Tuple[str, str]],
+    bare_index: Dict[str, Dict[str, List[str]]],
+) -> None:
+    out = edges.setdefault(node_id, set())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            out.update(
+                _call_targets(node, module, module_aliases, name_bindings, bare_index)
+            )
+
+
+def build_purity_map(
+    modules: Dict[str, SourceModule], config: AnalyzerConfig
+) -> PurityMap:
+    closure = import_closure(config.purity_roots, modules)
+    closure_set = set(closure)
+    bare_index = _bare_name_index(closure, modules)
+
+    # Every function in the closure gets a node; module-level code gets
+    # the MODULE_NODE pseudo-function.
+    edges: Dict[str, Set[str]] = {}
+    for module_name in closure:
+        module = modules[module_name]
+        module_aliases, name_bindings = _import_bindings(module, modules)
+        for qualname, func in module.functions():
+            _record_edges(
+                edges, f"{module_name}:{qualname}", func,
+                module, module_aliases, name_bindings, bare_index,
+            )
+        for stmt in ast.iter_child_nodes(module.tree):
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                _record_edges(
+                    edges, f"{module_name}:{MODULE_NODE}", stmt,
+                    module, module_aliases, name_bindings, bare_index,
+                )
+        edges.setdefault(f"{module_name}:{MODULE_NODE}", set())
+
+    # Roots: everything defined at the root modules, plus module-level
+    # code of every closure module (imports execute it).
+    reachable: Set[str] = set()
+    frontier: List[str] = []
+    for module_name in closure:
+        frontier.append(f"{module_name}:{MODULE_NODE}")
+    for root in config.purity_roots:
+        if root not in closure_set:
+            continue
+        for qualname, _func in modules[root].functions():
+            frontier.append(f"{root}:{qualname}")
+    while frontier:
+        current = frontier.pop()
+        if current in reachable:
+            continue
+        reachable.add(current)
+        for target in edges.get(current, ()):
+            if target not in reachable:
+                frontier.append(target)
+
+    edge_count = sum(len(targets) for targets in edges.values())
+    return PurityMap(
+        roots=tuple(sorted(root for root in config.purity_roots if root in closure_set)),
+        closure=closure,
+        reachable=tuple(sorted(reachable)),
+        edge_count=edge_count,
+    )
+
+
+# -- baseline serialisation ---------------------------------------------------------
+
+
+def baseline_payload(purity: PurityMap) -> Dict[str, object]:
+    """The JSON document CI checks in and diffs."""
+    body = {
+        "version": BASELINE_VERSION,
+        "roots": list(purity.roots),
+        "closure": list(purity.closure),
+        "reachable": list(purity.reachable),
+    }
+    digest = hashlib.sha256(
+        json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    ).hexdigest()
+    return {**body, "digest": digest}
+
+
+def compare_baseline(
+    current: Dict[str, object], baseline: Dict[str, object]
+) -> List[str]:
+    """Human-readable differences between a fresh map and the baseline.
+
+    Empty means in sync.  Lines are sorted so CI output is stable.
+    """
+    lines: List[str] = []
+    if baseline.get("version") != current.get("version"):
+        lines.append(
+            f"baseline version {baseline.get('version')!r} != analyzer version "
+            f"{current.get('version')!r}"
+        )
+    for key in ("roots", "closure", "reachable"):
+        old = set(baseline.get(key) or [])
+        new = set(current.get(key) or [])
+        for added in sorted(new - old):
+            lines.append(f"{key}: + {added}")
+        for removed in sorted(old - new):
+            lines.append(f"{key}: - {removed}")
+    if not lines and baseline.get("digest") != current.get("digest"):
+        lines.append(
+            f"baseline digest {baseline.get('digest')} != current {current.get('digest')}"
+        )
+    return lines

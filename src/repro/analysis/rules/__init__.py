@@ -1,0 +1,79 @@
+"""The determinism-rule registry.
+
+Mirrors the scoring-rule registry in :mod:`repro.core.scoring`: rules
+register a zero-argument factory under their id, callers instantiate by
+name, and unknown names raise :class:`~repro.errors.ConfigurationError`
+listing what *is* registered.  Downstream experiments (or tests) can
+register extra rules without touching this package.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.analysis.rules.base import AnalysisRule, Finding, RuleContext
+from repro.errors import ConfigurationError
+
+ANALYSIS_RULE_REGISTRY: Dict[str, Callable[[], AnalysisRule]] = {}
+
+
+def register_analysis_rule(
+    name: str,
+    factory: Callable[[], AnalysisRule],
+    *,
+    replace: bool = False,
+) -> None:
+    """Register ``factory`` under ``name`` (a rule id such as ``DET003``).
+
+    Double registration without ``replace=True`` is a configuration
+    error, exactly as for scoring rules: silently shadowing a rule is
+    how determinism gates rot.
+    """
+    if not replace and name in ANALYSIS_RULE_REGISTRY:
+        raise ConfigurationError(f"analysis rule {name!r} is already registered")
+    ANALYSIS_RULE_REGISTRY[name] = factory
+
+
+def analysis_rule_names() -> Tuple[str, ...]:
+    """Registered rule ids, in registration order."""
+    return tuple(ANALYSIS_RULE_REGISTRY)
+
+
+def make_analysis_rule(name: str) -> AnalysisRule:
+    """Instantiate the rule registered under ``name``."""
+    try:
+        factory = ANALYSIS_RULE_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(ANALYSIS_RULE_REGISTRY)) or "none"
+        raise ConfigurationError(
+            f"unknown analysis rule {name!r} (known rules: {known})"
+        ) from None
+    return factory()
+
+
+# -- built-in rules --------------------------------------------------------------
+# Imported for their registration side effect, after the registry
+# machinery exists (the rule modules import from this package's
+# siblings, not from this module, so there is no cycle).
+
+from repro.analysis.rules.det001_randomness import RandomnessRule
+from repro.analysis.rules.det002_wallclock import WallClockRule
+from repro.analysis.rules.det003_unordered import UnorderedIterationRule
+from repro.analysis.rules.det004_float import FloatHazardRule
+from repro.analysis.rules.det005_messages import WireMessageRule
+
+register_analysis_rule("DET001", RandomnessRule)
+register_analysis_rule("DET002", WallClockRule)
+register_analysis_rule("DET003", UnorderedIterationRule)
+register_analysis_rule("DET004", FloatHazardRule)
+register_analysis_rule("DET005", WireMessageRule)
+
+__all__ = [
+    "ANALYSIS_RULE_REGISTRY",
+    "AnalysisRule",
+    "Finding",
+    "RuleContext",
+    "analysis_rule_names",
+    "make_analysis_rule",
+    "register_analysis_rule",
+]

@@ -1,0 +1,104 @@
+"""Finding and rule interfaces for the determinism auditor.
+
+A rule inspects one :class:`~repro.analysis.source.SourceModule` at a
+time through a shared :class:`RuleContext` and yields
+:class:`Finding` records.  Rules never consult waivers — the engine
+filters waived findings afterwards so waiver accounting lives in one
+place.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterator, Tuple
+
+from repro.analysis.source import SourceModule
+from repro.analysis.typeflow import ProjectIndex
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.analysis.config import AnalyzerConfig
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One determinism violation, anchored to a source line.
+
+    Ordered so reports sort stably by location, then rule.
+    """
+
+    path: str
+    line: int
+    rule: str
+    module: str
+    function: str
+    message: str
+
+    def render(self) -> str:
+        where = f" [{self.function}]" if self.function and self.function != "<module>" else ""
+        return f"{self.path}:{self.line}: {self.rule}{where} {self.message}"
+
+
+@dataclasses.dataclass(frozen=True)
+class RuleContext:
+    """Everything a rule may consult beyond the module under inspection."""
+
+    config: "AnalyzerConfig"
+    modules: Dict[str, SourceModule]
+    index: ProjectIndex
+    purity_closure: FrozenSet[str]
+
+    def in_digest_scope(self, module: SourceModule) -> bool:
+        """Modules where iteration order can reach the ordering digest."""
+        return (
+            module.name in self.purity_closure
+            or module.name in self.config.unordered_extra_modules
+        )
+
+
+class AnalysisRule:
+    """Base class for determinism rules.
+
+    Subclasses set ``rule_id`` / ``title`` and implement :meth:`check`.
+    The class docstring doubles as the ``explain RULE`` text, so write
+    it for the engineer whose PR the rule just failed.
+    """
+
+    rule_id: str = "DET000"
+    title: str = "abstract rule"
+
+    def check(self, module: SourceModule, context: RuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: SourceModule, node: ast.AST, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            path=module.path,
+            line=line,
+            rule=self.rule_id,
+            module=module.name,
+            function=module.enclosing_function(line),
+            message=message,
+        )
+
+    def explain(self) -> str:
+        doc = (self.__doc__ or "").strip()
+        return f"{self.rule_id}: {self.title}\n\n{doc}\n"
+
+
+def alias_map(module: SourceModule, targets: Tuple[str, ...]) -> Dict[str, str]:
+    """Names under which any of ``targets`` (module paths) are imported.
+
+    ``import time`` -> ``{"time": "time"}``; ``import time as clock`` ->
+    ``{"clock": "time"}``.  ``from X import Y`` aliases are handled by
+    the individual rules because the interesting names differ per rule.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.name in targets:
+                    aliases[name.asname or name.name] = name.name
+    return aliases

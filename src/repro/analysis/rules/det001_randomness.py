@@ -1,0 +1,119 @@
+"""DET001 — no unseeded or ambient randomness anywhere in the library.
+
+Every random draw in the reproduction must flow from an explicit seed
+carried by the scenario spec: ``random.Random(seed)`` instances threaded
+through the simulator.  The module-level ``random`` functions
+(``random.shuffle``, ``random.choice``, ...) share one interpreter-global
+generator seeded from OS entropy; ``random.Random()`` with no arguments,
+``random.SystemRandom``, ``os.urandom``, ``uuid`` and ``secrets`` are
+nondeterministic by design.  Any of these inside ``src/repro`` makes an
+honest run unreproducible, which silently breaks every digest
+comparison in the differential suite.
+
+**Fails on**
+
+* ``import uuid`` / ``import secrets`` (no legitimate use exists here)
+* ``random.<fn>(...)`` for any ``fn`` other than the ``Random``
+  constructor, including ``from random import shuffle`` aliases
+* ``random.Random()`` called with *no* seed argument
+* ``random.SystemRandom`` and ``os.urandom`` in any form
+
+**Fix** by threading a seeded ``random.Random(seed)`` from the scenario
+spec (see ``repro.sim.runner``).  There is deliberately no waiver
+example in-tree: if you believe you need ambient entropy in the
+library, the design discussion belongs on the PR, and the waiver
+comment (``# det: waive[DET001] reason``) forces exactly that.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.rules.base import AnalysisRule, Finding, RuleContext, alias_map
+from repro.analysis.source import SourceModule
+
+_FORBIDDEN_MODULES = ("uuid", "secrets")
+
+
+class RandomnessRule(AnalysisRule):
+    __doc__ = __doc__
+
+    rule_id = "DET001"
+    title = "no unseeded randomness"
+
+    def check(self, module: SourceModule, context: RuleContext) -> Iterator[Finding]:
+        random_aliases = set(alias_map(module, ("random",)))
+        os_aliases = set(alias_map(module, ("os",)))
+        # from-imports: names bound to module-global random functions,
+        # and direct bindings of the forbidden helpers.
+        ambient_names: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    root = name.name.split(".")[0]
+                    if root in _FORBIDDEN_MODULES:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"import of {root!r}: nondeterministic by design, "
+                            "thread a seeded random.Random instead",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module and node.module.split(".")[0] in _FORBIDDEN_MODULES:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"import from {node.module!r}: nondeterministic by design",
+                    )
+                elif node.module == "random":
+                    for name in node.names:
+                        if name.name == "Random":
+                            continue
+                        yield self.finding(
+                            module,
+                            node,
+                            f"'from random import {name.name}' binds the "
+                            "interpreter-global RNG; use a seeded random.Random",
+                        )
+                        ambient_names.add(name.asname or name.name)
+                elif node.module == "os":
+                    for name in node.names:
+                        if name.name == "urandom":
+                            yield self.finding(
+                                module, node, "os.urandom is OS entropy, not a seeded stream"
+                            )
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                receiver, attr = node.value.id, node.attr
+                if receiver in random_aliases:
+                    if attr == "SystemRandom":
+                        yield self.finding(
+                            module, node, "random.SystemRandom draws from OS entropy"
+                        )
+                    elif attr != "Random":
+                        yield self.finding(
+                            module,
+                            node,
+                            f"random.{attr} uses the interpreter-global RNG; "
+                            "use a seeded random.Random instance",
+                        )
+                elif receiver in os_aliases and attr == "urandom":
+                    yield self.finding(
+                        module, node, "os.urandom is OS entropy, not a seeded stream"
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in random_aliases
+                    and func.attr == "Random"
+                    and not node.args
+                    and not node.keywords
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "random.Random() without a seed argument seeds from OS entropy",
+                    )

@@ -1,0 +1,120 @@
+"""DET002 — no wall-clock reads outside the explicit allowlist.
+
+Simulated time is the only clock the library may observe: every
+latency, timeout, and throughput figure is derived from
+:data:`repro.types.SimTime` values produced by the discrete-event
+simulator.  A wall-clock read (``time.time``, ``time.perf_counter``,
+``datetime.now``, ...) ties results to the host machine, which is
+exactly the nondeterminism the repository exists to exclude — and it is
+invisible to the differential tests as long as the value does not reach
+a digest *yet*.
+
+Wall-time belongs in the benchmark harness (``benchmarks/``, outside
+the scanned tree) or in modules explicitly allowlisted in
+:class:`~repro.analysis.config.AnalyzerConfig.wallclock_allowlist`
+(none today).
+
+**Fails on** calls and ``from``-imports of ``time.time``,
+``time.time_ns``, ``monotonic``, ``perf_counter``, ``process_time``
+(and ``_ns`` variants), ``datetime.datetime.now`` / ``utcnow`` /
+``today``, and ``datetime.date.today`` — through import aliases.
+
+**Fix** by taking a ``SimTime`` parameter from the simulator, or move
+the measurement into the benchmark harness.  For a genuinely inert use
+(log decoration in a module that can never reach a digest), allowlist
+the module in the analyzer configuration rather than waiving line by
+line, so the exemption is visible in one place.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.rules.base import AnalysisRule, Finding, RuleContext, alias_map
+from repro.analysis.source import SourceModule
+
+_TIME_FUNCTIONS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "localtime",
+        "gmtime",
+        "ctime",
+    }
+)
+_DATETIME_METHODS = frozenset({"now", "utcnow", "today"})
+
+
+class WallClockRule(AnalysisRule):
+    __doc__ = __doc__
+
+    rule_id = "DET002"
+    title = "no wall-clock reads"
+
+    def check(self, module: SourceModule, context: RuleContext) -> Iterator[Finding]:
+        if module.name in context.config.wallclock_allowlist:
+            return
+        time_aliases = set(alias_map(module, ("time",)))
+        datetime_aliases = set(alias_map(module, ("datetime",)))
+        # Names bound by ``from time import perf_counter`` and by
+        # ``from datetime import datetime/date``.
+        clock_names: Set[str] = set()
+        datetime_classes: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    for name in node.names:
+                        if name.name in _TIME_FUNCTIONS:
+                            yield self.finding(
+                                module,
+                                node,
+                                f"'from time import {name.name}' reads the wall clock; "
+                                "use simulator SimTime",
+                            )
+                            clock_names.add(name.asname or name.name)
+                elif node.module == "datetime":
+                    for name in node.names:
+                        if name.name in {"datetime", "date"}:
+                            datetime_classes.add(name.asname or name.name)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in clock_names:
+                yield self.finding(
+                    module, node, f"{func.id}() reads the wall clock; use simulator SimTime"
+                )
+            elif isinstance(func, ast.Attribute):
+                receiver = func.value
+                if isinstance(receiver, ast.Name):
+                    if receiver.id in time_aliases and func.attr in _TIME_FUNCTIONS:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"time.{func.attr}() reads the wall clock; use simulator SimTime",
+                        )
+                    elif receiver.id in datetime_classes and func.attr in _DATETIME_METHODS:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"{receiver.id}.{func.attr}() reads the wall clock",
+                        )
+                elif (
+                    isinstance(receiver, ast.Attribute)
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id in datetime_aliases
+                    and receiver.attr in {"datetime", "date"}
+                    and func.attr in _DATETIME_METHODS
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"datetime.{receiver.attr}.{func.attr}() reads the wall clock",
+                    )

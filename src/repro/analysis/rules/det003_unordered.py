@@ -1,0 +1,237 @@
+"""DET003 — no unordered iteration into ordering-sensitive sinks.
+
+Iterating a ``set`` or ``frozenset`` observes an order the language
+does not define; iterating a ``dict`` observes insertion order, which
+is deterministic *only if* the insertion sequence is itself a protocol
+invariant nobody has written down.  In the digest-affecting modules
+(the purity closure of the commit path, plus the wire-facing modules
+configured in ``unordered_extra_modules``), any such iteration whose
+elements flow into an ordering-sensitive sink is a latent digest break:
+it works today because CPython happens to iterate small int-tuple sets
+consistently, and stops working on the first interpreter upgrade,
+``PYTHONHASHSEED`` change, or refactor that perturbs insertion order.
+
+**Ordering-sensitive sinks**: building a list (``append`` / ``extend``
+/ ``insert``), materialising with ``list(...)`` / ``tuple(...)``,
+``str.join``, hashing helpers (``digest_of`` / ``digest_hex`` /
+``update``), ``yield``-ing, and message fan-out (``send`` /
+``broadcast`` / ``schedule`` / ``schedule_delivery`` / ``put``).
+
+**Not flagged**: iterations wrapped in ``sorted(...)``; loops that only
+aggregate order-insensitively (sums, ``max``, set building); list
+builds that are ``.sort()``-ed (or ``sorted(...)``-ed) later in the
+same function, since the sort erases the iteration order.
+
+**Fix** by wrapping the iterable in ``sorted(...)`` — every id type in
+this library (``ValidatorId``, ``Round``, ``VertexId``) is totally
+ordered precisely so this is always possible.  When the order is
+genuinely part of the design (an eviction policy over an
+insertion-ordered dict, fan-out over a registration-ordered endpoint
+table), document the invariant with a ``# det: ordered -- reason``
+waiver on the flagged line; the reason is the documentation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.rules.base import AnalysisRule, Finding, RuleContext
+from repro.analysis.source import SourceModule
+from repro.analysis.typeflow import FunctionTypeFlow
+
+# Method calls inside a loop body that are sensitive to the iteration
+# order of the enclosing loop.  ``add`` is deliberately absent: building
+# a set from a set is order-insensitive.
+_ORDERED_BUILD_METHODS = frozenset({"append", "extend", "insert", "appendleft"})
+_FANOUT_METHODS = frozenset(
+    {"send", "broadcast", "schedule", "schedule_delivery", "put", "put_nowait", "write", "emit"}
+)
+_HASH_METHODS = frozenset({"update"})
+_DIRECT_SINKS = frozenset({"list", "tuple"})
+_HASH_FUNCTIONS = frozenset({"digest_of", "digest_hex"})
+
+
+class UnorderedIterationRule(AnalysisRule):
+    __doc__ = __doc__
+
+    rule_id = "DET003"
+    title = "no unordered iteration into ordering-sensitive sinks"
+
+    def check(self, module: SourceModule, context: RuleContext) -> Iterator[Finding]:
+        if not context.in_digest_scope(module):
+            return
+        for _qualname, func in module.functions():
+            flow = FunctionTypeFlow(func, module, context.index)
+            yield from self._check_function(module, func, flow)
+        # Module-level statements (rare, but e.g. building a constant
+        # tuple from a set literal at import time would qualify).
+        module_flow = FunctionTypeFlow(module.tree, module, context.index)
+        for node in ast.iter_child_nodes(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            yield from self._check_statement(module, node, module_flow)
+
+    # -- per-function walk -----------------------------------------------------------
+
+    def _check_function(
+        self, module: SourceModule, func: ast.AST, flow: FunctionTypeFlow
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not func:
+                continue  # nested defs get their own FunctionTypeFlow pass
+            yield from self._check_node(module, node, flow)
+
+    def _check_statement(
+        self, module: SourceModule, stmt: ast.AST, flow: FunctionTypeFlow
+    ) -> Iterator[Finding]:
+        for node in ast.walk(stmt):
+            yield from self._check_node(module, node, flow)
+
+    def _check_node(
+        self, module: SourceModule, node: ast.AST, flow: FunctionTypeFlow
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield from self._check_loop(module, node, flow)
+        elif isinstance(node, ast.Call):
+            yield from self._check_call(module, node, flow)
+        elif isinstance(node, (ast.Return, ast.Yield)) and node.value is not None:
+            # A comprehension handed to the caller exposes its build
+            # order; one consumed locally (e.g. a keys-to-delete list)
+            # is judged by what it feeds, not by its existence.
+            if isinstance(node.value, (ast.ListComp, ast.GeneratorExp)):
+                for generator in node.value.generators:
+                    if flow.is_unordered(generator.iter) and not flow.is_sorted_wrapper(
+                        generator.iter
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            "returned comprehension iterates an unordered "
+                            f"{_describe(generator.iter)}; wrap the iterable in sorted(...)",
+                        )
+                        break
+
+    def _check_loop(
+        self, module: SourceModule, loop: ast.For, flow: FunctionTypeFlow
+    ) -> Iterator[Finding]:
+        if flow.is_sorted_wrapper(loop.iter) or not flow.is_unordered(loop.iter):
+            return
+        sink = _first_sink_in_body(loop, flow)
+        if sink is None:
+            return
+        sink_node, description = sink
+        yield Finding(
+            path=module.path,
+            line=loop.lineno,
+            rule=self.rule_id,
+            module=module.name,
+            function=module.enclosing_function(loop.lineno),
+            message=(
+                f"iteration over unordered {_describe(loop.iter)} flows into "
+                f"{description} (line {sink_node.lineno}); wrap the iterable in "
+                "sorted(...) or document the order with '# det: ordered -- reason'"
+            ),
+        )
+
+    def _check_call(
+        self, module: SourceModule, call: ast.Call, flow: FunctionTypeFlow
+    ) -> Iterator[Finding]:
+        # digest_of/digest_hex are deliberately NOT direct-argument
+        # sinks: the canonical encoder sorts sets and dict items, so
+        # hashing an unordered container through it is deterministic.
+        # They stay loop-body sinks, where per-item digests fold into a
+        # rolling hash in iteration order.
+        func = call.func
+        sink_name: Optional[str] = None
+        if isinstance(func, ast.Name) and func.id in _DIRECT_SINKS:
+            sink_name = f"{func.id}(...)"
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            sink_name = "str.join"
+        if sink_name is None:
+            return
+        for arg in call.args:
+            unordered = flow.is_unordered(arg) and not flow.is_sorted_wrapper(arg)
+            if not unordered and isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                unordered = any(
+                    flow.is_unordered(generator.iter)
+                    and not flow.is_sorted_wrapper(generator.iter)
+                    for generator in arg.generators
+                )
+            if unordered:
+                yield self.finding(
+                    module,
+                    call,
+                    f"unordered {_describe(arg)} materialised through {sink_name}; "
+                    "wrap it in sorted(...) or document the order with "
+                    "'# det: ordered -- reason'",
+                )
+                break
+
+
+def _first_sink_in_body(
+    loop: ast.For, flow: FunctionTypeFlow
+) -> Optional[Tuple[ast.AST, str]]:
+    """The first ordering-sensitive sink in a loop body, if any.
+
+    List builds whose receiver is sorted later in the function are
+    skipped: the sort makes the build order unobservable.
+    """
+    for node in ast.walk(loop):
+        if node is loop:
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return node, "a yield"
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            receiver = node.func.value
+            if attr in _ORDERED_BUILD_METHODS:
+                if isinstance(receiver, ast.Name) and receiver.id in flow.sorted_names:
+                    continue
+                return node, f"list building ('.{attr}')"
+            if attr in _FANOUT_METHODS:
+                return node, f"message fan-out ('.{attr}')"
+            if attr in _HASH_METHODS and _looks_like_hasher(receiver):
+                return node, f"hashing ('.{attr}')"
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in _HASH_FUNCTIONS:
+                return node, f"hashing ({node.func.id})"
+    return None
+
+
+def _looks_like_hasher(receiver: ast.AST) -> bool:
+    """Heuristic: ``.update`` is a hash sink only on hasher-ish names.
+
+    ``set.update`` / ``dict.update`` are order-insensitive, so a bare
+    ``.update`` cannot be treated as a sink; hashers in this code base
+    are consistently named (``hasher``, ``digest``, ``sha``).
+    """
+    name = None
+    if isinstance(receiver, ast.Name):
+        name = receiver.id
+    elif isinstance(receiver, ast.Attribute):
+        name = receiver.attr
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(token in lowered for token in ("hash", "digest", "sha"))
+
+
+def _describe(node: ast.AST) -> str:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set literal"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict literal"
+    if isinstance(node, ast.Name):
+        return f"value {node.id!r}"
+    if isinstance(node, ast.Attribute):
+        return f"value {node.attr!r}"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return f"result of {func.id}(...)"
+        if isinstance(func, ast.Attribute):
+            return f"result of .{func.attr}(...)"
+    if isinstance(node, (ast.GeneratorExp, ast.ListComp)):
+        return "comprehension"
+    return "container"

@@ -1,0 +1,121 @@
+"""DET004 — no float equality or accumulation-order hazards in scoring paths.
+
+Reputation scores, stake fractions, and simulated timestamps are
+floats.  Two float hazards can silently fork the leader schedule
+across refactors while every individual run stays self-consistent:
+
+* **Equality**: ``a == b`` on floats holds or fails depending on the
+  exact sequence of operations that produced ``a`` and ``b``.  A
+  schedule decision guarded by float equality can flip when an
+  algebraically-equivalent refactor changes rounding.
+* **Accumulation order**: float addition and multiplication are not
+  associative.  Summing scores in ``set``/``dict`` iteration order, or
+  multiplying loss probabilities in dict order, produces results that
+  depend on insertion/hash order — the same hazard DET003 tracks, but
+  reaching the digest through arithmetic instead of sequence building.
+
+The rule runs only over the configured ``float_modules`` (the stake and
+scoring paths named in the issue, plus the transport whose delivery
+timestamps feed arrival order).
+
+**Fails on** (in scope): ``==`` / ``!=`` where either side is
+float-typed; ``sum(...)`` over an unordered container; float ``+=`` /
+``*=`` / ``-=`` accumulation inside a loop over an unordered container.
+
+**Fix** equality with explicit comparisons against exact values
+(integers, fractions) or strict inequalities; fix accumulation order by
+iterating ``sorted(...)`` so every replica folds in the same sequence.
+Waive with ``# det: waive[DET004] reason`` only when the arithmetic is
+provably order-insensitive (e.g. integer-valued floats).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.rules.base import AnalysisRule, Finding, RuleContext
+from repro.analysis.source import SourceModule
+from repro.analysis.typeflow import FunctionTypeFlow
+
+_ACCUMULATING_OPS = (ast.Add, ast.Mult, ast.Sub)
+
+
+class FloatHazardRule(AnalysisRule):
+    __doc__ = __doc__
+
+    rule_id = "DET004"
+    title = "no float equality / accumulation-order hazards"
+
+    def check(self, module: SourceModule, context: RuleContext) -> Iterator[Finding]:
+        if module.name not in context.config.float_modules:
+            return
+        for _qualname, func in module.functions():
+            flow = FunctionTypeFlow(func, module, context.index)
+            for node in ast.walk(func):
+                if isinstance(node, ast.Compare):
+                    yield from self._check_compare(module, node, flow)
+                elif isinstance(node, ast.Call):
+                    yield from self._check_sum(module, node, flow)
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    yield from self._check_accumulation(module, node, flow)
+
+    def _check_compare(
+        self, module: SourceModule, node: ast.Compare, flow: FunctionTypeFlow
+    ) -> Iterator[Finding]:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if flow.is_float(left) or flow.is_float(right):
+                yield self.finding(
+                    module,
+                    node,
+                    "float equality comparison: the outcome depends on rounding "
+                    "history; compare against exact values or use strict inequalities",
+                )
+                break
+
+    def _check_sum(
+        self, module: SourceModule, node: ast.Call, flow: FunctionTypeFlow
+    ) -> Iterator[Finding]:
+        if not (isinstance(node.func, ast.Name) and node.func.id == "sum" and node.args):
+            return
+        iterable = node.args[0]
+        if flow.is_sorted_wrapper(iterable):
+            return
+        unordered = flow.is_unordered(iterable)
+        if not unordered and isinstance(iterable, ast.GeneratorExp):
+            unordered = any(
+                flow.is_unordered(generator.iter)
+                and not flow.is_sorted_wrapper(generator.iter)
+                for generator in iterable.generators
+            )
+        if unordered:
+            yield self.finding(
+                module,
+                node,
+                "sum() over an unordered container: float addition is not "
+                "associative, so the result depends on iteration order; "
+                "sum over sorted(...) instead",
+            )
+
+    def _check_accumulation(
+        self, module: SourceModule, loop: ast.For, flow: FunctionTypeFlow
+    ) -> Iterator[Finding]:
+        if flow.is_sorted_wrapper(loop.iter) or not flow.is_unordered(loop.iter):
+            return
+        for node in ast.walk(loop):
+            if not isinstance(node, ast.AugAssign):
+                continue
+            if not isinstance(node.op, _ACCUMULATING_OPS):
+                continue
+            if flow.is_float(node.target) or flow.is_float(node.value):
+                yield self.finding(
+                    module,
+                    loop,
+                    "float accumulation inside a loop over an unordered container "
+                    f"(line {node.lineno}): fold order changes the result; "
+                    "iterate sorted(...) so every replica folds identically",
+                )
+                return

@@ -1,0 +1,219 @@
+"""DET005 — wire-message hygiene for the broadcast and node layers.
+
+Everything that crosses the simulated wire (``rbc/messages.py``,
+``node/messages.py``) must satisfy two properties:
+
+* **Canonically encodable**: every field's annotation must resolve to a
+  type :func:`repro.crypto.hashing.digest_of` can serialise
+  deterministically — scalars, ``bytes``, tuples/lists, frozensets/sets
+  (the encoder sorts them), dicts (sorted by key), ``NamedTuple``
+  identifiers like ``VertexId``, other checked message dataclasses, and
+  classes that define ``canonical_fields()``.  A field whose type the
+  encoder cannot canonicalise (an arbitrary object, a bare ``Any``)
+  makes message digests — and therefore certificates and the ordering
+  digest — depend on ``repr`` details or memory addresses.
+* **No mutable defaults**: a ``list``/``dict``/``set`` default (or
+  ``field(default_factory=list)``) is shared across instances, so one
+  validator mutating its copy corrupts every message constructed after
+  it — the classic aliasing bug, fatal in a protocol simulator where
+  messages are compared and hashed.
+
+**Fails on** any dataclass or NamedTuple field in the configured
+``message_modules`` whose annotation is not provably encodable, and on
+any mutable default value.
+
+**Fix** by annotating with encodable types (prefer ``Tuple``/
+``FrozenSet`` over ``List``/``Set`` for hashable messages) or by giving
+the payload class a ``canonical_fields()`` method.  Waive with
+``# det: waive[DET005] reason`` when a field deliberately carries an
+open-ended payload whose concrete types are all canonical by
+convention.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.rules.base import AnalysisRule, Finding, RuleContext
+from repro.analysis.source import SourceModule
+from repro.analysis.typeflow import annotation_terminal_name
+
+# Annotation names the canonical encoder handles directly, including
+# the library's own aliases for them (see repro.types).
+_ENCODABLE_NAMES = frozenset(
+    {
+        "None",
+        "bool",
+        "int",
+        "float",
+        "str",
+        "bytes",
+        "complex",
+        "tuple",
+        "Tuple",
+        "list",
+        "List",
+        "Sequence",
+        "set",
+        "Set",
+        "frozenset",
+        "FrozenSet",
+        "AbstractSet",
+        "dict",
+        "Dict",
+        "Mapping",
+        "Optional",
+        "Union",
+        "ValidatorId",
+        "Round",
+        "Stake",
+        "SimTime",
+        "Digest",
+    }
+)
+
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set"})
+
+
+class WireMessageRule(AnalysisRule):
+    __doc__ = __doc__
+
+    rule_id = "DET005"
+    title = "wire messages stay canonically encodable, without mutable defaults"
+
+    def check(self, module: SourceModule, context: RuleContext) -> Iterator[Finding]:
+        if module.name not in context.config.message_modules:
+            return
+        local_messages = {
+            node.name
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef) and _is_message_class(node)
+        }
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and _is_message_class(node):
+                yield from self._check_class(module, node, context, local_messages)
+
+    def _check_class(
+        self,
+        module: SourceModule,
+        cls: ast.ClassDef,
+        context: RuleContext,
+        local_messages: set,
+    ) -> Iterator[Finding]:
+        for stmt in cls.body:
+            if not (isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)):
+                continue
+            field_name = stmt.target.id
+            if field_name.startswith("_") or _is_classvar(stmt.annotation):
+                continue
+            problem = _encodability_problem(stmt.annotation, context, local_messages)
+            if problem:
+                yield self.finding(
+                    module,
+                    stmt,
+                    f"field {cls.name}.{field_name}: {problem}; message digests "
+                    "would not be canonical",
+                )
+            if stmt.value is not None:
+                default_problem = _mutable_default_problem(stmt.value)
+                if default_problem:
+                    yield self.finding(
+                        module,
+                        stmt,
+                        f"field {cls.name}.{field_name} has a mutable default "
+                        f"({default_problem}): shared across instances, use an "
+                        "immutable default or default_factory with an immutable type",
+                    )
+
+
+def _is_message_class(node: ast.ClassDef) -> bool:
+    """Dataclasses and NamedTuples declared in a message module."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if annotation_terminal_name(target) == "dataclass":
+            return True
+    return any(annotation_terminal_name(base) == "NamedTuple" for base in node.bases)
+
+
+def _is_classvar(annotation: ast.AST) -> bool:
+    if isinstance(annotation, ast.Subscript):
+        return annotation_terminal_name(annotation.value) == "ClassVar"
+    return annotation_terminal_name(annotation) == "ClassVar"
+
+
+def _encodability_problem(
+    annotation: ast.AST,
+    context: RuleContext,
+    local_messages: set,
+) -> Optional[str]:
+    """Why ``annotation`` is not canonically encodable, or ``None`` if it is.
+
+    Container annotations are checked recursively over their type
+    arguments; bare names resolve through the project-wide canonical
+    class index (``canonical_fields`` definers and NamedTuples).
+    """
+    if isinstance(annotation, ast.Constant):
+        if annotation.value is None:
+            return None
+        if isinstance(annotation.value, str):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return f"unparseable string annotation {annotation.value!r}"
+        else:
+            return f"unexpected annotation literal {annotation.value!r}"
+    if isinstance(annotation, ast.Subscript):
+        base = annotation_terminal_name(annotation.value)
+        if base == "ClassVar":
+            return None
+        if base not in _ENCODABLE_NAMES:
+            return _name_problem(base, context, local_messages)
+        inner = annotation.slice
+        elements = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+        for element in elements:
+            if isinstance(element, ast.Constant) and element.value is Ellipsis:
+                continue
+            problem = _encodability_problem(element, context, local_messages)
+            if problem:
+                return problem
+        return None
+    name = annotation_terminal_name(annotation)
+    return _name_problem(name, context, local_messages)
+
+
+def _name_problem(
+    name: Optional[str], context: RuleContext, local_messages: set
+) -> Optional[str]:
+    if name is None:
+        return "annotation too dynamic to verify"
+    if name == "Any":
+        return "'Any' cannot be proven canonically encodable"
+    if name in _ENCODABLE_NAMES:
+        return None
+    if name in local_messages:
+        return None
+    if name in context.index.canonical_classes:
+        return None
+    return (
+        f"type {name!r} neither defines canonical_fields() nor is a "
+        "NamedTuple/known-encodable type"
+    )
+
+
+def _mutable_default_problem(value: ast.AST) -> Optional[str]:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return "literal"
+    if isinstance(value, ast.Call):
+        func = value.func
+        if isinstance(func, ast.Name) and func.id in _MUTABLE_FACTORIES:
+            return f"{func.id}()"
+        # dataclasses.field(default_factory=list)
+        target = annotation_terminal_name(func)
+        if target == "field":
+            for keyword in value.keywords:
+                if keyword.arg == "default_factory":
+                    factory = annotation_terminal_name(keyword.value)
+                    if factory in _MUTABLE_FACTORIES:
+                        return f"default_factory={factory}"
+    return None

@@ -1,0 +1,190 @@
+"""Source loading, waiver parsing, and AST bookkeeping.
+
+A :class:`SourceModule` pairs a parsed AST with everything the rules
+need to report findings against it: the dotted module name, the file
+path, the raw lines, the per-line waivers, and an index of function
+spans so a line number can be mapped back to the enclosing function.
+
+Waivers are ordinary comments::
+
+    # det: ordered -- insertion order is the eviction policy
+    # det: waive[DET005] payload carries canonical-fields vertices
+
+``det: ordered`` is sugar for waiving DET003 (the unordered-iteration
+rule) on that line; ``det: waive[RULE]`` waives any rule by id, with a
+comma-separated list allowed.  A waiver applies to findings on its own
+line and on the line directly below it, so a comment can sit above the
+statement it excuses.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import ReproError
+
+# ``det: ordered`` may carry a trailing justification after ``--``.
+_ORDERED_RE = re.compile(r"#\s*det:\s*ordered\b")
+_WAIVE_RE = re.compile(r"#\s*det:\s*waive\[([A-Z0-9,\s]+)\]")
+
+# The rule id DET003 is what ``det: ordered`` expands to; kept here so
+# the sugar stays in one place.
+ORDERED_WAIVER_RULE = "DET003"
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionSpan:
+    """Line extent of one function or method definition."""
+
+    qualname: str
+    lineno: int
+    end_lineno: int
+
+
+class SourceModule:
+    """One parsed source file plus its analysis bookkeeping."""
+
+    def __init__(self, name: str, path: str, text: str, is_package: bool = False) -> None:
+        self.name = name
+        self.path = path
+        self.text = text
+        self.is_package = is_package
+        try:
+            self.tree = ast.parse(text, filename=path)
+        except SyntaxError as error:
+            raise ReproError(f"cannot parse {path!r}: {error}") from None
+        self.lines: List[str] = text.splitlines()
+        self.waivers: Dict[int, Set[str]] = _parse_waivers(self.lines)
+        self.function_spans: Tuple[FunctionSpan, ...] = tuple(_function_spans(self.tree))
+
+    # -- waivers --------------------------------------------------------------------
+
+    def is_waived(self, rule: str, line: int) -> bool:
+        """``True`` when ``rule`` is waived at ``line`` (same or previous line)."""
+        for candidate in (line, line - 1):
+            waived = self.waivers.get(candidate)
+            if waived and (rule in waived or "*" in waived):
+                return True
+        return False
+
+    # -- function lookup ------------------------------------------------------------
+
+    def enclosing_function(self, line: int) -> str:
+        """Qualified name of the innermost function containing ``line``.
+
+        Returns ``"<module>"`` for module-level code.  Spans are emitted
+        outermost-first, so the last match is the innermost.
+        """
+        best = "<module>"
+        for span in self.function_spans:
+            if span.lineno <= line <= span.end_lineno:
+                best = span.qualname
+        return best
+
+    def functions(self) -> Iterator[Tuple[str, ast.AST]]:
+        """Yield ``(qualname, node)`` for every function/method definition."""
+        yield from _walk_functions(self.tree, prefix="")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SourceModule({self.name!r})"
+
+
+def _parse_waivers(lines: List[str]) -> Dict[int, Set[str]]:
+    waivers: Dict[int, Set[str]] = {}
+    for index, line in enumerate(lines, start=1):
+        if "#" not in line or "det:" not in line:
+            continue
+        rules: Set[str] = set()
+        if _ORDERED_RE.search(line):
+            rules.add(ORDERED_WAIVER_RULE)
+        match = _WAIVE_RE.search(line)
+        if match:
+            rules.update(part.strip() for part in match.group(1).split(",") if part.strip())
+        if rules:
+            waivers.setdefault(index, set()).update(rules)
+            # A waiver opening a comment block slides through the
+            # remaining comment-only lines to the statement below it, so
+            # justifications may span several lines.
+            cursor = index
+            while cursor < len(lines) and lines[cursor].lstrip().startswith("#"):
+                cursor += 1
+                waivers.setdefault(cursor, set()).update(rules)
+    return waivers
+
+
+def _walk_functions(node: ast.AST, prefix: str) -> Iterator[Tuple[str, ast.AST]]:
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{prefix}{child.name}"
+            yield qualname, child
+            yield from _walk_functions(child, prefix=f"{qualname}.")
+        elif isinstance(child, ast.ClassDef):
+            yield from _walk_functions(child, prefix=f"{prefix}{child.name}.")
+
+
+def _function_spans(tree: ast.AST) -> Iterator[FunctionSpan]:
+    for qualname, node in _walk_functions(tree, prefix=""):
+        end = getattr(node, "end_lineno", None) or node.lineno
+        yield FunctionSpan(qualname=qualname, lineno=node.lineno, end_lineno=end)
+
+
+# -- package loading ---------------------------------------------------------------
+
+
+def module_from_source(name: str, path: str, text: str) -> SourceModule:
+    """Build a :class:`SourceModule` from in-memory text (tests, fixtures)."""
+    return SourceModule(name=name, path=path, text=text)
+
+
+def load_package(root: Path, package: str) -> Dict[str, SourceModule]:
+    """Load every ``.py`` file of ``package`` under ``root``.
+
+    ``root`` is the directory *containing* the package (``src/`` in this
+    repository).  Files are discovered in sorted order so the analysis
+    itself is deterministic.  Returns a mapping from dotted module name
+    to :class:`SourceModule`.
+    """
+    package_dir = root / package.replace(".", "/")
+    if not package_dir.is_dir():
+        raise ReproError(f"package directory {str(package_dir)!r} does not exist")
+    modules: Dict[str, SourceModule] = {}
+    for path in sorted(package_dir.rglob("*.py")):
+        relative = path.relative_to(root)
+        parts = list(relative.with_suffix("").parts)
+        is_package = parts[-1] == "__init__"
+        if is_package:
+            parts = parts[:-1]
+        name = ".".join(parts)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise ReproError(f"cannot read {str(path)!r}: {error}") from None
+        modules[name] = SourceModule(name=name, path=str(relative), text=text, is_package=is_package)
+    return modules
+
+
+def resolve_relative_import(module: str, node: ast.ImportFrom, is_package: bool = False) -> Optional[str]:
+    """Resolve a (possibly relative) ``from X import Y`` to a dotted name.
+
+    Returns the absolute module the import targets, or ``None`` when the
+    relative import climbs above the package root.  ``is_package`` marks
+    ``__init__`` modules, whose dotted name is already their package, so
+    one fewer component is stripped per relative level.
+    """
+    if node.level == 0:
+        return node.module
+    parts = module.split(".")
+    # Level 1 from a plain module strips the module's own name; each
+    # extra level strips one more package.  An ``__init__`` module's
+    # name already is its package name, so it strips one fewer.
+    strip = node.level - 1 if is_package else node.level
+    if strip > len(parts):
+        return None
+    base = parts[: len(parts) - strip]
+    if node.module:
+        base.append(node.module)
+    return ".".join(base) if base else None

@@ -1,0 +1,415 @@
+"""Best-effort, function-local type flow for the determinism rules.
+
+The analyzer does not type-check; it answers two narrow questions about
+an expression, each deliberately over-approximated in the direction
+that catches nondeterminism:
+
+* :meth:`FunctionTypeFlow.is_unordered` — can this expression hold a
+  ``set`` / ``frozenset`` / ``dict`` view, whose iteration order is not
+  a language guarantee?
+* :meth:`FunctionTypeFlow.is_float` — can this expression hold a
+  ``float``, whose ``==`` and accumulation order are hazards?
+
+Evidence comes from literals, constructor calls, annotations on
+parameters and locals, ``self.attr`` annotations collected from class
+bodies, and a project-wide index of return annotations keyed by bare
+function name (:class:`ProjectIndex`).  Wrapping an iterable in
+``sorted(...)`` is the one recognised neutralizer: a sorted unordered
+container is, by construction, deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.source import SourceModule
+
+# Annotation names whose values iterate in an order the language does
+# not pin down across processes (sets) or that rules treat as ordering
+# hazards unless sorted (dict views: insertion-ordered, but insertion
+# order is an implicit protocol invariant the rule forces callers to
+# either sort or document).
+UNORDERED_ANNOTATIONS: FrozenSet[str] = frozenset(
+    {
+        "set",
+        "frozenset",
+        "dict",
+        "Set",
+        "FrozenSet",
+        "MutableSet",
+        "AbstractSet",
+        "Dict",
+        "Mapping",
+        "MutableMapping",
+        "DefaultDict",
+        "defaultdict",
+        "Counter",
+        "KeysView",
+        "ValuesView",
+        "ItemsView",
+    }
+)
+
+FLOAT_ANNOTATIONS: FrozenSet[str] = frozenset({"float", "SimTime"})
+
+# Wrappers that preserve the (un)ordered-ness of their argument.
+_TRANSPARENT_WRAPPERS: FrozenSet[str] = frozenset({"reversed", "iter"})
+
+# Constructor names that build unordered containers.
+_UNORDERED_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    {"set", "frozenset", "dict", "Counter", "defaultdict"}
+)
+
+# Methods returning unordered views/copies when called on an unordered
+# receiver (or on anything, for the dict-view trio).
+_DICT_VIEW_METHODS: FrozenSet[str] = frozenset({"keys", "values", "items"})
+_SET_ALGEBRA_METHODS: FrozenSet[str] = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+
+def annotation_terminal_name(node: Optional[ast.AST]) -> Optional[str]:
+    """The rightmost bare name of an annotation (``typing.Dict`` -> ``Dict``).
+
+    ``Optional[X]`` / ``Final[X]`` / ``Annotated[X, ...]`` / ``ClassVar[X]``
+    unwrap to ``X``; string annotations are parsed.  Returns ``None``
+    when no name can be extracted.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):
+        base = annotation_terminal_name(node.value)
+        if base in {"Optional", "Final", "Annotated", "ClassVar"}:
+            inner = node.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                inner = inner.elts[0]
+            return annotation_terminal_name(inner)
+        return base
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def annotation_is_unordered(node: Optional[ast.AST]) -> bool:
+    return annotation_terminal_name(node) in UNORDERED_ANNOTATIONS
+
+
+def annotation_is_float(node: Optional[ast.AST]) -> bool:
+    return annotation_terminal_name(node) in FLOAT_ANNOTATIONS
+
+
+@dataclasses.dataclass(frozen=True)
+class ProjectIndex:
+    """Cross-module evidence shared by every rule invocation.
+
+    All three maps are keyed by *bare* name, deliberately ignoring which
+    class or module defines it: when any definition of ``edges`` is a
+    ``FrozenSet``, an attribute access ``x.edges`` is presumed unordered.
+    That over-approximation can only create findings (answered with a
+    waiver), never hide one.
+    """
+
+    # bare function/method name -> {"unordered", "float", "other"} kinds seen
+    return_kinds: Dict[str, FrozenSet[str]]
+    # bare attribute/field name -> {"unordered", "float", "other"} kinds seen
+    field_kinds: Dict[str, FrozenSet[str]]
+    # module name -> module-level global name -> kind (bare-Name lookups
+    # stay module-local: a local variable must never inherit the kind of
+    # a same-named field in some unrelated class)
+    module_globals: Dict[str, Dict[str, str]]
+    # class names defining canonical_fields(), plus NamedTuple subclasses
+    canonical_classes: FrozenSet[str]
+
+    def return_kind(self, name: str) -> Optional[str]:
+        """The single return kind of ``name`` across the project, if unanimous."""
+        kinds = self.return_kinds.get(name)
+        if kinds and len(kinds) == 1:
+            return next(iter(kinds))
+        return None
+
+    def field_kind(self, name: str) -> Optional[str]:
+        kinds = self.field_kinds.get(name)
+        if kinds and len(kinds) == 1:
+            return next(iter(kinds))
+        return None
+
+
+def build_project_index(modules: Iterable[SourceModule]) -> ProjectIndex:
+    """Scan every module once for annotation evidence."""
+    return_kinds: Dict[str, Set[str]] = {}
+    field_kinds: Dict[str, Set[str]] = {}
+    module_globals: Dict[str, Dict[str, str]] = {}
+    canonical: Set[str] = set()
+    for module in modules:
+        globals_here: Dict[str, str] = {}
+        for stmt in ast.iter_child_nodes(module.tree):
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                globals_here[stmt.target.id] = _annotation_kind(stmt.annotation)
+            elif isinstance(stmt, ast.Assign):
+                kind = _literal_kind(stmt.value)
+                if kind != "other":
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            globals_here[target.id] = kind
+        module_globals[module.name] = globals_here
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                kind = _annotation_kind(node.returns)
+                return_kinds.setdefault(node.name, set()).add(kind)
+            elif isinstance(node, ast.ClassDef):
+                if _is_namedtuple(node) or _defines_canonical_fields(node):
+                    canonical.add(node.name)
+                for field_name, annotation in _class_field_annotations(node):
+                    field_kinds.setdefault(field_name, set()).add(_annotation_kind(annotation))
+    return ProjectIndex(
+        return_kinds={name: frozenset(kinds) for name, kinds in return_kinds.items()},
+        field_kinds={name: frozenset(kinds) for name, kinds in field_kinds.items()},
+        module_globals=module_globals,
+        canonical_classes=frozenset(canonical),
+    )
+
+
+def _literal_kind(value: ast.AST) -> str:
+    """Kind evidence from an unannotated module-level assignment."""
+    if isinstance(value, (ast.Set, ast.Dict, ast.SetComp, ast.DictComp)):
+        return "unordered"
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        if value.func.id in _UNORDERED_CONSTRUCTORS:
+            return "unordered"
+        if value.func.id == "float":
+            return "float"
+    if isinstance(value, ast.Constant) and isinstance(value.value, float):
+        return "float"
+    return "other"
+
+
+def _annotation_kind(annotation: Optional[ast.AST]) -> str:
+    if annotation_is_unordered(annotation):
+        return "unordered"
+    if annotation_is_float(annotation):
+        return "float"
+    return "other"
+
+
+def _is_namedtuple(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        if annotation_terminal_name(base) == "NamedTuple":
+            return True
+    return False
+
+
+def _defines_canonical_fields(node: ast.ClassDef) -> bool:
+    return any(
+        isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and child.name == "canonical_fields"
+        for child in node.body
+    )
+
+
+def _class_field_annotations(node: ast.ClassDef) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield ``(name, annotation)`` for class-level and ``self.x: T`` fields."""
+    for child in node.body:
+        if isinstance(child, ast.AnnAssign) and isinstance(child.target, ast.Name):
+            yield child.target.id, child.annotation
+        elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for stmt in ast.walk(child):
+                if (
+                    isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Attribute)
+                    and isinstance(stmt.target.value, ast.Name)
+                    and stmt.target.value.id == "self"
+                ):
+                    yield stmt.target.attr, stmt.annotation
+
+
+class FunctionTypeFlow:
+    """Unordered/float inference scoped to one function body."""
+
+    def __init__(self, func: ast.AST, module: SourceModule, index: ProjectIndex) -> None:
+        self.func = func
+        self.module = module
+        self.index = index
+        self.unordered_names: Set[str] = set()
+        self.float_names: Set[str] = set()
+        self.sorted_names: Set[str] = set()
+        self.local_bindings: Set[str] = set()
+        self._module_globals = index.module_globals.get(module.name, {})
+        self._collect()
+
+    # -- evidence gathering ----------------------------------------------------------
+
+    def _collect(self) -> None:
+        args = getattr(self.func, "args", None)
+        if args is not None:
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                self.local_bindings.add(arg.arg)
+                if annotation_is_unordered(arg.annotation):
+                    self.unordered_names.add(arg.arg)
+                elif annotation_is_float(arg.annotation):
+                    self.float_names.add(arg.arg)
+        # Every name the function binds shadows a module global of the
+        # same name, so bare-Name kind lookups must not fall through.
+        for node in ast.walk(self.func):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign, ast.NamedExpr)):
+                targets = [node.target]
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                targets = [node.target]
+            elif isinstance(node, ast.comprehension):
+                targets = [node.target]
+            elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+                targets = [node.optional_vars]
+            elif isinstance(node, ast.ExceptHandler) and node.name:
+                self.local_bindings.add(node.name)
+            for target in targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        self.local_bindings.add(leaf.id)
+        # Two passes over assignments so ``a = set(); b = a`` resolves.
+        for _ in range(2):
+            for node in ast.walk(self.func):
+                if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                    if annotation_is_unordered(node.annotation):
+                        self.unordered_names.add(node.target.id)
+                    elif annotation_is_float(node.annotation):
+                        self.float_names.add(node.target.id)
+                elif isinstance(node, ast.Assign):
+                    targets = [t for t in node.targets if isinstance(t, ast.Name)]
+                    if not targets:
+                        continue
+                    if self.is_unordered(node.value):
+                        self.unordered_names.update(t.id for t in targets)
+                    if self.is_float(node.value):
+                        self.float_names.update(t.id for t in targets)
+        # Names that are sorted *somewhere* in the function: either
+        # ``x.sort()`` or ``sorted(x)``.  Used to suppress list-building
+        # findings when the built list is sorted before it can matter.
+        for node in ast.walk(self.func):
+            if isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "sort"
+                    and isinstance(node.func.value, ast.Name)
+                ):
+                    self.sorted_names.add(node.func.value.id)
+                elif (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "sorted"
+                    and node.args
+                    and isinstance(node.args[0], ast.Name)
+                ):
+                    self.sorted_names.add(node.args[0].id)
+
+    # -- unordered inference ---------------------------------------------------------
+
+    def is_unordered(self, node: ast.AST) -> bool:
+        """Can ``node`` evaluate to a set/frozenset/dict (view)?"""
+        if isinstance(node, (ast.Set, ast.Dict, ast.SetComp, ast.DictComp)):
+            return True
+        if isinstance(node, ast.Name):
+            if node.id in self.unordered_names:
+                return True
+            if node.id in self.local_bindings:
+                return False
+            return self._module_globals.get(node.id) == "unordered"
+        if isinstance(node, ast.Attribute):
+            return self.index.field_kind(node.attr) == "unordered"
+        if isinstance(node, ast.IfExp):
+            return self.is_unordered(node.body) or self.is_unordered(node.orelse)
+        if isinstance(node, ast.Starred):
+            return self.is_unordered(node.value)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self.is_unordered(node.left) or self.is_unordered(node.right)
+        if isinstance(node, ast.Call):
+            return self._call_is_unordered(node)
+        return False
+
+    def _call_is_unordered(self, node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "sorted":
+                return False
+            if func.id in _UNORDERED_CONSTRUCTORS:
+                return True
+            if func.id in _TRANSPARENT_WRAPPERS and node.args:
+                return self.is_unordered(node.args[0])
+            return self.index.return_kind(func.id) == "unordered"
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            if attr in _DICT_VIEW_METHODS:
+                # A project method named keys/values/items with a known
+                # ordered return annotation beats the builtin heuristic.
+                kind = self.index.return_kind(attr)
+                if kind is not None:
+                    return kind == "unordered"
+                return True
+            if attr in _SET_ALGEBRA_METHODS and self.is_unordered(func.value):
+                return True
+            if attr in {"pop", "get", "setdefault"}:
+                # ``mapping.pop(key, set())`` yields whatever the stored
+                # value / default is; judge by the default argument.
+                if len(node.args) >= 2:
+                    return self.is_unordered(node.args[1])
+                return False
+            return self.index.return_kind(attr) == "unordered"
+        return False
+
+    def is_sorted_wrapper(self, node: ast.AST) -> bool:
+        """``True`` for ``sorted(...)`` and sorted-preserving wrappers."""
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id == "sorted":
+                return True
+            if node.func.id in _TRANSPARENT_WRAPPERS | {"enumerate", "list", "tuple"} and node.args:
+                return self.is_sorted_wrapper(node.args[0])
+        return False
+
+    # -- float inference -------------------------------------------------------------
+
+    def is_float(self, node: ast.AST) -> bool:
+        """Can ``node`` evaluate to a float?"""
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.Name):
+            if node.id in self.float_names:
+                return True
+            if node.id in self.local_bindings:
+                return False
+            return self._module_globals.get(node.id) == "float"
+        if isinstance(node, ast.Attribute):
+            return self.index.field_kind(node.attr) == "float"
+        if isinstance(node, ast.UnaryOp):
+            return self.is_float(node.operand)
+        if isinstance(node, ast.IfExp):
+            return self.is_float(node.body) or self.is_float(node.orelse)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True
+            return self.is_float(node.left) or self.is_float(node.right)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id == "float":
+                    return True
+                if func.id == "round":
+                    # One-argument round() returns int; two-argument
+                    # round() keeps the float.
+                    return len(node.args) >= 2
+                if func.id == "sum" and node.args and self.is_float(node.args[0]):
+                    return True
+                return self.index.return_kind(func.id) == "float"
+            if isinstance(func, ast.Attribute):
+                return self.index.return_kind(func.attr) == "float"
+        return False

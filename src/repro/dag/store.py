@@ -235,7 +235,10 @@ class DagStore:
         while queue:
             parent = queue.popleft()
             waiters = self._waiting_on.pop(parent, set())
-            for waiter_id in waiters:
+            # Promotion order decides insertion order into the round
+            # tables, which downstream lookups expose; sort so it is a
+            # function of the vertex ids, not of set iteration order.
+            for waiter_id in sorted(waiters):
                 waiter = self._pending.get(waiter_id)
                 if waiter is None:
                     continue
@@ -256,6 +259,9 @@ class DagStore:
         return self._rounds.get(round_number, {}).get(source)
 
     def vertices_at(self, round_number: Round) -> Tuple[Vertex, ...]:
+        # det: ordered -- arrival order under the single-threaded simulator;
+        # insertion-ordered dicts make it deterministic, and the differential
+        # suite pins the digests that depend on it.
         return tuple(self._rounds.get(round_number, {}).values())
 
     def sources_at(self, round_number: Round) -> Set[ValidatorId]:
@@ -277,6 +283,8 @@ class DagStore:
         return len(self._by_id)
 
     def __iter__(self) -> Iterator[Vertex]:
+        # det: ordered -- arrival order (insertion-ordered dict); consumers
+        # are introspection and tests, never the digest fold.
         return iter(list(self._by_id.values()))
 
     @property
@@ -292,6 +300,8 @@ class DagStore:
 
     def pending_vertices(self) -> Tuple[Vertex, ...]:
         """Vertices parked while waiting for missing parents."""
+        # det: ordered -- arrival order (insertion-ordered dict), exposed
+        # for introspection and fetch bookkeeping only.
         return tuple(self._pending.values())
 
     def drain_dirty_anchor_rounds(self) -> Set[Round]:
@@ -401,6 +411,8 @@ class DagStore:
             region.setdefault(vertex.round, []).append(vertex)
             if vertex.round == target_round + 1:
                 continue
+            # det: ordered -- BFS order only decides memo fill order; the
+            # per-vertex results are sets, and phase 2 re-sorts by round.
             for edge in vertex.edges:
                 if edge in seen:
                     continue
@@ -481,6 +493,8 @@ class DagStore:
         while frontier:
             seen.update(frontier)
             next_edges: List[FrozenSet[VertexId]] = []
+            # det: ordered -- append order is erased by the final sort;
+            # next_edges feed an order-insensitive set union.
             for vertex_id in frontier:
                 vertex = by_id.get(vertex_id)
                 if vertex is None:
@@ -607,6 +621,8 @@ class DagStore:
             del self._waiting_on[parent]
         # Registrations whose waiter was just dropped (or promoted by an
         # earlier pass) are stale as well.
+        # det: ordered -- list() only guards mutation during iteration;
+        # the per-key rebuild/delete is order-insensitive.
         for parent in list(self._waiting_on):
             waiters = {w for w in self._waiting_on[parent] if w in self._pending}
             if waiters:

@@ -226,7 +226,10 @@ class Network:
     def _recompute_disturbance(self) -> None:
         jitter = self._base_jitter
         keep = 1.0 - self._base_loss_rate
-        for window_jitter, window_loss in self._disturbances.values():
+        # Float multiplication is not associative: fold the windows in
+        # token order so the composed loss rate cannot depend on dict
+        # iteration order (tokens ascend, so this matches insertion).
+        for _token, (window_jitter, window_loss) in sorted(self._disturbances.items()):
             if window_jitter > jitter:
                 jitter = window_jitter
             keep *= 1.0 - window_loss
@@ -396,7 +399,9 @@ class Network:
 
     @property
     def node_ids(self) -> Iterable[int]:
-        return tuple(self._endpoints)
+        # Endpoints register in committee order (ascending ids), so the
+        # sort is the identity today; it pins the contract regardless.
+        return tuple(sorted(self._endpoints))
 
     def region_of(self, node_id: int) -> Region:
         return self._endpoint(node_id).region

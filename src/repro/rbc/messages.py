@@ -29,6 +29,8 @@ class BroadcastMessage:
 class ProposeMessage(BroadcastMessage):
     """The original payload sent by the broadcaster (certified protocol)."""
 
+    # det: waive[DET005] the broadcast layer is payload-generic; every
+    # production payload is a Vertex, which defines canonical_fields().
     payload: Any = None
 
 
@@ -43,6 +45,7 @@ class AckMessage(BroadcastMessage):
 class CertificateMessage(BroadcastMessage):
     """A 2f+1 quorum of acknowledgements; carries the payload for delivery."""
 
+    # det: waive[DET005] payload-generic (see ProposeMessage.payload).
     payload: Any = None
     signers: Tuple[ValidatorId, ...] = ()
 
@@ -73,6 +76,7 @@ class CertificateBatch(BroadcastMessage):
 class EchoMessage(BroadcastMessage):
     """Bracha echo: relays the payload to every party."""
 
+    # det: waive[DET005] payload-generic (see ProposeMessage.payload).
     payload: Any = None
 
 

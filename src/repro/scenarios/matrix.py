@@ -103,7 +103,7 @@ def run_matrix(
         (attack, matrix_spec(attack, rule_names, smoke=smoke)) for attack in attack_names
     ]
     points: List[Tuple[str, CompiledPoint]] = []
-    for attack, spec in row_specs:
+    for _attack, spec in row_specs:
         for point in compile_spec(spec):
             points.append((spec.scenario_digest(), point))
     results = SweepEngine(parallelism=parallelism).run(

@@ -115,7 +115,7 @@ def _validate_time(value: Optional[TimeExpr], field: str) -> None:
         unknown = set(value) - _TIME_EXPR_KEYS
         _require(not unknown, f"unknown {field!r} expression keys: {sorted(unknown)}")
         _require(bool(value), f"a {field!r} expression needs base and/or per_validator")
-        for key, entry in value.items():
+        for _key, entry in value.items():
             _require(
                 isinstance(entry, (int, float)) and not isinstance(entry, bool),
                 f"{field!r} expression values must be numbers",

@@ -28,6 +28,14 @@ class LeaderSchedule:
     initial_round: Round
     slots: Tuple[ValidatorId, ...]
 
+    def canonical_fields(self) -> Tuple[object, ...]:
+        """Fields participating in canonical digests (state-sync snapshots).
+
+        Slots are an ordered cycle, so they are hashed in slot order —
+        permutations of the same multiset are *different* schedules.
+        """
+        return (self.epoch, self.initial_round, self.slots)
+
     def __post_init__(self) -> None:
         if not self.slots:
             raise ScheduleError("a schedule needs at least one leader slot")

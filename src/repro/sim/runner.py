@@ -212,7 +212,10 @@ class SimulationRunner:
                 gc.collect(1)
 
     def _start_nodes(self) -> None:
-        for node in self.nodes.values():
+        # Each start-up consumes an RNG draw, so the iteration order is
+        # part of the seeded randomness contract: sort by validator id
+        # (the construction order, so this is the identity today).
+        for _validator, node in sorted(self.nodes.items()):
             # Stagger start-up by a few milliseconds to avoid artificial
             # lock-step behaviour in the very first rounds.
             jitter = self.simulator.rng.uniform(0.0, 0.020)
@@ -259,7 +262,7 @@ class SimulationRunner:
         targets = [
             node for validator, node in sorted(self.nodes.items()) if validator not in excluded
         ]
-        return targets if targets else list(self.nodes.values())
+        return targets if targets else [node for _, node in sorted(self.nodes.items())]
 
     # -- partition-aware client failover ----------------------------------------
 

@@ -1,0 +1,186 @@
+"""Purity-map construction, baseline round-trips, and the poison gate.
+
+The toy-package tests pin the graph semantics (import closure, function
+reachability, islands excluded); the repository tests pin the
+acceptance property: a nondeterministic call that enters the commit
+path must surface as a purity violation *and* as baseline drift.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.config import repo_config
+from repro.analysis.engine import analyze, load_baseline, write_baseline
+from repro.analysis.purity import (
+    MODULE_NODE,
+    baseline_payload,
+    build_purity_map,
+    compare_baseline,
+    import_closure,
+)
+from repro.analysis.source import load_package, module_from_source
+from repro.analysis.config import AnalyzerConfig
+from repro.errors import ReproError
+
+
+def write_toy_package(tmp_path):
+    pkg = tmp_path / "toy"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "a.py").write_text(
+        textwrap.dedent(
+            """
+            from toy.b import helper
+
+
+            def entry():
+                return helper()
+            """
+        )
+    )
+    (pkg / "b.py").write_text(
+        textwrap.dedent(
+            """
+            from toy import c
+
+
+            def helper():
+                return c.leaf()
+
+
+            def unused():
+                return 0
+            """
+        )
+    )
+    (pkg / "c.py").write_text("def leaf():\n    return 1\n")
+    (pkg / "d.py").write_text("def island():\n    return 2\n")
+    return tmp_path
+
+
+def toy_map(tmp_path):
+    root = write_toy_package(tmp_path)
+    modules = load_package(root, "toy")
+    config = AnalyzerConfig(root=root, package="toy", purity_roots=("toy.a",))
+    return build_purity_map(modules, config), modules, config
+
+
+class TestToyPackageGraph:
+    def test_closure_follows_imports_and_skips_islands(self, tmp_path):
+        purity, _modules, _config = toy_map(tmp_path)
+        closure = set(purity.closure)
+        assert {"toy.a", "toy.b", "toy.c"} <= closure
+        assert "toy.d" not in closure
+
+    def test_reachability_follows_call_edges(self, tmp_path):
+        purity, _modules, _config = toy_map(tmp_path)
+        reachable = purity.reachable_set()
+        assert "toy.a:entry" in reachable
+        assert "toy.b:helper" in reachable
+        assert "toy.c:leaf" in reachable
+        # Defined in a closure module but never called: not reachable.
+        assert "toy.b:unused" not in reachable
+        assert "toy.d:island" not in reachable
+
+    def test_module_level_code_is_reachable(self, tmp_path):
+        purity, _modules, _config = toy_map(tmp_path)
+        reachable = purity.reachable_set()
+        for module_name in purity.closure:
+            assert f"{module_name}:{MODULE_NODE}" in reachable
+
+    def test_missing_roots_are_skipped(self, tmp_path):
+        root = write_toy_package(tmp_path)
+        modules = load_package(root, "toy")
+        config = AnalyzerConfig(
+            root=root, package="toy", purity_roots=("toy.a", "toy.ghost")
+        )
+        purity = build_purity_map(modules, config)
+        assert purity.roots == ("toy.a",)
+
+    def test_import_closure_is_sorted_and_deterministic(self, tmp_path):
+        root = write_toy_package(tmp_path)
+        modules = load_package(root, "toy")
+        closure = import_closure(("toy.a",), modules)
+        assert list(closure) == sorted(closure)
+        assert closure == import_closure(("toy.a",), modules)
+
+
+class TestBaselineRoundTrip:
+    def test_payload_is_self_consistent(self, tmp_path):
+        purity, _modules, _config = toy_map(tmp_path)
+        payload = baseline_payload(purity)
+        assert payload["version"] == 1
+        assert compare_baseline(payload, payload) == []
+
+    def test_write_then_load_round_trips(self, tmp_path):
+        purity, _modules, _config = toy_map(tmp_path)
+        path = tmp_path / "analysis" / "purity_baseline.json"
+        write_baseline(purity, path)
+        loaded = load_baseline(path)
+        assert compare_baseline(baseline_payload(purity), loaded) == []
+
+    def test_drift_lines_name_added_and_removed_entries(self, tmp_path):
+        purity, modules, config = toy_map(tmp_path)
+        old = baseline_payload(purity)
+        # Grow the graph: a new function in a root module is a new root.
+        grown = modules["toy.a"].text + "\n\ndef extra():\n    return entry()\n"
+        modules["toy.a"] = module_from_source("toy.a", "toy/a.py", grown)
+        new = baseline_payload(build_purity_map(modules, config))
+        drift = compare_baseline(new, old)
+        assert "reachable: + toy.a:extra" in drift
+
+    def test_load_baseline_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError):
+            load_baseline(path)
+
+    def test_load_baseline_rejects_non_object_payload(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ReproError):
+            load_baseline(path)
+
+
+class TestRepositoryPurityGate:
+    """The acceptance property, run against the real tree."""
+
+    def test_checked_in_baseline_matches_current_tree(self):
+        config = repo_config()
+        report = analyze(config, rules=["DET001", "DET002"])
+        assert report.baseline_diff == ()
+        assert report.purity_violations == ()
+
+    def test_poisoned_commit_path_module_fails_all_three_gates(self):
+        config = repo_config()
+        modules = load_package(config.root, config.package)
+        store = modules["repro.dag.store"]
+        poisoned = store.text + textwrap.dedent(
+            """
+
+            import time
+
+
+            def _poisoned_now():
+                return time.time()
+            """
+        )
+        modules["repro.dag.store"] = module_from_source(
+            "repro.dag.store", store.path, poisoned
+        )
+        report = analyze(config, rules=["DET002"], modules=modules)
+        assert not report.ok
+        # Gate 1: the rule itself fires.
+        assert any(f.rule == "DET002" for f in report.findings)
+        # Gate 2: the finding is reachable from the ordering digest.
+        assert any(
+            v.module == "repro.dag.store" and v.function == "_poisoned_now"
+            for v in report.purity_violations
+        )
+        # Gate 3: the checked-in baseline drifts.
+        assert any(
+            "reachable: + repro.dag.store:_poisoned_now" in line
+            for line in report.baseline_diff
+        )

@@ -1,0 +1,464 @@
+"""Fixture coverage for the determinism rules (DET001-DET005).
+
+Each rule gets at least one positive fixture (a seeded violation the
+rule must flag) and one negative fixture (the deterministic equivalent
+it must not flag), plus waiver-mechanics and registry-contract tests.
+Fixtures are in-memory modules fed straight to :func:`analyze`, so the
+tests exercise the same pipeline the CLI runs.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalyzerConfig, analyze
+from repro.analysis.rules import (
+    ANALYSIS_RULE_REGISTRY,
+    analysis_rule_names,
+    make_analysis_rule,
+    register_analysis_rule,
+)
+from repro.analysis.source import module_from_source
+from repro.errors import ConfigurationError
+
+TOY = "toy.mod"
+
+ALL_RULES = ("DET001", "DET002", "DET003", "DET004", "DET005")
+
+
+def toy_config(**overrides):
+    """A config whose every scope is the single fixture module."""
+    fields = dict(
+        root=Path("/nonexistent"),
+        package="toy",
+        purity_roots=(),
+        wallclock_allowlist=(),
+        unordered_extra_modules=(TOY,),
+        float_modules=(TOY,),
+        message_modules=(TOY,),
+        baseline_path=None,
+    )
+    fields.update(overrides)
+    return AnalyzerConfig(**fields)
+
+
+def run_rules(source, rules, config=None):
+    modules = {TOY: module_from_source(TOY, "toy/mod.py", textwrap.dedent(source))}
+    return analyze(config or toy_config(), rules=list(rules), modules=modules)
+
+
+def rule_ids(report):
+    return [finding.rule for finding in report.findings]
+
+
+class TestDet001Randomness:
+    def test_flags_unseeded_module_level_random(self):
+        report = run_rules(
+            """
+            import random
+
+
+            def pick(items):
+                return random.choice(items)
+            """,
+            ["DET001"],
+        )
+        assert rule_ids(report) == ["DET001"]
+        assert report.findings[0].function == "pick"
+
+    def test_flags_uuid_import(self):
+        report = run_rules("import uuid\n", ["DET001"])
+        assert rule_ids(report) == ["DET001"]
+
+    def test_flags_unseeded_random_instance(self):
+        report = run_rules(
+            """
+            import random
+
+            rng = random.Random()
+            """,
+            ["DET001"],
+        )
+        assert rule_ids(report) == ["DET001"]
+
+    def test_flags_os_urandom(self):
+        report = run_rules(
+            """
+            import os
+
+
+            def salt():
+                return os.urandom(8)
+            """,
+            ["DET001"],
+        )
+        assert rule_ids(report) == ["DET001"]
+
+    def test_accepts_seeded_random_instance(self):
+        report = run_rules(
+            """
+            import random
+
+            rng = random.Random(42)
+
+
+            def pick(items):
+                return rng.choice(items)
+            """,
+            ["DET001"],
+        )
+        assert report.findings == ()
+
+
+class TestDet002WallClock:
+    def test_flags_time_time(self):
+        report = run_rules(
+            """
+            import time
+
+
+            def now():
+                return time.time()
+            """,
+            ["DET002"],
+        )
+        assert rule_ids(report) == ["DET002"]
+
+    def test_flags_datetime_now(self):
+        report = run_rules(
+            """
+            from datetime import datetime
+
+
+            def stamp():
+                return datetime.now()
+            """,
+            ["DET002"],
+        )
+        assert rule_ids(report) == ["DET002"]
+
+    def test_allowlisted_module_is_exempt(self):
+        config = toy_config(wallclock_allowlist=(TOY,))
+        report = run_rules(
+            """
+            import time
+
+
+            def now():
+                return time.time()
+            """,
+            ["DET002"],
+            config=config,
+        )
+        assert report.findings == ()
+
+    def test_non_clock_time_functions_pass(self):
+        report = run_rules(
+            """
+            import time
+
+
+            def pause():
+                time.sleep(0.1)
+            """,
+            ["DET002"],
+        )
+        assert report.findings == ()
+
+
+class TestDet003UnorderedIteration:
+    def test_flags_set_iteration_into_append_sink(self):
+        report = run_rules(
+            """
+            def collect(items: set):
+                out = []
+                for item in items:
+                    out.append(item)
+                return out
+            """,
+            ["DET003"],
+        )
+        assert rule_ids(report) == ["DET003"]
+
+    def test_flags_join_over_dict_keys(self):
+        report = run_rules(
+            """
+            def label(parts: dict):
+                return ",".join(parts.keys())
+            """,
+            ["DET003"],
+        )
+        assert rule_ids(report) == ["DET003"]
+
+    def test_flags_returned_comprehension_over_set(self):
+        report = run_rules(
+            """
+            def expand(items: frozenset):
+                return [item for item in items]
+            """,
+            ["DET003"],
+        )
+        assert rule_ids(report) == ["DET003"]
+
+    def test_sorted_iteration_passes(self):
+        report = run_rules(
+            """
+            def collect(items: set):
+                out = []
+                for item in sorted(items):
+                    out.append(item)
+                return out
+            """,
+            ["DET003"],
+        )
+        assert report.findings == ()
+
+    def test_out_of_scope_module_is_ignored(self):
+        config = toy_config(unordered_extra_modules=())
+        report = run_rules(
+            """
+            def collect(items: set):
+                out = []
+                for item in items:
+                    out.append(item)
+                return out
+            """,
+            ["DET003"],
+            config=config,
+        )
+        assert report.findings == ()
+
+    def test_ordered_waiver_moves_finding_to_waived(self):
+        report = run_rules(
+            """
+            def collect(items: set):
+                out = []
+                # det: ordered -- fixture justification
+                for item in items:
+                    out.append(item)
+                return out
+            """,
+            ["DET003"],
+        )
+        assert report.findings == ()
+        assert [finding.rule for finding in report.waived] == ["DET003"]
+
+    def test_waiver_slides_through_comment_block(self):
+        """A waiver above a multi-line comment applies to the code below it."""
+        report = run_rules(
+            """
+            def collect(items: set):
+                out = []
+                # det: ordered -- fixture justification
+                # spread over several comment lines
+                # before the statement itself
+                for item in items:
+                    out.append(item)
+                return out
+            """,
+            ["DET003"],
+        )
+        assert report.findings == ()
+        assert [finding.rule for finding in report.waived] == ["DET003"]
+
+
+class TestDet004FloatHazards:
+    def test_flags_float_equality(self):
+        report = run_rules(
+            """
+            def same(a: float, b: float):
+                return a == b
+            """,
+            ["DET004"],
+        )
+        assert rule_ids(report) == ["DET004"]
+
+    def test_flags_sum_over_set(self):
+        report = run_rules(
+            """
+            def total(weights: set):
+                return sum(weights)
+            """,
+            ["DET004"],
+        )
+        assert rule_ids(report) == ["DET004"]
+
+    def test_flags_float_accumulation_over_dict_values(self):
+        report = run_rules(
+            """
+            def total(weights: dict):
+                acc = 0.0
+                for weight in weights.values():
+                    acc += weight
+                return acc
+            """,
+            ["DET004"],
+        )
+        assert rule_ids(report) == ["DET004"]
+
+    def test_sorted_accumulation_passes(self):
+        report = run_rules(
+            """
+            def total(weights: dict):
+                acc = 0.0
+                for weight in sorted(weights.values()):
+                    acc += weight
+                return acc
+            """,
+            ["DET004"],
+        )
+        assert report.findings == ()
+
+    def test_integer_equality_passes(self):
+        report = run_rules(
+            """
+            def same(a: int, b: int):
+                return a == b
+            """,
+            ["DET004"],
+        )
+        assert report.findings == ()
+
+
+class TestDet005WireMessages:
+    def test_flags_any_typed_field(self):
+        report = run_rules(
+            """
+            from dataclasses import dataclass
+            from typing import Any
+
+
+            @dataclass(frozen=True)
+            class Msg:
+                payload: Any
+            """,
+            ["DET005"],
+        )
+        assert rule_ids(report) == ["DET005"]
+
+    def test_flags_mutable_default(self):
+        report = run_rules(
+            """
+            import dataclasses
+            from dataclasses import dataclass
+            from typing import Tuple
+
+
+            @dataclass
+            class Msg:
+                tags: list = dataclasses.field(default_factory=list)
+            """,
+            ["DET005"],
+        )
+        assert "DET005" in rule_ids(report)
+
+    def test_flags_unknown_field_class(self):
+        report = run_rules(
+            """
+            from dataclasses import dataclass
+
+
+            @dataclass(frozen=True)
+            class Msg:
+                blob: SomethingOpaque
+            """,
+            ["DET005"],
+        )
+        assert rule_ids(report) == ["DET005"]
+
+    def test_accepts_scalar_and_tuple_fields(self):
+        report = run_rules(
+            """
+            from dataclasses import dataclass
+            from typing import Optional, Tuple
+
+
+            @dataclass(frozen=True)
+            class Msg:
+                sender: int
+                digest: str
+                parents: Tuple[str, ...]
+                note: Optional[str] = None
+            """,
+            ["DET005"],
+        )
+        assert report.findings == ()
+
+    def test_accepts_canonically_encodable_nested_class(self):
+        report = run_rules(
+            """
+            from dataclasses import dataclass
+            from typing import Tuple
+
+
+            @dataclass(frozen=True)
+            class Inner:
+                value: int
+
+                def canonical_fields(self) -> Tuple[object, ...]:
+                    return (self.value,)
+
+
+            @dataclass(frozen=True)
+            class Msg:
+                inner: Inner
+            """,
+            ["DET005"],
+        )
+        assert report.findings == ()
+
+    def test_waive_comment_applies_to_rule(self):
+        report = run_rules(
+            """
+            from dataclasses import dataclass
+            from typing import Any
+
+
+            @dataclass(frozen=True)
+            class Msg:
+                # det: waive[DET005] fixture justification
+                payload: Any = None
+            """,
+            ["DET005"],
+        )
+        assert report.findings == ()
+        assert [finding.rule for finding in report.waived] == ["DET005"]
+
+
+class TestRegistryContract:
+    """The rule registry mirrors the scoring-rule registry semantics."""
+
+    def test_builtin_rules_registered_in_order(self):
+        assert analysis_rule_names()[:5] == ALL_RULES
+
+    def test_make_rule_returns_matching_id(self):
+        for name in ALL_RULES:
+            assert make_analysis_rule(name).rule_id == name
+
+    def test_unknown_rule_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="unknown analysis rule"):
+            make_analysis_rule("DET999")
+
+    def test_double_registration_rejected_without_replace(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_analysis_rule("DET001", lambda: None)
+
+    def test_replace_allows_reregistration(self):
+        original = ANALYSIS_RULE_REGISTRY["DET001"]
+        try:
+            register_analysis_rule("DET001", original, replace=True)
+        finally:
+            ANALYSIS_RULE_REGISTRY["DET001"] = original
+
+    def test_every_rule_explains_itself(self):
+        for name in ALL_RULES:
+            text = make_analysis_rule(name).explain()
+            assert isinstance(text, str)
+            assert text.strip()
+
+    def test_finding_render_format(self):
+        report = run_rules("import uuid\n", ["DET001"])
+        rendered = report.findings[0].render()
+        assert rendered.startswith("toy/mod.py:1: DET001 ")
+        assert report.findings[0].function == "<module>"
