@@ -253,6 +253,62 @@ def compare_matrix_stage(fresh: dict, baseline: dict) -> List[Mismatch]:
     return findings
 
 
+def stage_deltas(
+    fresh: dict,
+    baseline: dict,
+    cpu_ratio: Optional[float] = None,
+) -> List[Tuple[str, float, float, Optional[float]]]:
+    """Per-stage events/sec delta rows for every matched perf stage.
+
+    Returns ``(stage, baseline_eps, fresh_eps, normalized_ratio)`` rows —
+    ratio ``None`` when the baseline carries no events/sec.  Printed on
+    every gate run (pass or fail), so CI logs always show the perf
+    trajectory instead of only surfacing it once a threshold trips.
+    """
+    rows: List[Tuple[str, float, float, Optional[float]]] = []
+
+    def add(stage: str, fresh_point: Optional[dict], base_point: Optional[dict]) -> None:
+        if fresh_point is None or base_point is None:
+            return
+        base_eps = float(base_point.get("events_per_sec") or 0.0)
+        fresh_eps = float(fresh_point.get("events_per_sec") or 0.0)
+        ratio: Optional[float] = None
+        if base_eps > 0.0:
+            ratio = fresh_eps / base_eps
+            if cpu_ratio is not None:
+                ratio /= cpu_ratio
+        rows.append((stage, base_eps, fresh_eps, ratio))
+
+    fresh_fig1 = _index_points(fresh.get("points", ()), ("input_load_tps",))
+    base_fig1 = _index_points(baseline.get("points", ()), ("input_load_tps",))
+    for key in sorted(set(fresh_fig1) & set(base_fig1), key=str):
+        add(f"fig1@{key[0]:.0f}tps", fresh_fig1.get(key), base_fig1.get(key))
+    committee_keys = ("committee_size", "input_load_tps", "duration_s")
+    fresh_committee = _index_points(fresh.get("committee_scaling", ()), committee_keys)
+    base_committee = _index_points(baseline.get("committee_scaling", ()), committee_keys)
+    for key in sorted(set(fresh_committee) & set(base_committee), key=str):
+        add(
+            f"committee{key[0]}@{key[1]:.0f}tps",
+            fresh_committee.get(key),
+            base_committee.get(key),
+        )
+    return rows
+
+
+def render_delta_table(rows: List[Tuple[str, float, float, Optional[float]]]) -> List[str]:
+    """Aligned text table for :func:`stage_deltas` rows."""
+    if not rows:
+        return ["no matched perf stages between the two documents"]
+    width = max(len(row[0]) for row in rows)
+    lines = [f"{'stage'.ljust(width)}  {'baseline':>12}  {'fresh':>12}  {'delta':>8}"]
+    for stage, base_eps, fresh_eps, ratio in rows:
+        delta = "n/a" if ratio is None else f"{100.0 * (ratio - 1.0):+.1f}%"
+        lines.append(
+            f"{stage.ljust(width)}  {base_eps:>12,.0f}  {fresh_eps:>12,.0f}  {delta:>8}"
+        )
+    return lines
+
+
 def compare_documents(
     fresh: dict,
     baseline: dict,
@@ -342,6 +398,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (OSError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    cpu_ratio = calibration_ratio(fresh, baseline) if not args.no_calibration else None
+    label = " (cpu-normalized)" if cpu_ratio is not None else ""
+    print(f"per-stage events/sec{label}:")
+    for line in render_delta_table(stage_deltas(fresh, baseline, cpu_ratio)):
+        print(f"  {line}")
     findings = compare_documents(
         fresh, baseline, args.threshold, calibrate=not args.no_calibration
     )

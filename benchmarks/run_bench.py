@@ -169,6 +169,10 @@ def run_scenario_smoke(name: str = "mixed-adversary", include_reputation: bool =
                 "avg_latency_s": round(point["report"]["avg_latency_s"], 4),
                 "committed": point["report"]["committed_transactions"],
                 "ordering_digest": point["ordering_digest"],
+                # Instrumentation snapshot (observability only — the
+                # regression gate compares digests, never counters; the
+                # memo.* entries are process-wide and non-reproducible).
+                "counters": (point.get("counters") or {}).get("always", {}),
             }
             for point in artifact["points"]
         ],

@@ -29,11 +29,13 @@ from repro.analysis.engine import analyze, write_baseline
 from repro.analysis.purity import baseline_payload, build_purity_map
 from repro.analysis.rules import analysis_rule_names, make_analysis_rule
 from repro.analysis.source import load_package
+from repro.cliutil import EXIT_ERROR, EXIT_FINDINGS, EXIT_OK, run_guarded
 from repro.errors import ReproError
 
-CHECK_OK = 0
-CHECK_FINDINGS = 1
-CHECK_ERROR = 2
+# Historical aliases; the shared contract lives in repro.cliutil.
+CHECK_OK = EXIT_OK
+CHECK_FINDINGS = EXIT_FINDINGS
+CHECK_ERROR = EXIT_ERROR
 
 
 def _config_from_args(args: argparse.Namespace) -> AnalyzerConfig:
@@ -139,19 +141,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "explain": _cmd_explain,
         "purity-map": _cmd_purity_map,
     }
-    try:
-        return handlers[args.command](args)
-    except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return CHECK_ERROR
-    except BrokenPipeError:
-        # Downstream pager/head closed the pipe; not an error.
-        return CHECK_OK
-    except OSError as error:
-        # Filesystem problems (unreadable tree, unwritable baseline):
-        # a clean stderr line and a non-zero exit, never a traceback.
-        print(f"error: {error}", file=sys.stderr)
-        return CHECK_ERROR
+    return run_guarded(lambda: handlers[args.command](args))
 
 
 if __name__ == "__main__":

@@ -63,6 +63,15 @@ DEFAULT_MESSAGE_MODULES: Tuple[str, ...] = (
     "repro.node.messages",
 )
 
+# Modules allowed to read the wall clock (DET002).  The observability
+# profiler measures real elapsed time by design; it is opt-in, lives
+# outside the purity closure (never imported by repro.obs.__init__ or
+# any traced component), and its numbers are kept out of digests,
+# traces, and artifact comparisons.
+DEFAULT_WALLCLOCK_ALLOWLIST: Tuple[str, ...] = (
+    "repro.obs.profiler",
+)
+
 
 @dataclasses.dataclass(frozen=True)
 class AnalyzerConfig:
@@ -71,7 +80,7 @@ class AnalyzerConfig:
     root: Path
     package: str = "repro"
     purity_roots: Tuple[str, ...] = DEFAULT_PURITY_ROOTS
-    wallclock_allowlist: Tuple[str, ...] = ()
+    wallclock_allowlist: Tuple[str, ...] = DEFAULT_WALLCLOCK_ALLOWLIST
     unordered_extra_modules: Tuple[str, ...] = DEFAULT_UNORDERED_EXTRAS
     float_modules: Tuple[str, ...] = DEFAULT_FLOAT_MODULES
     message_modules: Tuple[str, ...] = DEFAULT_MESSAGE_MODULES

@@ -66,6 +66,8 @@ class StakeVector:
         "cumulative",
         "uniform_stake",
         "_signer_quorum_cache",
+        "signer_cache_hits",
+        "signer_cache_misses",
     )
 
     # Signer tuples seen per run are bounded by committee size x live
@@ -93,6 +95,11 @@ class StakeVector:
         first = self.stakes[0]
         self.uniform_stake: Stake = first if all(s == first for s in self.stakes) else 0
         self._signer_quorum_cache: Dict[Tuple[int, ...], bool] = {}
+        # Observability-only tallies (the vector is shared per committee,
+        # so per-run numbers depend on committee reuse; keep them out of
+        # digests).
+        self.signer_cache_hits = 0
+        self.signer_cache_misses = 0
 
     def stake_of_unique(self, validators: Iterable[int]) -> Stake:
         """Total stake of ``validators``, which must be duplicate-free.
@@ -129,6 +136,7 @@ class StakeVector:
         cache = self._signer_quorum_cache
         verdict = cache.get(signers)
         if verdict is None:
+            self.signer_cache_misses += 1
             evict_oldest_half(cache, self._SIGNER_CACHE_LIMIT)
             if all(a < b for a, b in zip(signers, signers[1:])):
                 verdict = self.stake_of_unique(signers) >= self.quorum
@@ -138,6 +146,8 @@ class StakeVector:
                 # never inflate the stake.
                 verdict = self.stake_of_unique(frozenset(signers)) >= self.quorum
             cache[signers] = verdict
+        else:
+            self.signer_cache_hits += 1
         return verdict
 
 

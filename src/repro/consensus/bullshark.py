@@ -42,6 +42,7 @@ from repro.crypto.hashing import evict_oldest_half
 from repro.dag.store import DagStore
 from repro.dag.vertex import Vertex
 from repro.errors import ConsensusError
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.types import Round, SimTime, ValidatorId, VertexId, is_anchor_round
 
 # Callbacks the embedding node can register.
@@ -58,6 +59,12 @@ _ORDERING_TOKENS: dict = {}
 
 class BullsharkConsensus:
     """Per-validator consensus engine interpreting the local DAG."""
+
+    # Observability (repro.obs): null by default; the digest fold and
+    # the commit rule itself never consult these — only the already-rare
+    # commit/skip sites test the boolean.
+    _tracer: Tracer = NULL_TRACER
+    _tracing = False
 
     def __init__(
         self,
@@ -108,6 +115,12 @@ class BullsharkConsensus:
         # Clock source; the node wires this to the simulator.  Defaults to
         # a constant so the engine can run outside a simulation (tests).
         self.clock: Callable[[], SimTime] = lambda: 0.0
+
+    def install_tracer(self, tracer: Tracer) -> None:
+        """Attach a tracer; digest-neutral by construction (no site reads
+        or perturbs protocol state)."""
+        self._tracer = tracer
+        self._tracing = tracer.enabled
 
     # -- callback registration ----------------------------------------------------
 
@@ -345,9 +358,20 @@ class BullsharkConsensus:
             skipped_round = 2
         while skipped_round < anchor.round:
             self.schedule_manager.on_anchor_skipped(skipped_round)
+            if self._tracing:
+                self._trace_skip(skipped_round, now)
             skipped_round += 2
         self.last_ordered_anchor_round = anchor.round
         self.commit_count += 1
+        if self._tracing:
+            self._tracer.emit(
+                "anchor_committed",
+                node=self.owner,
+                round=anchor.round,
+                leader=anchor.source,
+                direct=direct,
+                vertices=len(ordered),
+            )
         subdag = CommittedSubDag(
             anchor=anchor,
             vertices=tuple(ordered),
@@ -360,6 +384,26 @@ class BullsharkConsensus:
             callback(subdag)
         return subdag
 
+    def _trace_skip(self, skipped_round: Round, now: SimTime) -> None:
+        """Emit the ``anchor_skipped`` event (tracing-only slow path).
+
+        The leader/anchor lookups here are pure reads; they warm the
+        schedule manager's leader cache but touch no ordering state.
+        """
+        leader = self.schedule_manager.leader_for_round(skipped_round)
+        anchor_vertex = self.dag.vertex_of(skipped_round, leader)
+        self._tracer.emit(
+            "anchor_skipped",
+            node=self.owner,
+            round=skipped_round,
+            leader=leader,
+            anchor_present=anchor_vertex is not None,
+            direct_stake=(
+                self._direct_vote_stake(anchor_vertex) if anchor_vertex is not None else 0
+            ),
+            threshold=self.committee.validity_threshold,
+        )
+
     def _emit_ordered(self, vertex: Vertex, anchor_round: Round, now: SimTime) -> None:
         position = self.ordered_count
         self.ordered_count = position + 1
@@ -369,6 +413,17 @@ class BullsharkConsensus:
             evict_oldest_half(_ORDERING_TOKENS, 1 << 16)
             token = _ORDERING_TOKENS[key] = f"{vertex.round}:{vertex.source};".encode("ascii")
         self._ordering_digest.update(token)
+        if self._tracing:
+            # Commit latency per vertex: creation (sim time) to ordering.
+            self._tracer.emit(
+                "vertex_ordered",
+                node=self.owner,
+                round=vertex.round,
+                source=vertex.source,
+                anchor_round=anchor_round,
+                position=position,
+                latency=now - vertex.created_at,
+            )
         callbacks = self._ordered_callbacks
         if self.record_sequence or callbacks:
             record = OrderedVertex(
@@ -424,6 +479,13 @@ class BullsharkConsensus:
         while skipped_round < target:
             self.schedule_manager.on_anchor_skipped(skipped_round)
             skipped_round += 2
+        if self._tracing:
+            self._tracer.emit(
+                "state_sync",
+                node=self.owner,
+                from_round=self.last_ordered_anchor_round,
+                to_round=target,
+            )
         self.state_sync_gaps.append((self.last_ordered_anchor_round, target))
         self.last_ordered_anchor_round = target
         return target

@@ -28,12 +28,14 @@ from repro.core.schedule_change import (
     CommitCountPolicy,
     ScheduleChangePolicy,
     compute_next_schedule,
+    swap_details,
     swap_summary,
 )
 from repro.core.scores import ReputationScores
 from repro.core.scoring import HammerHeadScoring, ScoringRule, ScoringView
 from repro.dag.vertex import Vertex
 from repro.errors import ScheduleError
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.schedule.base import LeaderSchedule
 from repro.types import Round, ValidatorId, VertexId, is_anchor_round
 
@@ -61,6 +63,18 @@ class ScheduleChangeRecord:
 
 class ScheduleManager:
     """Common interface of the static and HammerHead schedule managers."""
+
+    # Observability (repro.obs): only the rare schedule-change site
+    # consults these; leader lookups and scoring hooks never do.
+    _tracer: Tracer = NULL_TRACER
+    _tracing = False
+    trace_owner: ValidatorId = -1
+
+    def install_tracer(self, tracer: Tracer, owner: ValidatorId) -> None:
+        """Attach a tracer; events carry ``owner`` as their node id."""
+        self._tracer = tracer
+        self._tracing = tracer.enabled
+        self.trace_owner = owner
 
     def __init__(self, committee: Committee, initial: LeaderSchedule) -> None:
         self.committee = committee
@@ -300,6 +314,19 @@ class HammerHeadScheduleManager(ScheduleManager):
                 scoring=self.scoring.name,
             )
         )
+        if self._tracing:
+            demoted, promoted = swap_details(active, new_schedule)
+            self._tracer.emit(
+                "schedule_change",
+                node=self.trace_owner,
+                epoch=new_schedule.epoch,
+                triggered_by_round=anchor.round,
+                new_initial_round=new_initial_round,
+                scoring=self.scoring.name,
+                scores=self.scores.as_dict(),
+                demoted=list(demoted),
+                promoted=list(promoted),
+            )
         self.history.append(new_schedule)
         self.scores.reset()
         self.commits_in_epoch = 0

@@ -17,7 +17,7 @@ Two pieces live here:
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.committee import Committee
 from repro.core.scores import ReputationScores
@@ -123,6 +123,26 @@ def swap_summary(previous: LeaderSchedule, new: LeaderSchedule) -> int:
     records: a slot counts when its holder changed between the schedules.
     """
     return sum(1 for old, new_slot in zip(previous.slots, new.slots) if old != new_slot)
+
+
+def swap_details(
+    previous: LeaderSchedule, new: LeaderSchedule
+) -> Tuple[Tuple[ValidatorId, ...], Tuple[ValidatorId, ...]]:
+    """Validators demoted/promoted between two consecutive schedules.
+
+    A validator is *demoted* when it holds fewer slots in ``new`` than in
+    ``previous`` and *promoted* when it holds more; validators whose slot
+    count is unchanged appear in neither.  Sorted tuples, so the result
+    is deterministic and embeds directly in trace events.
+    """
+    balance: Dict[ValidatorId, int] = {}
+    for holder in previous.slots:
+        balance[holder] = balance.get(holder, 0) - 1
+    for holder in new.slots:
+        balance[holder] = balance.get(holder, 0) + 1
+    demoted = tuple(sorted(v for v, delta in balance.items() if delta < 0))
+    promoted = tuple(sorted(v for v, delta in balance.items() if delta > 0))
+    return demoted, promoted
 
 
 def compute_next_schedule(

@@ -117,14 +117,25 @@ class DigestMemo:
     instead of the sorted-scan eviction the per-node caches used before.
     """
 
-    __slots__ = ("_entries", "limit")
+    __slots__ = ("_entries", "limit", "hits", "misses")
 
     def __init__(self, limit: int = 131072) -> None:
         self._entries: dict = {}
         self.limit = limit
+        # Process-wide hit/miss tallies surfaced by the instrumentation
+        # counters.  Because the memo is shared across experiments (and
+        # across sweep workers with unrelated lifetimes), these are
+        # observability-only: never fold them into digests or diffs.
+        self.hits = 0
+        self.misses = 0
 
     def get(self, key: Any) -> Any:
-        return self._entries.get(key)
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
 
     def put(self, key: Any, value: Any) -> Any:
         entries = self._entries

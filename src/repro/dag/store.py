@@ -43,11 +43,18 @@ from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional
 from repro.committee import Committee
 from repro.dag.vertex import Vertex, check_edge_quorum
 from repro.errors import DagError, EquivocationError
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.types import Round, ValidatorId, VertexId
 
 
 class DagStore:
     """In-memory DAG with pending-parent buffering and reachability queries."""
+
+    # Observability (repro.obs): shared null tracer by default, replaced
+    # per instance by install_tracer.  Hot sites test the bare boolean.
+    _tracer: Tracer = NULL_TRACER
+    _tracing = False
+    trace_owner: ValidatorId = -1
 
     def __init__(
         self,
@@ -91,8 +98,18 @@ class DagStore:
         # next garbage_collect that a sweep is needed even if the horizon
         # did not move.
         self._stale_below_horizon = False
+        # Always-on cheap counters (snapshotted into ExperimentResult):
+        # high-water mark of the pending buffer and total GC reclaim.
+        self.pending_peak = 0
+        self.gc_reclaimed_total = 0
 
     # -- observers ------------------------------------------------------------
+
+    def install_tracer(self, tracer: Tracer, owner: ValidatorId) -> None:
+        """Attach a tracer; events carry ``owner`` as their node id."""
+        self._tracer = tracer
+        self._tracing = tracer.enabled
+        self.trace_owner = owner
 
     def on_insert(self, callback: Callable[[Vertex], None]) -> None:
         """Register a callback fired after each successful insertion."""
@@ -169,6 +186,17 @@ class DagStore:
         self._pending[vertex.id] = vertex
         for parent in missing:
             self._waiting_on.setdefault(parent, set()).add(vertex.id)
+        depth = len(self._pending)
+        if depth > self.pending_peak:
+            self.pending_peak = depth
+        if self._tracing:
+            self._tracer.emit(
+                "vertex_parked",
+                node=self.trace_owner,
+                round=vertex.round,
+                source=vertex.source,
+                missing=len(missing),
+            )
 
     def _insert(self, vertex: Vertex) -> None:
         if vertex.round < self._lowest_round:
@@ -195,6 +223,13 @@ class DagStore:
         anchor_round = round_number if round_number % 2 == 0 else round_number - 1
         if anchor_round >= 2:
             self._dirty_anchor_rounds.add(anchor_round)
+        if self._tracing:
+            self._tracer.emit(
+                "vertex_inserted",
+                node=self.trace_owner,
+                round=round_number,
+                source=source,
+            )
         for callback in self._on_insert:
             callback(vertex)
 
@@ -245,6 +280,13 @@ class DagStore:
                 if not self.missing_parents(waiter):
                     del self._pending[waiter_id]
                     self._insert(waiter)
+                    if self._tracing:
+                        self._tracer.emit(
+                            "vertex_promoted",
+                            node=self.trace_owner,
+                            round=waiter.round,
+                            source=waiter.source,
+                        )
                     queue.append(waiter_id)
 
     # -- lookups --------------------------------------------------------------------
@@ -611,6 +653,14 @@ class DagStore:
                 del entry[target_round]
         self._prune_pending(before_round)
         self.reconsider_pending()
+        self.gc_reclaimed_total += removed
+        if self._tracing and removed:
+            self._tracer.emit(
+                "dag_gc",
+                node=self.trace_owner,
+                before_round=before_round,
+                removed=removed,
+            )
         return removed
 
     def _prune_pending(self, before_round: Round) -> None:

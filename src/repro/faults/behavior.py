@@ -37,6 +37,7 @@ from repro.faults.base import FaultPlan
 from repro.network.simulator import Simulator
 from repro.network.transport import Network
 from repro.node.validator import ValidatorNode
+from repro.obs.trace import NULL_TRACER
 from repro.types import SimTime, ValidatorId
 
 # A no-argument constructor of a policy instance.  Must be picklable
@@ -73,6 +74,9 @@ class BehaviorFault(FaultPlan):
         # its own installs apart from a later fault's (identity check —
         # the deterministic-restore guarantee in the module docstring).
         installed: Dict[ValidatorId, BehaviorPolicy] = {}
+        # Deterministic window tag pairing open/close trace events (no
+        # two windows share validators and start: overlap validation).
+        window_tag = f"{'-'.join(str(v) for v in sorted(self.validators))}@{self.start:g}"
 
         def install() -> None:
             policies = {validator: self.policy_factory() for validator in self.validators}
@@ -98,12 +102,32 @@ class BehaviorFault(FaultPlan):
             for validator, policy in policies.items():
                 installed[validator] = policy
                 nodes[validator].set_behavior(policy)
+            # ``network`` may be absent when a plan is exercised against
+            # bare stand-in nodes (unit tests); no network, no tracer.
+            tracer = network.tracer if network is not None else NULL_TRACER
+            if tracer.enabled:
+                tracer.emit(
+                    "behavior_window_open",
+                    validators=sorted(self.validators),
+                    policy=next(iter(policies.values())).describe(),
+                    coordinated=self.coordinated,
+                    window=window_tag,
+                )
 
         def restore() -> None:
+            restored = []
             for validator in self.validators:
                 node = nodes[validator]
                 if node.behavior is installed.get(validator):
                     node.set_behavior(HONEST)
+                    restored.append(validator)
+            tracer = network.tracer if network is not None else NULL_TRACER
+            if tracer.enabled and restored:
+                tracer.emit(
+                    "behavior_window_close",
+                    validators=sorted(restored),
+                    window=window_tag,
+                )
 
         simulator.schedule_at(max(self.start, simulator.now), install)
         if self.end is not None:

@@ -34,6 +34,7 @@ from repro.errors import NetworkError
 from repro.network.latency import GeoLatencyModel, LatencyModel, UniformLatencyModel
 from repro.network.simulator import Simulator
 from repro.network.synchrony import AlwaysSynchronous, SynchronyModel
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.types import Region, SimTime
 
 # A delivery handler receives (sender_id, message).
@@ -87,6 +88,14 @@ def _deliver_message(
 class Network:
     """Reliable, authenticated point-to-point channels between nodes."""
 
+    # Observability (repro.obs).  The tracer is consulted only on the
+    # rare paths (drops, partition/disturbance/crash transitions); the
+    # common deliver path carries no tracing check at all.  ``_counters``
+    # is a registry only when detailed per-type accounting is on.
+    tracer: Tracer = NULL_TRACER
+    _tracing = False
+    _counters: Optional[Any] = None
+
     def __init__(
         self,
         simulator: Simulator,
@@ -117,6 +126,16 @@ class Network:
         self._pair_base: Dict[int, SimTime] = {}
         self._pair_base_model: Optional[LatencyModel] = None
 
+    def install_observability(self, tracer: Tracer, registry: Optional[Any] = None) -> None:
+        """Attach a tracer (and optionally a counter registry).
+
+        Faults read ``network.tracer`` at event time, so installing
+        before ``run()`` is enough for window open/close events.
+        """
+        self.tracer = tracer
+        self._tracing = tracer.enabled
+        self._counters = registry
+
     # -- registration --------------------------------------------------------
 
     def register(self, node_id: int, region: Region, handler: DeliveryHandler) -> None:
@@ -139,6 +158,11 @@ class Network:
     def set_crashed(self, node_id: int, crashed: bool = True) -> None:
         """Crash (or recover) a node.  Crashed nodes drop all traffic."""
         self._endpoint(node_id).crashed = crashed
+        if self._tracing:
+            self.tracer.emit(
+                "validator_crashed" if crashed else "validator_recovered",
+                validator=node_id,
+            )
 
     def is_crashed(self, node_id: int) -> bool:
         return self._endpoint(node_id).crashed
@@ -178,10 +202,20 @@ class Network:
                     raise NetworkError(f"node {node_id} appears in two partition groups")
                 mapping[node_id] = index
         self._partition_groups = mapping
+        if self._tracing:
+            indices = sorted(set(mapping.values()))
+            self.tracer.emit(
+                "partition_set",
+                groups=[
+                    sorted(n for n, g in mapping.items() if g == index) for index in indices
+                ],
+            )
 
     def clear_partition(self) -> None:
         """Heal any active partition."""
         self._partition_groups = None
+        if self._tracing:
+            self.tracer.emit("partition_cleared")
 
     @property
     def partitioned(self) -> bool:
@@ -216,12 +250,18 @@ class Network:
         self._next_disturbance_token += 1
         self._disturbances[token] = (jitter, loss_rate)
         self._recompute_disturbance()
+        if self._tracing:
+            self.tracer.emit(
+                "disturbance_open", token=token, jitter=jitter, loss_rate=loss_rate
+            )
         return token
 
     def remove_disturbance(self, token: int) -> None:
         """Close the disturbance window identified by ``token``."""
-        self._disturbances.pop(token, None)
+        removed = self._disturbances.pop(token, None)
         self._recompute_disturbance()
+        if self._tracing and removed is not None:
+            self.tracer.emit("disturbance_close", token=token)
 
     def _recompute_disturbance(self) -> None:
         jitter = self._base_jitter
@@ -261,12 +301,18 @@ class Network:
             raise NetworkError(f"recipient {recipient} is not registered")
         stats = self.stats
         stats.messages_sent += 1
+        if self._counters is not None:
+            self._counters.count_message(message)
         if source.crashed:
             stats.messages_dropped += 1
+            if self._tracing:
+                self._trace_drop(sender, recipient, message, "sender_crashed")
             return
         if self._partition_groups is not None and self._crosses_partition(sender, recipient):
             stats.messages_dropped += 1
             stats.partition_drops += 1
+            if self._tracing:
+                self._trace_drop(sender, recipient, message, "partition")
             return
         if (
             self._loss_rate > 0.0
@@ -275,9 +321,20 @@ class Network:
         ):
             stats.messages_dropped += 1
             stats.loss_drops += 1
+            if self._tracing:
+                self._trace_drop(sender, recipient, message, "loss")
             return
         delay = self._delivery_delay(source, destination)
         self._schedule_delivery(source.node_id, destination, message, delay)
+
+    def _trace_drop(self, sender: int, recipient: int, message: Any, reason: str) -> None:
+        self.tracer.emit(
+            "message_dropped",
+            sender=sender,
+            destination=recipient,
+            type=type(message).__name__,
+            reason=reason,
+        )
 
     def _schedule_delivery(
         self, sender: int, destination: _Endpoint, message: Any, delay: SimTime
@@ -321,14 +378,19 @@ class Network:
             raise NetworkError(f"node {sender} is not registered")
         recipients = len(endpoints) - (0 if include_self else 1)
         stats.messages_sent += recipients
+        if self._counters is not None:
+            self._counters.count_message(message, recipients)
         if source.crashed:
             stats.messages_dropped += recipients
+            if self._tracing:
+                self._trace_drop(sender, -1, message, "sender_crashed")
             return
         groups = self._partition_groups
         loss_rate = self._loss_rate
         rng = self.simulator.rng
         delivery_delay = self._delivery_delay
         schedule_delivery = self._schedule_delivery
+        tracing = self._tracing
         for destination in endpoints.values():
             node_id = destination.node_id
             if node_id == sender and not include_self:
@@ -340,10 +402,14 @@ class Network:
             ):
                 stats.messages_dropped += 1
                 stats.partition_drops += 1
+                if tracing:
+                    self._trace_drop(sender, node_id, message, "partition")
                 continue
             if loss_rate > 0.0 and node_id != sender and rng.random() < loss_rate:
                 stats.messages_dropped += 1
                 stats.loss_drops += 1
+                if tracing:
+                    self._trace_drop(sender, node_id, message, "loss")
                 continue
             schedule_delivery(sender, destination, message, delivery_delay(source, destination))
 

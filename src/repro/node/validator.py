@@ -33,6 +33,7 @@ from repro.errors import ConfigurationError
 from repro.network.events import EventHandle
 from repro.network.transport import Network
 from repro.core.manager import HammerHeadScheduleManager
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.node.config import NodeConfig
 from repro.node.messages import ConsensusSnapshot, FetchRequest, FetchResponse
 from repro.rbc.base import Delivery
@@ -50,6 +51,13 @@ ParentFilter = Callable[[Round, List[VertexId]], List[VertexId]]
 
 class ValidatorNode:
     """One validator participating in the protocol."""
+
+    # Observability is opt-in: the class attributes keep untraced runs on
+    # the zero-overhead path (one falsy attribute load per decision site)
+    # and keep ``__init__`` signatures — and thus pickling — untouched.
+    _tracer: Tracer = NULL_TRACER
+    _tracing: bool = False
+    _registry = None
 
     def __init__(
         self,
@@ -127,6 +135,27 @@ class ValidatorNode:
         self.network.register(validator_id, committee.region_of(validator_id), self._on_network_message)
         self.dag.on_insert(self._on_vertex_inserted)
 
+    # -- observability ------------------------------------------------------------
+
+    def install_observability(self, tracer: Tracer, registry=None) -> None:
+        """Install a tracer (and optional instrumentation registry).
+
+        Propagated into every protocol component the node owns; crash
+        recovery rebuilds those components, so :meth:`recover` re-runs the
+        propagation (``_tracing`` doubles as the "was observability ever
+        installed" flag).
+        """
+        self._tracer = tracer
+        self._tracing = tracer.enabled
+        self._registry = registry
+        self._propagate_observability()
+
+    def _propagate_observability(self) -> None:
+        self.dag.install_tracer(self._tracer, self.id)
+        self.consensus.install_tracer(self._tracer)
+        self.schedule_manager.install_tracer(self._tracer, self.id)
+        self.broadcast_protocol.install_observability(self._tracer, self._registry)
+
     # -- lifecycle ----------------------------------------------------------------
 
     def start(self) -> None:
@@ -176,6 +205,11 @@ class ValidatorNode:
             self.schedule_manager = self.schedule_manager_factory()
         self._rebuild_from_store()
         self._rebuild_broadcast()
+        if self._tracing or self._registry is not None:
+            # The rebuild created fresh dag/consensus/broadcast objects
+            # (and possibly a fresh schedule manager); re-thread the
+            # observability hooks or the recovered node goes dark.
+            self._propagate_observability()
         last_proposal = self._highest_persisted_proposal()
         self.last_proposal_time = self.simulator.now
         self._anchor_timeout_expired = False
@@ -304,7 +338,16 @@ class ValidatorNode:
         parents = [vertex.id for vertex in self.dag.vertices_at(round_number - 1)]
         behavior = self.behavior
         if not behavior.transparent:
+            honest_parents = parents
             parents = behavior.select_parents(round_number, parents)
+            if self._tracing and set(parents) != set(honest_parents):
+                self._tracer.emit(
+                    "adversary_parents",
+                    node=self.id,
+                    round=round_number,
+                    honest=len(honest_parents),
+                    chosen=len(parents),
+                )
         if self.parent_filter is not None:
             parents = self.parent_filter(round_number, parents)
         batch = self._next_batch()
@@ -318,12 +361,27 @@ class ValidatorNode:
         self.proposals_made += 1
         self.transactions_proposed += len(batch)
         self.last_proposal_time = self.simulator.now
+        if self._tracing:
+            self._tracer.emit(
+                "vertex_proposed",
+                node=self.id,
+                round=round_number,
+                parents=len(parents),
+                batch=len(batch),
+            )
         # Persist the proposal before broadcasting so that a recovering
         # validator re-broadcasts the same vertex instead of equivocating.
         self.store.family("own_proposals").put(round_number, vertex)
         if not behavior.transparent:
             delay = behavior.proposal_delay(round_number)
             if delay > 0.0:
+                if self._tracing:
+                    self._tracer.emit(
+                        "adversary_proposal_delay",
+                        node=self.id,
+                        round=round_number,
+                        delay=delay,
+                    )
                 self._broadcast_later(vertex, round_number, delay)
                 return
         self.broadcast_protocol.broadcast(vertex, round_number)

@@ -1,0 +1,117 @@
+"""Opt-in wall-clock profiler.
+
+This is the one observability module allowed to read the host clock, and
+it is allowlisted as such: ``AnalyzerConfig.wallclock_allowlist`` ships
+with ``repro.obs.profiler`` in it, and the auditor self-check test pins
+that the module stays *outside* the digest purity closure — nothing on
+the commit path may import it.  The runner imports it lazily and only
+when ``ExperimentConfig.profile`` is set.
+
+Attribution is self-time by phase: a stack of phase names, where the
+interval since the last transition is charged to the phase on top.  The
+runner opens an ``event_loop`` phase around ``simulator.run`` and
+instruments the per-node hot entry points (RBC message handlers, the
+commit path, scoring hooks), so time spent inside a nested phase is
+subtracted from its parent.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Callable, Dict, Iterator, List
+
+PHASE_EVENT_LOOP = "event_loop"
+PHASE_RBC = "rbc"
+PHASE_COMMIT = "commit_path"
+PHASE_SCORING = "scoring"
+
+
+class WallclockProfiler:
+    """Self-time phase profiler with zero simulation-visible effects."""
+
+    def __init__(self) -> None:
+        self.phases: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+        self._stack: List[str] = []
+        self._last = 0.0
+
+    def _charge(self, now: float) -> None:
+        if self._stack:
+            top = self._stack[-1]
+            self.phases[top] = self.phases.get(top, 0.0) + (now - self._last)
+        self._last = now
+
+    def push(self, phase: str) -> None:
+        self._charge(perf_counter())
+        self._stack.append(phase)
+        self.calls[phase] = self.calls.get(phase, 0) + 1
+
+    def pop(self) -> None:
+        self._charge(perf_counter())
+        if self._stack:
+            self._stack.pop()
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        self.push(name)
+        try:
+            yield
+        finally:
+            self.pop()
+
+    def wrap(self, phase: str, fn: Callable[..., Any]) -> Callable[..., Any]:
+        """Wrap a callable so its execution is charged to ``phase``."""
+
+        def _profiled(*args: Any, **kwargs: Any) -> Any:
+            self.push(phase)
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self.pop()
+
+        return _profiled
+
+    def instrument_node(self, node: Any) -> None:
+        """Shadow a validator node's hot entry points with profiled
+        wrappers.
+
+        All three interception points are *instance* attributes, so the
+        classes are untouched and the wrappers die with the run:
+
+        - ``consensus.try_commit`` — every internal call site reads it
+          through ``self.try_commit``, so shadowing the instance
+          attribute catches them all (the commit path).
+        - ``schedule_manager.on_vertex_ordered`` — the per-vertex
+          scoring hook, read through the manager attribute.
+        - the values of ``node._message_handlers`` — bound handler
+          methods captured in a dispatch dict; rebinding the dict values
+          wraps RBC/fetch dispatch without touching the network-facing
+          ``_on_network_message`` (whose bound reference the transport
+          captured at registration).
+
+        A node that recovers mid-run rebuilds these objects and sheds
+        the wrappers; profiles of crash-recovery runs undercount those
+        nodes after the recovery point, which is acceptable for an
+        opt-in diagnostic.
+        """
+        node.consensus.try_commit = self.wrap(PHASE_COMMIT, node.consensus.try_commit)
+        node.schedule_manager.on_vertex_ordered = self.wrap(
+            PHASE_SCORING, node.schedule_manager.on_vertex_ordered
+        )
+        handlers = node._message_handlers
+        for message_type in list(handlers):
+            handlers[message_type] = self.wrap(PHASE_RBC, handlers[message_type])
+
+    def snapshot(self) -> Dict[str, Any]:
+        phases = {
+            name: {
+                "self_seconds": self.phases[name],
+                "calls": self.calls.get(name, 0),
+            }
+            for name in sorted(self.phases)
+        }
+        return {
+            "phases": phases,
+            "total_seconds": sum(self.phases.values()),
+        }

@@ -1,0 +1,131 @@
+"""Deterministic protocol tracing.
+
+The tracer mirrors the zero-overhead idiom of
+:class:`repro.behavior.policy.HonestPolicy`: instrumented components hold
+a class-level ``_tracer = NULL_TRACER`` / ``_tracing = False`` pair, so a
+run without tracing pays exactly one attribute load and one boolean test
+per already-rare site — the common hot paths (message delivery, digest
+updates) carry no check at all.
+
+Events are plain dicts — ``{"kind": ..., "t": <sim time>, ...}`` — so a
+trace survives a round-trip through the sweep engine's process pool
+without custom pickling, and serializes to JSONL with nothing but
+:mod:`json`.
+
+This module sits inside the digest purity closure (the commit-path
+modules import ``NULL_TRACER`` from here), so it must stay clean under
+the determinism auditor: no randomness, no wall clock, no unordered
+iteration into order-sensitive sinks.  Timestamps come from the
+*simulation* clock injected by the runner.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, TextIO, Tuple
+
+# Catalogue of every event kind the instrumentation points can emit,
+# with the fields a consumer can rely on.  ``repro.obs.query`` and the
+# README events table are generated from / checked against this.
+EVENT_KINDS: Tuple[Tuple[str, str], ...] = (
+    ("vertex_proposed", "node proposed a vertex: round, parents, batch size"),
+    ("vertex_certified", "2f+1 acks collected: round, signers"),
+    ("payload_delivered", "certificate accepted, payload handed to the DAG: round, origin"),
+    ("vertex_parked", "vertex waited on missing parents: round, source, missing"),
+    ("vertex_inserted", "vertex entered the local DAG: round, source"),
+    ("vertex_promoted", "parked vertex completed and was inserted: round, source"),
+    ("vertex_ordered", "vertex emitted in the total order: round, source, anchor_round, latency"),
+    ("anchor_committed", "anchor gathered quorum: round, leader, direct, vertices"),
+    ("anchor_skipped", "anchor round skipped: round, leader, anchor_present, direct_stake, threshold"),
+    ("state_sync", "node fast-forwarded past a horizon: from_round, to_round"),
+    ("dag_gc", "garbage collection reclaimed vertices: before_round, removed"),
+    ("schedule_change", "leader schedule rotated: epoch, scores, demoted, promoted"),
+    ("adversary_parents", "behavior policy rewrote the parent set: round, honest, chosen"),
+    ("adversary_proposal_delay", "behavior policy delayed a proposal: round, delay"),
+    ("adversary_ack_withheld", "behavior policy withheld an ack: round, origin"),
+    ("behavior_window_open", "a BehaviorFault installed policies: validators, policy, coordinated"),
+    ("behavior_window_close", "a BehaviorFault restored honest policies: validators"),
+    ("message_dropped", "transport dropped a message: sender, destination, type, reason"),
+    ("partition_set", "transport partition installed: groups"),
+    ("partition_cleared", "transport partition removed"),
+    ("disturbance_open", "jitter/loss window opened: token, jitter, loss_rate"),
+    ("disturbance_close", "jitter/loss window closed: token"),
+    ("validator_crashed", "transport marked a validator crashed: validator"),
+    ("validator_recovered", "transport unmarked a crashed validator: validator"),
+)
+
+KNOWN_KINDS: Tuple[str, ...] = tuple(kind for kind, _ in EVENT_KINDS)
+
+
+class Tracer:
+    """Base tracer.  ``enabled`` gates every instrumentation site."""
+
+    enabled: bool = False
+
+    def emit(self, kind: str, **fields: Any) -> None:  # pragma: no cover - overridden
+        """Record one event.  The base class drops it."""
+
+
+class NullTracer(Tracer):
+    """Zero-overhead sink: instrumented sites skip payload construction
+    entirely because ``enabled`` is False; if one emits anyway the event
+    vanishes without allocation."""
+
+    __slots__ = ()
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        return None
+
+
+#: Process-wide default installed as the class attribute of every
+#: instrumented component; a run that never asks for tracing shares it.
+NULL_TRACER = NullTracer()
+
+
+class MemoryTracer(Tracer):
+    """Collects events in memory, stamped with the simulation clock.
+
+    ``clock`` is injected by the runner (``simulator.now``); the tracer
+    itself never reads a wall clock, keeping it purity-clean.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self.clock: Callable[[], float] = clock if clock is not None else _zero_clock
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        event: Dict[str, Any] = {"kind": kind, "t": self.clock()}
+        event.update(fields)
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+def event_lines(events: List[Dict[str, Any]], **tags: Any) -> List[str]:
+    """Render events as JSONL lines, each merged with ``tags`` (point
+    label, seed, ...).  ``sort_keys`` keeps the byte stream deterministic
+    regardless of emit-site kwarg order."""
+    lines: List[str] = []
+    for event in events:
+        if tags:
+            merged = dict(event)
+            merged.update(tags)
+        else:
+            merged = event
+        lines.append(json.dumps(merged, sort_keys=True, separators=(",", ":")))
+    return lines
+
+
+def write_events(stream: TextIO, events: List[Dict[str, Any]], **tags: Any) -> int:
+    """Write events to ``stream`` as JSONL; returns the number written."""
+    for line in event_lines(events, **tags):
+        stream.write(line)
+        stream.write("\n")
+    return len(events)

@@ -7,6 +7,7 @@ from typing import Any, Callable, Optional
 
 from repro.committee import Committee
 from repro.network.transport import Network
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.rbc.messages import BroadcastMessage, ProposeMessage
 from repro.types import Round, SimTime, ValidatorId
 
@@ -62,6 +63,12 @@ DeliveryCallback = Callable[[Delivery], None]
 class BroadcastProtocol:
     """Base class shared by the Bracha and certified implementations."""
 
+    # Observability (repro.obs): the registry is only non-None when a
+    # run asks for detailed instrumentation (batch-fill histograms).
+    _tracer: Tracer = NULL_TRACER
+    _tracing = False
+    _registry: Optional[Any] = None
+
     def __init__(
         self,
         node_id: ValidatorId,
@@ -83,6 +90,12 @@ class BroadcastProtocol:
         # Delivered (origin, round) pairs: enforces the Integrity property
         # (at most one delivery per origin and round).
         self._delivered: set = set()
+
+    def install_observability(self, tracer: Tracer, registry: Optional[Any]) -> None:
+        """Attach a tracer (and optionally a counter registry)."""
+        self._tracer = tracer
+        self._tracing = tracer.enabled
+        self._registry = registry
 
     # -- API ------------------------------------------------------------------
 
@@ -160,6 +173,13 @@ class BroadcastProtocol:
         if key in self._delivered:
             return
         self._delivered.add(key)
+        if self._tracing:
+            self._tracer.emit(
+                "payload_delivered",
+                node=self.node_id,
+                round=round_number,
+                origin=origin,
+            )
         self.on_deliver(
             Delivery(
                 payload=payload,

@@ -169,6 +169,9 @@ class CertifiedBroadcast(BroadcastProtocol):
         paths issue sends in the same order, so the simulation's RNG and
         event sequences are identical — only the envelope differs.
         """
+        if self._registry is not None:
+            # Batch fill: certificates coalesced per emitted envelope.
+            self._registry.observe("rbc.batch_fill", len(certificates))
         if self.batch_certificates:
             envelope = CertificateBatch(
                 origin=self.node_id,
@@ -197,6 +200,13 @@ class CertifiedBroadcast(BroadcastProtocol):
         if not self._participates(message.origin, message.round):
             # Behavior policy: withhold the acknowledgement entirely (and
             # record nothing, so an honest relapse could still ack).
+            if self._tracing:
+                self._tracer.emit(
+                    "adversary_ack_withheld",
+                    node=self.node_id,
+                    round=message.round,
+                    origin=message.origin,
+                )
             return
         key = (message.origin, message.round)
         previously_acked = self._acked.get(key)
@@ -232,6 +242,13 @@ class CertifiedBroadcast(BroadcastProtocol):
             stake = self._ack_stake[message.round]
         if stake >= self._stake_vector.quorum:
             self._certified.add(message.round)
+            if self._tracing:
+                self._tracer.emit(
+                    "vertex_certified",
+                    node=self.node_id,
+                    round=message.round,
+                    signers=len(voters),
+                )
             certificate = CertificateMessage(
                 origin=self.node_id,
                 round=message.round,

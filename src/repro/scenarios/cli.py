@@ -32,6 +32,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.cliutil import run_guarded
 from repro.errors import ReproError
 from repro.metrics.report import format_table
 from repro.scenarios.registry import get_scenario, all_scenarios
@@ -95,12 +96,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     seeds = args.seeds if getattr(args, "seeds", None) else None
     label = f"seeds {seeds}" if seeds else f"seed {spec.seed}"
     print(f"Running scenario {spec.name!r} ({label}) ...")
-    artifact = run_scenario(spec, seeds=seeds, parallelism=args.parallelism)
+    trace_path = getattr(args, "trace", None)
+    artifact = run_scenario(
+        spec,
+        seeds=seeds,
+        parallelism=args.parallelism,
+        trace_path=trace_path,
+    )
     _print_artifact_table(spec, artifact)
     suffix = "-smoke" if args.smoke else ""
     path = args.output or default_artifact_path(spec, suffix=suffix)
     write_artifact(artifact, path)
     print(f"wrote {path}")
+    if trace_path:
+        print(f"wrote trace {trace_path}")
     return 0
 
 
@@ -249,6 +258,13 @@ def _add_run_arguments(subparser: argparse.ArgumentParser) -> None:
         help="sweep worker processes (default: REPRO_SWEEP_PARALLELISM or CPU count)",
     )
     subparser.add_argument("--output", default=None, help="artifact JSON path")
+    subparser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="enable the deterministic tracer and write the event JSONL "
+        "to PATH next to the artifact (digest-neutral; see repro.obs)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -264,20 +280,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "matrix": _cmd_matrix,
         "diff": _cmd_diff,
     }
-    try:
-        return handlers[args.command](args)
-    except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    except BrokenPipeError:
-        # Downstream pager/head closed the pipe; not an error.
-        return 0
-    except OSError as error:
-        # Filesystem problems (unwritable artifact path, vanished spec
-        # file): still a clean stderr line and a non-zero exit, never a
-        # traceback on stdout.
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+    # Exit codes, stderr-only `error:` lines, and BrokenPipeError
+    # handling are the shared contract in repro.cliutil.
+    return run_guarded(lambda: handlers[args.command](args))
 
 
 if __name__ == "__main__":

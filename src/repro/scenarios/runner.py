@@ -27,19 +27,31 @@ def run_scenario(
     spec: ScenarioSpec,
     seeds: Optional[Sequence[int]] = None,
     parallelism: Optional[int] = None,
+    trace_path: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run every point of ``spec`` (per seed) and return the artifact.
 
     ``seeds`` defaults to the spec's own seed; passing several fans the
     whole (committee x protocol x load x seed) product through the sweep
     engine as a single batch.
+
+    ``trace_path`` enables the deterministic tracer on every point and
+    writes the combined event stream as JSONL (one file, each event
+    tagged with its point label and seed).  Tracing is digest-neutral:
+    the artifact is byte-identical with or without it.
     """
     run_seeds = list(seeds) if seeds else [spec.seed]
     points: List[CompiledPoint] = []
     for seed in run_seeds:
         points.extend(compile_spec(spec, seed=seed))
-    results = SweepEngine(parallelism=parallelism).run([point.config for point in points])
-    return build_artifact(spec, run_seeds, points, results)
+    configs = [point.config for point in points]
+    if trace_path is not None:
+        configs = [config.with_overrides(trace=True) for config in configs]
+    results = SweepEngine(parallelism=parallelism).run(configs)
+    artifact = build_artifact(spec, run_seeds, points, results)
+    if trace_path is not None:
+        write_trace(trace_path, artifact, results)
+    return artifact
 
 
 def build_artifact(
@@ -77,6 +89,12 @@ def build_artifact(
                 # score trajectory per change, rounds-until-demotion and
                 # leader-slot share of the fault-affected validators.
                 "reputation": result.reputation,
+                # Instrumentation snapshot (repro.obs).  The memo block
+                # reports process-wide caches, so its numbers depend on
+                # what else ran in the worker process; `scenarios diff`
+                # and the bench gate compare digests/reports only and
+                # ignore this key.
+                "counters": result.counters,
             }
         )
     return {
@@ -86,6 +104,27 @@ def build_artifact(
         "seeds": list(seeds),
         "points": artifact_points,
     }
+
+
+def write_trace(
+    path: str,
+    artifact: Dict[str, Any],
+    results: Sequence[ExperimentResult],
+) -> str:
+    """Write the per-point trace streams as one JSONL file.
+
+    Each event is tagged with the artifact point's label and seed, so
+    ``repro.obs timeline``/``explain`` can select a point out of a
+    multi-point scenario.  Point order matches the artifact.
+    """
+    from repro.obs.trace import write_events
+
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for point, result in zip(artifact["points"], results):
+            write_events(handle, result.trace, point=point["label"], seed=point["seed"])
+    return path
 
 
 def write_artifact(artifact: Dict[str, Any], path: str) -> str:

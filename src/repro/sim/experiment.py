@@ -83,6 +83,15 @@ class ExperimentConfig:
     record_sequences: bool = False
     observer: int = 0
 
+    # Observability (see :mod:`repro.obs`).  ``trace`` records the
+    # deterministic protocol event stream into ``ExperimentResult.trace``;
+    # ``profile`` attaches the wall-clock phase profiler (wall-clock
+    # numbers are non-deterministic by nature, which is why the profiler
+    # module lives on the analyzer's wall-clock allowlist).  Both are off
+    # by default and, when off, leave the hot paths untouched.
+    trace: bool = False
+    profile: bool = False
+
     def validate(self) -> "ExperimentConfig":
         if self.protocol not in (PROTOCOL_HAMMERHEAD, PROTOCOL_BULLSHARK):
             raise ConfigurationError(f"unknown protocol {self.protocol!r}")
@@ -165,6 +174,14 @@ class ExperimentResult:
     # trajectory per schedule change, rounds-until-demotion and leader-
     # slot share of the fault-affected validators.
     reputation: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    # Instrumentation counter snapshot (always populated; cheap).  Memo
+    # hit/miss entries describe process-wide caches and must never be
+    # folded into digests or run-to-run comparisons.
+    counters: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    # Deterministic trace events (populated when ``config.trace``).
+    trace: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    # Wall-clock phase profile (populated when ``config.profile``).
+    profile: Dict[str, Any] = dataclasses.field(default_factory=dict)
 
     @property
     def throughput(self) -> float:

@@ -10,7 +10,7 @@ into a :class:`~repro.metrics.report.PerformanceReport`.
 from __future__ import annotations
 
 import gc
-from typing import Callable, Dict, List
+from typing import Any, Callable, Dict, List
 
 from repro.committee import Committee, equal_stake, geometric_stake, zipfian_stake
 from repro.core.manager import (
@@ -34,6 +34,8 @@ from repro.network.synchrony import AlwaysSynchronous, PartialSynchrony
 from repro.network.transport import Network
 from repro.node.config import NodeConfig
 from repro.node.validator import ValidatorNode
+from repro.obs.registry import InstrumentationRegistry
+from repro.obs.trace import MemoryTracer
 from repro.schedule.round_robin import initial_schedule
 from repro.sim.experiment import (
     ExperimentConfig,
@@ -71,6 +73,13 @@ class SimulationRunner:
         # Live load generators (filled by _start_load); partition-aware
         # failover retargets them while a partition window is open.
         self._load_generators: List[LoadGenerator] = []
+        self.tracer = None
+        self.registry = None
+        self.profiler = None
+        if config.trace:
+            self._install_observability()
+        if config.profile:
+            self._install_profiler()
         self._wire_observers()
 
     # -- construction ---------------------------------------------------------------
@@ -170,6 +179,34 @@ class SimulationRunner:
         self.metrics.attach_observer(observer)
         observer.on_commit(self.leader_stats.record_commit)
 
+    # -- observability ---------------------------------------------------------------
+
+    def _install_observability(self) -> None:
+        """Attach the deterministic tracer and the counter registry.
+
+        Events are stamped with simulated time, and every emission site
+        is a deterministic function of protocol state, so the recorded
+        stream is byte-reproducible for a given (config, seed) — the
+        differential suite pins that tracing leaves the ordering digests
+        untouched.
+        """
+        simulator = self.simulator
+        self.tracer = MemoryTracer(clock=lambda: simulator.now)
+        self.registry = InstrumentationRegistry()
+        self.network.install_observability(self.tracer, self.registry)
+        for _validator, node in sorted(self.nodes.items()):
+            node.install_observability(self.tracer, self.registry)
+
+    def _install_profiler(self) -> None:
+        # Imported lazily: the profiler reads the wall clock, and keeping
+        # it out of module scope here keeps repro.sim outside the
+        # analyzer's wall-clock allowlist.
+        from repro.obs.profiler import WallclockProfiler
+
+        self.profiler = WallclockProfiler()
+        for _validator, node in sorted(self.nodes.items()):
+            self.profiler.instrument_node(node)
+
     # -- running ------------------------------------------------------------------------
 
     def run(self) -> ExperimentResult:
@@ -194,7 +231,11 @@ class SimulationRunner:
             self._start_load()
             if config.partition_failover:
                 self._schedule_partition_failover()
-            self.simulator.run(until=config.duration)
+            if self.profiler is not None:
+                with self.profiler.phase("event_loop"):
+                    self.simulator.run(until=config.duration)
+            else:
+                self.simulator.run(until=config.duration)
             return self._build_result()
         finally:
             if gc_was_enabled:
@@ -313,6 +354,49 @@ class SimulationRunner:
 
     # -- result assembly -------------------------------------------------------------------
 
+    def _collect_counters(self) -> Dict[str, float]:
+        """Always-on counter snapshot (cheap integer reads, no registry).
+
+        The ``memo.*`` entries read process-wide caches whose state
+        depends on what ran before in the same process (bench sessions,
+        sweep-worker reuse), so they are excluded from every digest and
+        run-to-run comparison; everything else is a deterministic
+        function of (config, seed).
+        """
+        from repro.consensus.bullshark import _ORDERING_TOKENS
+        from repro.crypto.hashing import BROADCAST_DIGEST_MEMO
+
+        nodes = self.nodes.values()
+        stats = self.network.stats
+        vector = self.committee.stake_vector
+        counters: Dict[str, float] = {
+            "sim.events_fired": float(self.simulator.events_fired),
+            "net.messages_sent": float(stats.messages_sent),
+            "net.messages_delivered": float(stats.messages_delivered),
+            "net.messages_dropped": float(stats.messages_dropped),
+            "dag.pending_peak": float(max(node.dag.pending_peak for node in nodes)),
+            "dag.gc_reclaimed_total": float(
+                sum(node.dag.gc_reclaimed_total for node in nodes)
+            ),
+            "dag.reach_cache_entries": float(
+                sum(len(node.dag._reach_cache) for node in nodes)
+            ),
+            "node.proposals_made": float(sum(node.proposals_made for node in nodes)),
+            "node.leader_timeouts": float(
+                sum(node.leader_timeouts_suffered for node in nodes)
+            ),
+            "node.fetch_requests": float(sum(node.fetch_requests_sent for node in nodes)),
+            "node.recoveries": float(sum(node.recoveries for node in nodes)),
+            "memo.broadcast_digest.hits": float(BROADCAST_DIGEST_MEMO.hits),
+            "memo.broadcast_digest.misses": float(BROADCAST_DIGEST_MEMO.misses),
+            "memo.broadcast_digest.size": float(len(BROADCAST_DIGEST_MEMO)),
+            "memo.signer_quorum.hits": float(vector.signer_cache_hits),
+            "memo.signer_quorum.misses": float(vector.signer_cache_misses),
+            "memo.signer_quorum.size": float(len(vector._signer_quorum_cache)),
+            "memo.ordering_tokens.size": float(len(_ORDERING_TOKENS)),
+        }
+        return counters
+
     def _build_result(self) -> ExperimentResult:
         config = self.config
         observer = self.nodes[config.observer]
@@ -365,6 +449,9 @@ class SimulationRunner:
         leader_timeouts = {
             validator: node.leader_timeouts_suffered for validator, node in self.nodes.items()
         }
+        counters: Dict[str, Any] = {"always": self._collect_counters()}
+        if self.registry is not None:
+            counters["detailed"] = self.registry.snapshot()
         return ExperimentResult(
             config=config,
             report=report,
@@ -379,4 +466,7 @@ class SimulationRunner:
                 observer.schedule_manager,
                 faulty=self.fault_injector.affected_validators(),
             ),
+            counters=counters,
+            trace=list(self.tracer.events) if self.tracer is not None else [],
+            profile=self.profiler.snapshot() if self.profiler is not None else {},
         )

@@ -6,13 +6,14 @@ exit 0 on success, 1 on findings, 2 on operational errors with a single
 self-check: ``check`` must exit 0 on this tree.
 """
 
-from repro.analysis.cli import CHECK_ERROR, CHECK_FINDINGS, CHECK_OK, main as cli_main
+import functools
 
+from repro.analysis.cli import CHECK_FINDINGS, CHECK_OK, main as cli_main
 
-def run_cli(capsys, *argv):
-    code = cli_main(list(argv))
-    captured = capsys.readouterr()
-    return code, captured.out, captured.err
+from tests.cli_contract import assert_error_contract
+from tests.cli_contract import run_cli as _run_cli
+
+run_cli = functools.partial(_run_cli, cli_main)
 
 
 class TestRepoSelfCheck:
@@ -44,20 +45,16 @@ class TestExplain:
         assert out.strip()
 
     def test_explain_unknown_rule_is_an_error(self, capsys):
-        code, out, err = run_cli(capsys, "explain", "DET999")
-        assert code == CHECK_ERROR
-        assert out == ""
-        assert err.startswith("error:")
-        assert "unknown analysis rule" in err
+        assert_error_contract(
+            cli_main, capsys, "explain", "DET999", match="unknown analysis rule"
+        )
 
 
 class TestErrorAndFindingExits:
     def test_missing_tree_exits_2_with_stderr(self, capsys, tmp_path):
-        code, out, err = run_cli(capsys, "--repo-root", str(tmp_path), "check")
-        assert code == CHECK_ERROR
-        assert out == ""
-        assert err.startswith("error:")
-        assert "does not exist" in err
+        assert_error_contract(
+            cli_main, capsys, "--repo-root", str(tmp_path), "check", match="does not exist"
+        )
 
     def test_findings_exit_1_with_report_on_stdout(self, capsys, tmp_path):
         pkg = tmp_path / "src" / "repro"

@@ -1,0 +1,65 @@
+"""The shared CLI guard: one exception-to-exit-code mapping for every CLI.
+
+The ordering of the except clauses is load-bearing —
+``BrokenPipeError`` subclasses ``OSError``, so catching ``OSError``
+first would turn a closed pager into exit 2.  These tests pin the
+contract the scenario, analysis, and obs CLIs all inherit.
+"""
+
+import pytest
+
+from repro.cliutil import EXIT_ERROR, EXIT_FINDINGS, EXIT_OK, run_guarded
+from repro.errors import ReproError
+
+
+class TestRunGuarded:
+    def test_success_passes_through_return_value(self):
+        assert run_guarded(lambda: EXIT_OK) == EXIT_OK
+        assert run_guarded(lambda: EXIT_FINDINGS) == EXIT_FINDINGS
+
+    def test_repro_error_exits_2_with_stderr_line(self, capsys):
+        def handler():
+            raise ReproError("the spec is broken")
+
+        assert run_guarded(handler) == EXIT_ERROR
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == "error: the spec is broken\n"
+
+    def test_broken_pipe_is_not_an_error(self, capsys):
+        def handler():
+            raise BrokenPipeError()
+
+        assert run_guarded(handler) == EXIT_OK
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""
+
+    def test_os_error_exits_2_with_stderr_line(self, capsys):
+        def handler():
+            raise OSError("disk on fire")
+
+        assert run_guarded(handler) == EXIT_ERROR
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.startswith("error:")
+        assert "disk on fire" in captured.err
+
+    def test_broken_pipe_precedence_over_oserror(self, capsys):
+        """The subclass must win even though OSError is also caught."""
+        assert issubclass(BrokenPipeError, OSError)
+
+        def handler():
+            raise BrokenPipeError("downstream closed")
+
+        assert run_guarded(handler) == EXIT_OK
+        assert capsys.readouterr().err == ""
+
+    def test_unexpected_exceptions_propagate(self):
+        """Bugs must crash loudly, not hide behind exit 2."""
+
+        def handler():
+            raise ValueError("a programming error")
+
+        with pytest.raises(ValueError):
+            run_guarded(handler)

@@ -14,6 +14,8 @@ from repro.scenarios.diff import (
 )
 from repro.errors import ConfigurationError
 
+from tests.cli_contract import assert_error_contract
+
 
 def artifact(scenario_digest="d" * 64, points=(), spec=None):
     return {
@@ -41,50 +43,37 @@ def point(label="p", seed=2, digest="a" * 64, ordered=10, throughput=100.0):
 class TestCliExitCodes:
     """Invalid ``--spec`` files: non-zero exit, stderr message, clean stdout."""
 
-    def run_cli(self, capsys, *argv):
-        code = cli_main(list(argv))
-        captured = capsys.readouterr()
-        return code, captured.out, captured.err
-
     def test_missing_spec_file(self, capsys, tmp_path):
-        code, out, err = self.run_cli(
-            capsys, "run", "--spec", str(tmp_path / "nope.json")
+        assert_error_contract(
+            cli_main,
+            capsys,
+            "run",
+            "--spec",
+            str(tmp_path / "nope.json"),
+            match="cannot read spec file",
         )
-        assert code != 0
-        assert out == ""
-        assert "cannot read spec file" in err
 
     def test_malformed_json_spec(self, capsys, tmp_path):
         path = tmp_path / "broken.json"
         path.write_text("{not json")
-        code, out, err = self.run_cli(capsys, "run", "--spec", str(path))
-        assert code != 0
-        assert out == ""
-        assert "error:" in err
+        assert_error_contract(cli_main, capsys, "run", "--spec", str(path))
 
     def test_schema_invalid_spec(self, capsys, tmp_path):
         spec = get_scenario("faultless").to_dict()
         spec["committee_sizes"] = "not-a-list"
         path = tmp_path / "invalid.json"
         path.write_text(json.dumps(spec))
-        code, out, err = self.run_cli(capsys, "describe", "--spec", str(path))
-        assert code != 0
-        assert out == ""
-        assert "error:" in err
+        assert_error_contract(cli_main, capsys, "describe", "--spec", str(path))
 
     def test_unknown_scenario_name(self, capsys):
-        code, out, err = self.run_cli(capsys, "describe", "definitely-not-registered")
-        assert code != 0
-        assert "error:" in err
+        assert_error_contract(cli_main, capsys, "describe", "definitely-not-registered")
 
     def test_diff_unreadable_artifact(self, capsys, tmp_path):
         good = tmp_path / "a.json"
         good.write_text(json.dumps(artifact()))
-        code, out, err = self.run_cli(
-            capsys, "diff", str(good), str(tmp_path / "missing.json")
+        assert_error_contract(
+            cli_main, capsys, "diff", str(good), str(tmp_path / "missing.json")
         )
-        assert code != 0
-        assert "error:" in err
 
 
 class TestDiffArtifacts:
