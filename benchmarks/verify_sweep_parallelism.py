@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Verify SweepEngine parallelism: identical results, measured speedup.
+
+ROADMAP debt: the sweep engine's multi-core fan-out was written on a
+1-CPU dev container, where the parallel path could never be shown to
+(a) produce byte-identical results to the serial path on real worker
+processes, or (b) actually be faster.  This script settles both on a
+multi-core host (the CI ``sweep-parallelism`` job):
+
+1. Run a small sweep serially (``parallelism=1``).
+2. Run the identical batch with ``parallelism`` from
+   ``REPRO_SWEEP_PARALLELISM`` (default 2) — real worker processes.
+3. **Assert** every ordering digest, ordered count, schedule-change
+   count, and crashed-validator list matches the serial run exactly
+   (exit 1 otherwise).
+4. Record the wall-clock ratio in the job log.
+
+The timing ratio is recorded, not gated: shared CI runners make
+hard speedup thresholds flaky, and the correctness claim (identical
+results) is the part a regression would silently break.  Set
+``REPRO_SWEEP_MIN_SPEEDUP`` (e.g. ``1.3``) to opt in to gating on
+machines you control.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+_SRC = os.path.abspath(_SRC)
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.sim.experiment import ExperimentConfig  # noqa: E402
+from repro.sim.sweep import PARALLELISM_ENV, SweepEngine  # noqa: E402
+
+
+def build_configs():
+    """A small but non-trivial batch: 2 protocols x 2 loads x 2 seeds.
+
+    Heavy enough (~5s serial) that worker-process spawn overhead cannot
+    mask a real 2-worker speedup on a multi-core runner.
+    """
+    configs = []
+    for protocol in ("hammerhead", "bullshark"):
+        for load in (1500.0, 3000.0):
+            for seed in (1, 2):
+                configs.append(
+                    ExperimentConfig(
+                        protocol=protocol,
+                        committee_size=10,
+                        input_load_tps=load,
+                        duration=25.0,
+                        warmup=5.0,
+                        seed=seed,
+                    )
+                )
+    return configs
+
+
+def fingerprint(result):
+    """Everything a parallelism bug could corrupt, digest first."""
+    observer = result.config.observer
+    return (
+        result.config.label(),
+        result.config.seed,
+        result.ordering_digests[observer],
+        result.report.schedule_changes,
+        tuple(result.crashed_validators),
+    )
+
+
+def main() -> int:
+    workers = int(os.environ.get(PARALLELISM_ENV, "2"))
+    configs = build_configs()
+    print(f"sweep batch: {len(configs)} experiments, workers={workers}")
+
+    start = time.perf_counter()
+    serial = SweepEngine(parallelism=1).run(configs)
+    serial_s = time.perf_counter() - start
+    print(f"serial   (parallelism=1): {serial_s:.2f}s")
+
+    start = time.perf_counter()
+    parallel = SweepEngine(parallelism=workers).run(configs)
+    parallel_s = time.perf_counter() - start
+    print(f"parallel (parallelism={workers}): {parallel_s:.2f}s")
+
+    mismatches = 0
+    for left, right in zip(serial, parallel):
+        lf, rf = fingerprint(left), fingerprint(right)
+        if lf != rf:
+            mismatches += 1
+            print(f"MISMATCH:\n  serial:   {lf}\n  parallel: {rf}")
+    if mismatches:
+        print(f"FAIL: {mismatches}/{len(configs)} results differ between "
+              "serial and parallel execution")
+        return 1
+    print(f"OK: all {len(configs)} results identical (ordering digests, "
+          "counts, schedules, crash lists)")
+
+    ratio = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(f"speedup: {ratio:.2f}x (serial {serial_s:.2f}s / "
+          f"parallel {parallel_s:.2f}s, {workers} workers, "
+          f"{os.cpu_count()} CPUs visible)")
+    floor = os.environ.get("REPRO_SWEEP_MIN_SPEEDUP", "").strip()
+    if floor:
+        if ratio < float(floor):
+            print(f"FAIL: speedup {ratio:.2f}x below the "
+                  f"REPRO_SWEEP_MIN_SPEEDUP={floor} floor")
+            return 1
+        print(f"speedup floor {floor}x satisfied")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,5 +39,26 @@ def run_guarded(handler: Callable[[], int]) -> int:
     except BrokenPipeError:
         return EXIT_OK
     except OSError as error:
-        print(f"error: {error}", file=sys.stderr)
+        print(f"error: {_describe_os_error(error)}", file=sys.stderr)
         return EXIT_ERROR
+
+
+def _describe_os_error(error: OSError) -> str:
+    """``str(error)`` plus errno/address context when it adds anything.
+
+    Net-backend connection failures must be actionable from the one
+    stderr line: which errno, which socket address.  ``str(OSError)``
+    already embeds ``[Errno N]`` when the error was built from an errno
+    pair, so context is appended only when missing — existing messages
+    (and the tests pinning them) are unchanged.
+    """
+    message = str(error)
+    details = []
+    if error.errno is not None and f"[Errno {error.errno}]" not in message:
+        details.append(f"errno {error.errno}")
+    filename = error.filename
+    if filename is not None and str(filename) not in message:
+        details.append(f"address: {filename}")
+    if details:
+        return f"{message} ({', '.join(details)})"
+    return message

@@ -1,0 +1,365 @@
+"""Canonical length-prefixed wire codec for the protocol messages.
+
+Every value the validators exchange — the broadcast-layer messages in
+``repro/rbc/messages.py``, the synchronizer messages in
+``repro/node/messages.py``, and the objects they carry (vertices,
+transactions, schedules, snapshots) — encodes to a canonical byte
+string: one tag byte per value, big-endian fixed-width numbers,
+length-prefixed strings/bytes, and *sorted* encodings for sets and
+dicts so that equal values always produce identical bytes regardless of
+insertion order.  ``decode(encode(x)) == x`` and
+``encode(decode(encode(x))) == encode(x)`` hold for every registered
+type (pinned by the property suite in
+``tests/property/test_prop_netexec_codec.py``).
+
+Frames on the wire are ``>I`` (4-byte big-endian) length prefixes
+followed by the encoded body.  The decoder is defensive: every length
+field is bounds-checked against the remaining input before any
+allocation, oversized/zero-length frames are rejected, and a decoded
+body must consume its input exactly — so truncated, padded, or garbage
+frames raise :class:`CodecError`/:class:`FrameError` instead of hanging
+or crashing the reader (the transport closes the connection with a
+logged reason; see ``repro/netexec/transport.py``).
+
+Decoded vertices are integrity-checked: the carried digest must equal
+the digest recomputed from the decoded fields, so a corrupted or forged
+vertex body is rejected at the codec boundary, before any protocol code
+sees it.
+
+This module is pure (no clock, no randomness, no sockets) and is safe
+to import from tests and from the lockstep oracle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.dag.vertex import Vertex
+from repro.errors import ReproError
+from repro.crypto.hashing import vertex_digest
+from repro.node.messages import ConsensusSnapshot, FetchRequest, FetchResponse
+from repro.rbc.messages import (
+    AckMessage,
+    BroadcastMessage,
+    CertificateBatch,
+    CertificateMessage,
+    EchoMessage,
+    ProposeMessage,
+    ReadyMessage,
+)
+from repro.schedule.base import LeaderSchedule
+from repro.types import VertexId
+from repro.workload.transactions import Transaction
+
+
+class CodecError(ReproError):
+    """A value cannot be encoded, or a body cannot be decoded."""
+
+
+class FrameError(CodecError):
+    """A frame header/body violates the framing contract."""
+
+
+# A single frame must fit the largest deep FetchResponse we ever expect
+# at supported committee sizes, with a wide margin; anything larger is a
+# protocol violation or an attack and is rejected before allocation.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+# Value tags.  Mnemonics follow repro.crypto.hashing._canonical_bytes
+# where the two overlap (N/I/S/Y/L/E/D), plus T/F booleans, R float
+# ("real"), and O for registered objects.
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"R"
+_TAG_STR = b"S"
+_TAG_BYTES = b"Y"
+_TAG_TUPLE = b"L"
+_TAG_FROZENSET = b"E"
+_TAG_DICT = b"D"
+_TAG_OBJECT = b"O"
+
+
+@dataclasses.dataclass(frozen=True)
+class Hello:
+    """The first frame on every connection: identifies the sender."""
+
+    node_id: int
+
+
+@dataclasses.dataclass(frozen=True)
+class _TypeSpec:
+    code: int
+    cls: type
+    fields: Tuple[str, ...]
+    build: Callable[[tuple], Any]
+
+
+def _build_vertex(fields: tuple) -> Vertex:
+    vertex_id, edges, block, digest, created_at = fields
+    if not isinstance(vertex_id, VertexId):
+        raise CodecError("vertex id field must decode to a VertexId")
+    if not isinstance(edges, frozenset):
+        raise CodecError("vertex edges field must decode to a frozenset")
+    expected = vertex_digest(
+        vertex_id.round,
+        vertex_id.source,
+        sorted(edges),
+        len(block),
+    )
+    if digest != expected:
+        raise CodecError(
+            f"vertex {vertex_id.round}/{vertex_id.source} digest mismatch: "
+            "carried digest does not match the recomputed content digest"
+        )
+    return Vertex(
+        id=vertex_id,
+        edges=edges,
+        block=block,
+        digest=digest,
+        created_at=created_at,
+    )
+
+
+def _spec(code: int, cls: type, fields: Tuple[str, ...], build: Callable[[tuple], Any] = None) -> _TypeSpec:
+    if build is None:
+        def build(values, _cls=cls, _fields=fields):
+            return _cls(**dict(zip(_fields, values)))
+    return _TypeSpec(code=code, cls=cls, fields=fields, build=build)
+
+
+# Registered object types.  Codes are part of the wire format: append
+# new entries, never renumber existing ones.
+_SPECS: Tuple[_TypeSpec, ...] = (
+    _spec(1, Hello, ("node_id",)),
+    _spec(2, VertexId, ("round", "source"), build=lambda v: VertexId(*v)),
+    _spec(3, Vertex, ("id", "edges", "block", "digest", "created_at"), build=_build_vertex),
+    _spec(
+        4,
+        Transaction,
+        ("tx_id", "client_id", "submitted_at", "target_validator", "kind", "payload_bytes"),
+        build=lambda v: Transaction(*v),
+    ),
+    _spec(5, LeaderSchedule, ("epoch", "initial_round", "slots")),
+    _spec(
+        6,
+        ConsensusSnapshot,
+        (
+            "last_ordered_anchor_round",
+            "gc_round",
+            "schedules",
+            "scores",
+            "commits_in_epoch",
+            "ordered_vertices",
+            "vote_accounting",
+        ),
+    ),
+    _spec(7, FetchRequest, ("requester", "missing", "deep")),
+    _spec(8, FetchResponse, ("responder", "vertices", "responder_gc_round", "snapshot")),
+    _spec(9, BroadcastMessage, ("origin", "round", "digest")),
+    _spec(10, ProposeMessage, ("origin", "round", "digest", "payload")),
+    _spec(11, AckMessage, ("origin", "round", "digest", "voter")),
+    _spec(12, CertificateMessage, ("origin", "round", "digest", "payload", "signers")),
+    _spec(13, CertificateBatch, ("origin", "round", "digest", "certificates")),
+    _spec(14, EchoMessage, ("origin", "round", "digest", "payload")),
+    _spec(15, ReadyMessage, ("origin", "round", "digest")),
+)
+
+# Dispatch must be by exact class, not isinstance: the rbc messages form
+# an inheritance chain and each subclass has its own code.
+_SPEC_BY_CLASS: Dict[type, _TypeSpec] = {spec.cls: spec for spec in _SPECS}
+_SPEC_BY_CODE: Dict[int, _TypeSpec] = {spec.code: spec for spec in _SPECS}
+
+MESSAGE_TYPES: Tuple[type, ...] = tuple(spec.cls for spec in _SPECS)
+
+
+# -- encoding ----------------------------------------------------------------
+
+
+def _encode_into(value: Any, out: List[bytes]) -> None:
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif type(value) is int:
+        try:
+            out.append(_TAG_INT + _I64.pack(value))
+        except struct.error:
+            raise CodecError(f"integer {value} exceeds the 64-bit wire range") from None
+    elif type(value) is float:
+        out.append(_TAG_FLOAT + _F64.pack(value))
+    elif type(value) is str:
+        raw = value.encode("utf-8")
+        out.append(_TAG_STR + _HEADER.pack(len(raw)) + raw)
+    elif type(value) is bytes:
+        out.append(_TAG_BYTES + _HEADER.pack(len(value)) + value)
+    elif type(value) in (tuple, list):
+        out.append(_TAG_TUPLE + _HEADER.pack(len(value)))
+        for item in value:
+            _encode_into(item, out)
+    elif type(value) is frozenset or type(value) is set:
+        # Canonical order: sort by encoded bytes, so equal sets encode
+        # identically whatever their in-memory iteration order.
+        out.append(_TAG_FROZENSET + _HEADER.pack(len(value)))
+        out.extend(sorted(encode(item) for item in value))
+    elif type(value) is dict:
+        out.append(_TAG_DICT + _HEADER.pack(len(value)))
+        pairs = sorted(
+            (encode(key), encode(item)) for key, item in value.items()
+        )
+        for encoded_key, encoded_value in pairs:
+            out.append(encoded_key)
+            out.append(encoded_value)
+    else:
+        spec = _SPEC_BY_CLASS.get(type(value))
+        if spec is None:
+            raise CodecError(f"type {type(value).__name__} is not wire-encodable")
+        out.append(_TAG_OBJECT + bytes([spec.code]))
+        for name in spec.fields:
+            _encode_into(getattr(value, name), out)
+
+
+def encode(value: Any) -> bytes:
+    """Encode ``value`` to its canonical byte string (no frame header)."""
+    out: List[bytes] = []
+    _encode_into(value, out)
+    return b"".join(out)
+
+
+def encode_frame(value: Any) -> bytes:
+    """Encode ``value`` and prepend the ``>I`` length header."""
+    body = encode(value)
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"encoded frame is {len(body)} bytes, above the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+# -- decoding ----------------------------------------------------------------
+
+
+class _Reader:
+    """Bounds-checked cursor over a decode buffer."""
+
+    __slots__ = ("data", "offset")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def take(self, count: int) -> bytes:
+        end = self.offset + count
+        if count < 0 or end > len(self.data):
+            raise CodecError("truncated value: length field exceeds the remaining body")
+        chunk = self.data[self.offset:end]
+        self.offset = end
+        return chunk
+
+    def length(self) -> int:
+        (value,) = _HEADER.unpack(self.take(4))
+        # Each encoded item is at least one tag byte, so a count larger
+        # than the remaining bytes is garbage; rejecting it here keeps a
+        # hostile 4-byte count from driving a multi-gigabyte loop.
+        if value > len(self.data) - self.offset:
+            raise CodecError("length field exceeds the remaining body")
+        return value
+
+
+def _decode_value(reader: _Reader) -> Any:
+    tag = reader.take(1)
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_TRUE:
+        return True
+    if tag == _TAG_FALSE:
+        return False
+    if tag == _TAG_INT:
+        (value,) = _I64.unpack(reader.take(8))
+        return value
+    if tag == _TAG_FLOAT:
+        (value,) = _F64.unpack(reader.take(8))
+        return value
+    if tag == _TAG_STR:
+        raw = reader.take(reader.length())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise CodecError(f"invalid utf-8 in string value: {error}") from error
+    if tag == _TAG_BYTES:
+        return reader.take(reader.length())
+    if tag == _TAG_TUPLE:
+        count = reader.length()
+        return tuple(_decode_value(reader) for _ in range(count))
+    if tag == _TAG_FROZENSET:
+        count = reader.length()
+        items = tuple(_decode_value(reader) for _ in range(count))
+        decoded = frozenset(items)
+        if len(decoded) != count:
+            raise CodecError("duplicate items in encoded set")
+        return decoded
+    if tag == _TAG_DICT:
+        count = reader.length()
+        result = {}
+        for _ in range(count):
+            key = _decode_value(reader)
+            result[key] = _decode_value(reader)
+        if len(result) != count:
+            raise CodecError("duplicate keys in encoded dict")
+        return result
+    if tag == _TAG_OBJECT:
+        code = reader.take(1)[0]
+        spec = _SPEC_BY_CODE.get(code)
+        if spec is None:
+            raise CodecError(f"unknown wire type code {code}")
+        values = tuple(_decode_value(reader) for _ in spec.fields)
+        try:
+            return spec.build(values)
+        except CodecError:
+            raise
+        except Exception as error:
+            raise CodecError(
+                f"cannot reconstruct {spec.cls.__name__} from wire fields: {error}"
+            ) from error
+    raise CodecError(f"unknown value tag {tag!r}")
+
+
+def decode(body: bytes) -> Any:
+    """Decode one canonical value; the body must be consumed exactly."""
+    reader = _Reader(body)
+    value = _decode_value(reader)
+    if reader.offset != len(body):
+        raise CodecError(
+            f"frame body has {len(body) - reader.offset} trailing bytes after the value"
+        )
+    return value
+
+
+def decode_frames(buffer: bytes) -> Tuple[Tuple[Any, ...], bytes]:
+    """Decode every complete frame in ``buffer``.
+
+    Returns ``(values, remainder)`` where ``remainder`` is the trailing
+    partial frame (possibly empty).  Raises :class:`FrameError` on a
+    header whose length is zero or above :data:`MAX_FRAME_BYTES` —
+    garbage headers must kill the connection, not stall it.
+    """
+    values: List[Any] = []
+    offset = 0
+    while len(buffer) - offset >= 4:
+        (length,) = _HEADER.unpack(buffer[offset:offset + 4])
+        if length == 0 or length > MAX_FRAME_BYTES:
+            raise FrameError(f"frame length {length} outside (0, {MAX_FRAME_BYTES}]")
+        if len(buffer) - offset - 4 < length:
+            break
+        values.append(decode(buffer[offset + 4:offset + 4 + length]))
+        offset += 4 + length
+    return tuple(values), buffer[offset:]

@@ -24,6 +24,12 @@ default ``scenario-<name>.json``) containing the spec echo, the
 
 ``--smoke`` shrinks any scenario to a tiny committee and a short horizon
 (CI smoke runs; see :meth:`ScenarioSpec.smoke`).
+
+``run``/``sweep`` accept ``--backend {sim,lockstep,net}``: the default
+free-running simulation, the content-deterministic lockstep oracle, or
+the real-socket backend (see ``repro/netexec/``).  ``lockstep`` and
+``net`` artifacts for the same spec+seed must diff clean — the CI
+``cross-backend-smoke`` job pins that equivalence.
 """
 
 from __future__ import annotations
@@ -97,11 +103,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     label = f"seeds {seeds}" if seeds else f"seed {spec.seed}"
     print(f"Running scenario {spec.name!r} ({label}) ...")
     trace_path = getattr(args, "trace", None)
+    backend = getattr(args, "backend", "sim")
+    if backend != "sim":
+        print(f"backend: {backend}")
     artifact = run_scenario(
         spec,
         seeds=seeds,
         parallelism=args.parallelism,
         trace_path=trace_path,
+        backend=backend,
     )
     _print_artifact_table(spec, artifact)
     suffix = "-smoke" if args.smoke else ""
@@ -258,6 +268,17 @@ def _add_run_arguments(subparser: argparse.ArgumentParser) -> None:
         help="sweep worker processes (default: REPRO_SWEEP_PARALLELISM or CPU count)",
     )
     subparser.add_argument("--output", default=None, help="artifact JSON path")
+    subparser.add_argument(
+        "--backend",
+        choices=("sim", "lockstep", "net"),
+        default="sim",
+        help="execution backend: 'sim' (free-running discrete-event "
+        "simulation, the default), 'lockstep' (content-deterministic "
+        "lockstep mode on the simulator — the cross-validation oracle), "
+        "or 'net' (the same lockstep mode over real asyncio sockets). "
+        "lockstep and net must produce identical ordering digests for "
+        "the same spec+seed; crash faults only",
+    )
     subparser.add_argument(
         "--trace",
         metavar="PATH",

@@ -22,12 +22,25 @@ from repro.sim.sweep import SweepEngine
 
 ARTIFACT_VERSION = 1
 
+# Execution backends for `run`:
+#   sim      — the free-running discrete-event simulation (the default,
+#              and the digest lineage every recorded baseline pins);
+#   lockstep — the content-deterministic lockstep mode on the simulator
+#              (the cross-validation oracle, repro.netexec.lockstep);
+#   net      — the same lockstep mode over real asyncio sockets
+#              (repro.netexec.runner).
+# Lockstep-family digests are a different (deliberately time-free)
+# lineage from plain sim digests; `lockstep` and `net` must match each
+# other byte for byte, which the CI cross-backend-smoke job enforces.
+BACKENDS = ("sim", "lockstep", "net")
+
 
 def run_scenario(
     spec: ScenarioSpec,
     seeds: Optional[Sequence[int]] = None,
     parallelism: Optional[int] = None,
     trace_path: Optional[str] = None,
+    backend: str = "sim",
 ) -> Dict[str, Any]:
     """Run every point of ``spec`` (per seed) and return the artifact.
 
@@ -38,8 +51,21 @@ def run_scenario(
     ``trace_path`` enables the deterministic tracer on every point and
     writes the combined event stream as JSONL (one file, each event
     tagged with its point label and seed).  Tracing is digest-neutral:
-    the artifact is byte-identical with or without it.
+    the artifact is byte-identical with or without it.  On the ``net``
+    backend the stamps are monotonic wall-clock times — diagnostics
+    only, never digest-bearing.
+
+    ``backend`` selects the execution engine (see :data:`BACKENDS`).
+    The lockstep-family backends run their points serially: ``net``
+    owns the process event loop, and the oracle is cheap at the small
+    scales cross-validation targets.
     """
+    if backend not in BACKENDS:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
+        )
     run_seeds = list(seeds) if seeds else [spec.seed]
     points: List[CompiledPoint] = []
     for seed in run_seeds:
@@ -47,8 +73,18 @@ def run_scenario(
     configs = [point.config for point in points]
     if trace_path is not None:
         configs = [config.with_overrides(trace=True) for config in configs]
-    results = SweepEngine(parallelism=parallelism).run(configs)
+    if backend == "sim":
+        results = SweepEngine(parallelism=parallelism).run(configs)
+    elif backend == "lockstep":
+        from repro.netexec.lockstep import run_lockstep_experiment
+
+        results = [run_lockstep_experiment(config) for config in configs]
+    else:
+        from repro.netexec.runner import run_net_experiment
+
+        results = [run_net_experiment(config) for config in configs]
     artifact = build_artifact(spec, run_seeds, points, results)
+    artifact["backend"] = backend
     if trace_path is not None:
         write_trace(trace_path, artifact, results)
     return artifact

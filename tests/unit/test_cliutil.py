@@ -55,6 +55,45 @@ class TestRunGuarded:
         assert run_guarded(handler) == EXIT_OK
         assert capsys.readouterr().err == ""
 
+    def test_os_error_appends_errno_context_when_missing(self, capsys):
+        """The asyncio-error shape: errno set, but not rendered by str().
+
+        ``OSError.__str__`` only embeds ``[Errno N]`` when ``strerror``
+        or ``filename`` is populated; errors carrying a bare message
+        plus an errno attribute (timeouts, some asyncio failures) used
+        to lose the errno on the way to stderr.
+        """
+        import errno
+
+        def handler():
+            error = OSError("cannot connect to validator 3 within 5.0s")
+            error.errno = errno.ECONNREFUSED
+            raise error
+
+        assert run_guarded(handler) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot connect to validator 3" in err
+        assert f"errno {errno.ECONNREFUSED}" in err
+
+    def test_os_error_with_address_stays_single_mention(self, capsys):
+        """Net-backend connect failures carry (errno, message, address);
+        str() already renders all three — nothing may be duplicated."""
+        import errno
+
+        def handler():
+            raise OSError(
+                errno.ECONNREFUSED,
+                "cannot connect to validator 3 within 5.0s: connection refused",
+                "/tmp/run/validator-3.sock",
+            )
+
+        assert run_guarded(handler) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("/tmp/run/validator-3.sock") == 1
+        assert err.count(str(errno.ECONNREFUSED)) == 1
+
     def test_unexpected_exceptions_propagate(self):
         """Bugs must crash loudly, not hide behind exit 2."""
 
