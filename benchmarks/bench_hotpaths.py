@@ -7,22 +7,27 @@ Measures the three things this repo's performance work optimizes:
   figure-1 faultless point (committee of 10, increasing load up to the
   saturation peak).  This exercises the event loop, the broadcast layer,
   the incremental commit scan, and the reachability cache together.
-* **Committee scaling** — a committee-25 and a committee-50 stage at
-  peak load (the large-committee fast path: batched certificate
-  fan-out, aggregate ack verification, vectorized stake).  Each point
-  is the best of ``BEST_OF`` repetitions so the recorded events/sec is
-  robust to scheduler noise; the per-stage ``ordering_digest`` pins the
-  run's output so a perf change that alters behaviour is caught here
-  before the regression gate even runs.
+* **Committee scaling** — committee-25/50 stages at peak load plus a
+  committee-100 stage and a smoke-scale committee-200 stage (the
+  large-committee fast path: quorum bitsets, digest interning, arena
+  vertex storage).  Each point is the best of its ``best_of``
+  repetitions so the recorded events/sec is robust to scheduler noise;
+  the per-stage ``ordering_digest`` pins the run's output so a perf
+  change that alters behaviour is caught here before the regression
+  gate even runs.  Every committee stage additionally records
+  ``memory_per_validator`` from one *untimed* tracemalloc run (see
+  :func:`measure_memory`) so the gate can catch memory regressions,
+  not just speed regressions.
 * **Sweep speed** — wall-clock for a 4-point latency/throughput curve run
   serially versus through the parallel :class:`SweepEngine`.
 
-Results are written to ``BENCH_PR5.json`` at the repository root so that
+Results are written to ``BENCH_PR9.json`` at the repository root so that
 future PRs can diff the perf trajectory (``benchmarks/run_bench.py``
 wraps this together with a scenario smoke run and the tier-2 qualitative
-suite; ``BENCH_PR1.json``–``BENCH_PR4.json`` hold earlier trajectories).
+suite; ``BENCH_PR1.json``–``BENCH_PR5.json`` hold earlier trajectories).
 ``benchmarks/check_regression.py`` compares a freshly generated document
-against the committed baseline and fails CI on a >10% events/sec drop.
+against the committed baseline and fails CI on a >10% events/sec drop or
+an out-of-tolerance ``memory_per_validator`` growth.
 
 Run with::
 
@@ -38,6 +43,7 @@ import os
 import platform
 import sys
 import time
+import tracemalloc
 from typing import Dict, List, Optional
 
 # Allow running as a plain script from a source checkout.
@@ -49,7 +55,7 @@ from repro.sim.experiment import ExperimentConfig, ExperimentResult, run_experim
 from repro.sim.sweep import SweepEngine, default_parallelism
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR5.json")
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR9.json")
 
 # The figure-1 faultless preset: the paper's smallest committee under
 # increasing load, with the peak (4,000 tx/s) as the last point.
@@ -57,16 +63,24 @@ FIG1_COMMITTEE = 10
 FIG1_LOADS = (1000.0, 2000.0, 3000.0, 4000.0)
 
 # Committee-scaling stages (the large-committee fast path target).  Each
-# stage is one peak-load point; ``duration`` is scaled down at 50
-# validators so the stage stays inside the bench budget.
+# stage is one peak-load point; ``duration`` scales down with committee
+# size so every stage stays inside the bench budget (simulated work per
+# virtual second grows roughly quadratically with the committee).  The
+# committee-200 stage is deliberately smoke-scale — it exists to pin the
+# memory trajectory and the ordering digest at the largest committee,
+# not to produce a low-noise events/sec number, hence the reduced
+# ``best_of``.
 COMMITTEE_STAGES = (
     {"committee": 25, "load": 4000.0, "duration": 20.0, "warmup": 5.0},
     {"committee": 50, "load": 4000.0, "duration": 10.0, "warmup": 2.5},
+    {"committee": 100, "load": 4000.0, "duration": 5.0, "warmup": 1.0, "best_of": 3},
+    {"committee": 200, "load": 4000.0, "duration": 2.0, "warmup": 0.5, "best_of": 2},
 )
 
 # Repetitions per committee-stage point; the best run is recorded (the
 # container's scheduler noise is 10-20%, so the minimum over several
-# repetitions is the stable estimate).
+# repetitions is the stable estimate).  A stage dict may carry its own
+# ``best_of`` override (the committee-100/200 stages do).
 BEST_OF = 5
 
 # Committee-stage events/sec measured at the PR2 HEAD (commit d93a102)
@@ -118,6 +132,9 @@ def measure_point(config: ExperimentConfig, best_of: int = BEST_OF) -> Dict[str,
     wall = min(walls)
     events = result.report.extra.get("events_fired", 0.0)
     return {
+        # Committee size rides on every stage record so the regression
+        # gate matches stages by identity without parsing stage names.
+        "committee_size": config.committee_size,
         "input_load_tps": config.input_load_tps,
         "best_of": len(walls),
         "wall_s": round(wall, 4),
@@ -142,14 +159,42 @@ def committee_stage_config(stage: Dict[str, float]) -> ExperimentConfig:
     )
 
 
-def measure_committee_stage(stage: Dict[str, float], best_of: int = BEST_OF) -> Dict[str, object]:
+def measure_memory(config: ExperimentConfig) -> Dict[str, float]:
+    """Peak heap of one run, measured with :mod:`tracemalloc`.
+
+    tracemalloc slows the interpreter several-fold, so this is a
+    *separate, untimed* run after the best-of timing loop — the timing
+    numbers never carry instrumentation overhead, and the memory numbers
+    never race the wall clock.  The peak divided by the committee size
+    (``memory_per_validator``) is the scaling metric the regression gate
+    tracks: arena storage and interning should keep it near-flat as the
+    committee grows, and a leaky change shows up here long before it
+    OOMs a large-committee run.
+    """
+    tracemalloc.start()
+    try:
+        run_experiment(config)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return {
+        "memory_peak_bytes": float(peak),
+        "memory_per_validator": round(peak / config.committee_size, 1),
+    }
+
+
+def measure_committee_stage(stage: Dict[str, float], best_of: Optional[int] = None) -> Dict[str, object]:
     """Best-of-N measurement of one committee-scaling point.
 
     Events and the ordering digest are identical across repetitions (the
     simulation is a deterministic function of its config); only the
-    wall-clock varies, so the minimum is the least noisy estimate.
+    wall-clock varies, so the minimum is the least noisy estimate.  The
+    repetition count comes from the stage's own ``best_of`` when set
+    (the large stages reduce it), else :data:`BEST_OF`.
     """
     config = committee_stage_config(stage)
+    if best_of is None:
+        best_of = int(stage.get("best_of", BEST_OF))
     walls, result = _timed_runs(config, best_of)
     wall = min(walls)
     events = result.report.extra.get("events_fired", 0.0)
@@ -169,6 +214,7 @@ def measure_committee_stage(stage: Dict[str, float], best_of: int = BEST_OF) -> 
         "ordering_digest": ordering_digest,
         "ordered_count": ordered_count,
     }
+    point.update(measure_memory(config))
     baseline = COMMITTEE_BASELINE_PR2.get(config.committee_size)
     if baseline is not None:
         point["baseline_pr2_events_per_sec"] = baseline["events_per_sec"]
@@ -235,7 +281,8 @@ def run_benchmarks(
         print(
             f"  committee {point['committee_size']:3d} @ {point['input_load_tps']:5.0f} tx/s: "
             f"{point['wall_s']:7.3f}s wall (best of {point['best_of']}), "
-            f"{point['events_per_sec']:11.0f} events/s"
+            f"{point['events_per_sec']:11.0f} events/s, "
+            f"{point['memory_per_validator'] / 1024:8.1f} KiB/validator peak"
         )
     document: Dict[str, object] = {
         "benchmark": "bench_hotpaths",
@@ -244,7 +291,11 @@ def run_benchmarks(
         # NOTE: the PR2 fig-1 trajectory (BENCH_PR2.json) was single-run,
         # so cross-PR fig-1 comparisons mix methodologies; the committee
         # stages carry a same-methodology PR2 baseline in-band.
-        "methodology": f"best-of-{BEST_OF} wall-clock minimum per point",
+        "methodology": (
+            f"best-of-{BEST_OF} wall-clock minimum per point (per-stage "
+            "best_of overrides at committee 100+); memory_per_validator "
+            "from one untimed tracemalloc run per committee stage"
+        ),
         "duration_s": duration,
         "warmup_s": warmup,
         "points": points,

@@ -2,10 +2,18 @@
 """Bench regression gate: diff a fresh bench JSON against the baseline.
 
 Compares the ``events_per_sec`` of every stage a freshly generated bench
-document shares with the committed baseline (``BENCH_PR5.json`` at the
+document shares with the committed baseline (``BENCH_PR9.json`` at the
 repository root, i.e. the trajectory recorded when the current
 optimization PR landed) and exits non-zero when any stage regressed by
 more than the threshold (default 10%).
+
+Stages that carry ``memory_per_validator`` (the committee-scaling
+stages, from PR9 onward) are additionally gated on memory: growth beyond
+the memory threshold (default 25%, ``--memory-threshold`` /
+``REPRO_BENCH_MEMORY_THRESHOLD``) is fatal.  Memory is never
+cpu-normalized — the tracemalloc peak is a property of the workload, not
+the host's clock speed.  A baseline recorded before the metric existed
+simply skips the comparison with an info line.
 
 When both documents carry a CPU-calibration stage (``calibration`` —
 see ``run_bench.run_cpu_calibration``), every events/sec ratio is
@@ -18,10 +26,12 @@ to compare raw numbers.
 
 Stages are matched by identity, never by position:
 
-* figure-1 points match on ``input_load_tps`` (and the document must use
-  the same committee/duration preset);
+* figure-1 points match on ``(committee_size, input_load_tps)`` —
+  documents from before PR9 lack ``committee_size`` on fig-1 points, so
+  a missing value is backfilled with the historical preset (committee
+  10) instead of parsing stage names;
 * committee-scaling points match on
-  ``(committee_size, input_load_tps)``.
+  ``(committee_size, input_load_tps, duration_s)``.
 
 Stages present in only one document are reported and skipped — a smoke
 run (``run_bench.py --smoke``) produces a subset of the baseline's
@@ -33,8 +43,8 @@ perf win.
 Usage::
 
     python benchmarks/run_bench.py --smoke --output /tmp/bench.json
-    python benchmarks/check_regression.py /tmp/bench.json              # vs BENCH_PR5.json
-    python benchmarks/check_regression.py /tmp/bench.json --baseline BENCH_PR5.json
+    python benchmarks/check_regression.py /tmp/bench.json              # vs BENCH_PR9.json
+    python benchmarks/check_regression.py /tmp/bench.json --baseline BENCH_PR9.json
     python benchmarks/check_regression.py fresh.json --threshold 0.25  # override knob
     python benchmarks/check_regression.py fresh.json --no-calibration  # raw ratios
 
@@ -55,8 +65,18 @@ import sys
 from typing import Dict, Iterable, List, Optional, Tuple
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_PR5.json")
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_PR9.json")
 DEFAULT_THRESHOLD = 0.10
+# Tolerated fractional growth of memory_per_validator per stage.  The
+# tracemalloc peak is far less noisy than wall-clock (the simulation is
+# deterministic; only allocator bookkeeping varies), but interning and
+# cache caps leave some headroom legitimately version-dependent.
+DEFAULT_MEMORY_THRESHOLD = 0.25
+
+# Fig-1 points recorded before PR9 carry no committee_size field; the
+# preset was always committee 10, so identity matching backfills that
+# instead of parsing stage names.
+FIG1_DEFAULT_COMMITTEE = 10
 
 # Calibration ratios outside this band mean the hosts differ by more
 # than single-core speed (different memory pressure, thermal state, or a
@@ -89,6 +109,20 @@ def _index_points(points: Iterable[dict], keys: Tuple[str, ...]) -> Dict[tuple, 
     return indexed
 
 
+def _fig1_points(document: dict) -> List[dict]:
+    """The document's fig-1 points, ``committee_size`` backfilled.
+
+    Keeps pre-PR9 baselines (no ``committee_size`` on fig-1 records)
+    matchable against fresh documents purely by field identity.
+    """
+    points: List[dict] = []
+    for point in document.get("points", ()) or ():
+        if point.get("committee_size") is None:
+            point = dict(point, committee_size=FIG1_DEFAULT_COMMITTEE)
+        points.append(point)
+    return points
+
+
 def calibration_ratio(fresh: dict, baseline: dict) -> Optional[float]:
     """fresh_cpu_score / baseline_cpu_score, or ``None`` when unusable.
 
@@ -113,6 +147,7 @@ def compare_stage(
     baseline: Optional[dict],
     threshold: float,
     cpu_ratio: Optional[float] = None,
+    memory_threshold: float = DEFAULT_MEMORY_THRESHOLD,
 ) -> List[Mismatch]:
     """Compare one matched stage; returns the findings (possibly empty)."""
     findings: List[Mismatch] = []
@@ -143,6 +178,28 @@ def compare_stage(
                     fatal=True,
                 )
             )
+    fresh_memory = float(fresh.get("memory_per_validator") or 0.0)
+    base_memory = float(baseline.get("memory_per_validator") or 0.0)
+    if fresh_memory > 0.0:
+        if base_memory <= 0.0:
+            # Pre-PR9 baselines never recorded memory; skip cleanly
+            # instead of treating the absence as a zero-byte baseline.
+            findings.append(
+                Mismatch(stage, "baseline lacks memory_per_validator, skipped", fatal=False)
+            )
+        else:
+            memory_ratio = fresh_memory / base_memory
+            if memory_ratio > 1.0 + memory_threshold:
+                findings.append(
+                    Mismatch(
+                        stage,
+                        f"memory/validator grew {100 * (memory_ratio - 1):.1f}%: "
+                        f"{fresh_memory / 1024:,.0f} KiB vs baseline "
+                        f"{base_memory / 1024:,.0f} KiB "
+                        f"(threshold {100 * memory_threshold:.0f}%)",
+                        fatal=True,
+                    )
+                )
     base_digest = baseline.get("ordering_digest")
     fresh_digest = fresh.get("ordering_digest")
     if base_digest and fresh_digest and base_digest != fresh_digest:
@@ -279,10 +336,11 @@ def stage_deltas(
                 ratio /= cpu_ratio
         rows.append((stage, base_eps, fresh_eps, ratio))
 
-    fresh_fig1 = _index_points(fresh.get("points", ()), ("input_load_tps",))
-    base_fig1 = _index_points(baseline.get("points", ()), ("input_load_tps",))
+    fig1_keys = ("committee_size", "input_load_tps")
+    fresh_fig1 = _index_points(_fig1_points(fresh), fig1_keys)
+    base_fig1 = _index_points(_fig1_points(baseline), fig1_keys)
     for key in sorted(set(fresh_fig1) & set(base_fig1), key=str):
-        add(f"fig1@{key[0]:.0f}tps", fresh_fig1.get(key), base_fig1.get(key))
+        add(f"fig1@{key[1]:.0f}tps", fresh_fig1.get(key), base_fig1.get(key))
     committee_keys = ("committee_size", "input_load_tps", "duration_s")
     fresh_committee = _index_points(fresh.get("committee_scaling", ()), committee_keys)
     base_committee = _index_points(baseline.get("committee_scaling", ()), committee_keys)
@@ -314,6 +372,7 @@ def compare_documents(
     baseline: dict,
     threshold: float,
     calibrate: bool = True,
+    memory_threshold: float = DEFAULT_MEMORY_THRESHOLD,
 ) -> List[Mismatch]:
     """Compare every shared stage of two bench documents."""
     findings: List[Mismatch] = []
@@ -335,12 +394,20 @@ def compare_documents(
                 fatal=False,
             )
         )
-    fresh_fig1 = _index_points(fresh.get("points", ()), ("input_load_tps",))
-    base_fig1 = _index_points(baseline.get("points", ()), ("input_load_tps",))
+    fig1_keys = ("committee_size", "input_load_tps")
+    fresh_fig1 = _index_points(_fig1_points(fresh), fig1_keys)
+    base_fig1 = _index_points(_fig1_points(baseline), fig1_keys)
     for key in sorted(set(fresh_fig1) | set(base_fig1), key=str):
-        stage = f"fig1@{key[0]:.0f}tps"
+        stage = f"fig1@{key[1]:.0f}tps"
         findings.extend(
-            compare_stage(stage, fresh_fig1.get(key), base_fig1.get(key), threshold, cpu_ratio)
+            compare_stage(
+                stage,
+                fresh_fig1.get(key),
+                base_fig1.get(key),
+                threshold,
+                cpu_ratio,
+                memory_threshold,
+            )
         )
     # Duration participates in the identity: a stage whose virtual
     # duration changed is a different measurement (and a different
@@ -352,7 +419,12 @@ def compare_documents(
         stage = f"committee{key[0]}@{key[1]:.0f}tps"
         findings.extend(
             compare_stage(
-                stage, fresh_committee.get(key), base_committee.get(key), threshold, cpu_ratio
+                stage,
+                fresh_committee.get(key),
+                base_committee.get(key),
+                threshold,
+                cpu_ratio,
+                memory_threshold,
             )
         )
     for stage in ("scenario_smoke", "scenario_adversary"):
@@ -371,7 +443,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--baseline",
         default=DEFAULT_BASELINE,
-        help="committed baseline document (default: BENCH_PR5.json)",
+        help="committed baseline document (default: BENCH_PR9.json)",
     )
     parser.add_argument(
         "--no-calibration",
@@ -388,9 +460,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
         help="fractional events/sec regression tolerated per stage (default 0.10)",
     )
+    parser.add_argument(
+        "--memory-threshold",
+        type=float,
+        default=float(
+            os.environ.get("REPRO_BENCH_MEMORY_THRESHOLD", DEFAULT_MEMORY_THRESHOLD)
+        ),
+        help="fractional memory_per_validator growth tolerated per stage (default 0.25)",
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.threshold < 1.0:
         print("error: threshold must lie in [0, 1)", file=sys.stderr)
+        return 2
+    if args.memory_threshold < 0.0:
+        print("error: memory threshold must be non-negative", file=sys.stderr)
         return 2
     try:
         fresh = _load(args.fresh)
@@ -404,7 +487,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     for line in render_delta_table(stage_deltas(fresh, baseline, cpu_ratio)):
         print(f"  {line}")
     findings = compare_documents(
-        fresh, baseline, args.threshold, calibrate=not args.no_calibration
+        fresh,
+        baseline,
+        args.threshold,
+        calibrate=not args.no_calibration,
+        memory_threshold=args.memory_threshold,
     )
     fatal = [finding for finding in findings if finding.fatal]
     for finding in findings:

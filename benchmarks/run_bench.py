@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Run the benchmark suite under a time budget and emit ``BENCH_PR5.json``.
+"""Run the benchmark suite under a time budget and emit ``BENCH_PR9.json``.
 
 Stages, all optional and all budgeted:
 
@@ -10,9 +10,11 @@ Stages, all optional and all budgeted:
    0.35-wide tolerance to pass a gate recorded on the reference
    container.
 1. The hot-path microbenchmark (``benchmarks/bench_hotpaths.py``):
-   events/sec and wall-clock per figure-1 point, the committee-25 and
-   committee-50 scaling stages (best-of-5, with the PR2 baseline and
-   speedup recorded per stage), plus the parallel-sweep speedup.
+   events/sec and wall-clock per figure-1 point, the committee-25/50
+   scaling stages plus the committee-100 and smoke-scale committee-200
+   stages (best-of-N wall-clock minimum, ``memory_per_validator`` from
+   one untimed tracemalloc run per stage), plus the parallel-sweep
+   speedup.
 2. Two **scenario smoke runs** at smoke scale through the full scenario
    pipeline (spec → compile → sweep → artifact): ``mixed-adversary``
    (crash/slow/disturbance faults) and ``reputation-gamer`` (the
@@ -26,16 +28,17 @@ Stages, all optional and all budgeted:
    pytest), run at ``REPRO_BENCH_SCALE=quick`` so it fits the budget;
    only the pass/fail outcome and wall-clock are recorded.
 
-The merged document is written to ``BENCH_PR5.json`` at the repository
+The merged document is written to ``BENCH_PR9.json`` at the repository
 root so future PRs can diff the performance trajectory;
 ``benchmarks/check_regression.py`` gates CI against it (>10% events/sec
-regression at any stage fails, after CPU-calibration normalization).
+regression at any stage fails, after CPU-calibration normalization;
+``memory_per_validator`` growth beyond its own tolerance fails too).
 
 Run with::
 
     python benchmarks/run_bench.py                  # all stages
     python benchmarks/run_bench.py --skip-suite     # no tier-2 pytest
-    python benchmarks/run_bench.py --smoke          # CI: fig-1 peak + committee-25/50 stages
+    python benchmarks/run_bench.py --smoke          # CI: fig-1 peak + committee stages
     python benchmarks/run_bench.py --budget 120     # tighter budget (s)
 """
 

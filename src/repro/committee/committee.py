@@ -201,20 +201,36 @@ class Committee:
     def has_validity(self, validators: Iterable[ValidatorId]) -> bool:
         return self.stake(validators) >= self.validity_threshold
 
-    def edge_quorum_verdict(self, digest: bytes, sources: Iterable[ValidatorId]) -> bool:
+    def edge_quorum_verdict(
+        self,
+        digest: bytes,
+        sources: Iterable[ValidatorId],
+        mask: Optional[int] = None,
+    ) -> bool:
         """Memoized 2f+1 check for a vertex's parent edge set.
 
         Keyed by the vertex content digest (which binds the edge set), so
         the ``n`` DAG stores validating one broadcast vertex share a
-        single verification.
+        single verification.  When the caller supplies the precomputed
+        edge ``mask`` and stake is uniform, the stake sum collapses to a
+        popcount-multiply; any out-of-range bit falls through to the
+        tuple path, which raises on unknown validators exactly as before.
         """
         cache = self._edge_quorum_cache
         verdict = cache.get(digest)
         if verdict is None:
             evict_oldest_half(cache, 65536)
-            verdict = self._stake_vector.stake_of_unique(sources) >= self._quorum_threshold
+            vector = self._stake_vector
+            if mask is not None and vector.uniform_stake and not mask >> vector.size:
+                verdict = mask.bit_count() * vector.uniform_stake >= self._quorum_threshold
+            else:
+                verdict = vector.stake_of_unique(sources) >= self._quorum_threshold
             cache[digest] = verdict
         return verdict
+
+    def edge_quorum_cache_size(self) -> int:
+        """Current size of the per-committee edge-quorum memo."""
+        return len(self._edge_quorum_cache)
 
     # -- stake-ordered helpers ----------------------------------------------
 

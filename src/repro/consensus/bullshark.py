@@ -78,6 +78,10 @@ class BullsharkConsensus:
         self.owner = owner
         self.committee = committee
         self._stakes = committee.stake_vector.stakes
+        # Non-zero only for uniform committees: lets the direct-vote scan
+        # collapse the stake sum to popcount * stake (see
+        # ``_direct_vote_stake``).
+        self._uniform_stake = committee.stake_vector.uniform_stake
         self.dag = dag
         self.schedule_manager = schedule_manager
         self.record_sequence = record_sequence
@@ -172,15 +176,27 @@ class BullsharkConsensus:
     def _direct_vote_stake(self, anchor: Vertex) -> int:
         """Stake of voting-round vertices that link directly to ``anchor``.
 
-        Sums from the precomputed stake array over the store's round view
-        (one source per vertex, so no dedup pass is needed).
+        Scans the store's round slab testing each vote's parent bitmask
+        against the anchor's bit (all edges of a voting-round vertex point
+        to the anchor's round, so source identity is the whole test).  The
+        voter set accumulates as a bitmask; uniform committees reduce the
+        stake sum to a single popcount-multiply, heterogeneous ones
+        iterate the set bits of the mask.
         """
-        anchor_id = anchor.id
+        anchor_bit = 1 << anchor.source
+        voters = 0
+        for vertex in self.dag.round_map(anchor.round + 1):
+            if vertex is not None and vertex.edge_mask & anchor_bit:
+                voters |= 1 << vertex.source
+        uniform = self._uniform_stake
+        if uniform:
+            return voters.bit_count() * uniform
         stakes = self._stakes
         total = 0
-        for vertex in self.dag.round_map(anchor.round + 1).values():
-            if anchor_id in vertex.edges:
-                total += stakes[vertex.source]
+        while voters:
+            low_bit = voters & -voters
+            total += stakes[low_bit.bit_length() - 1]
+            voters ^= low_bit
         return total
 
     def _find_directly_committable_anchor(self) -> Optional[Vertex]:

@@ -38,7 +38,18 @@ The cache stays correct under the store's mutation pattern:
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.committee import Committee
 from repro.dag.vertex import Vertex, check_edge_quorum
@@ -56,6 +67,9 @@ class DagStore:
     _tracing = False
     trace_owner: ValidatorId = -1
 
+    # Recycled round slabs kept after GC (see ``garbage_collect``).
+    _SLAB_POOL_LIMIT = 64
+
     def __init__(
         self,
         committee: Committee,
@@ -70,8 +84,18 @@ class DagStore:
         # then runs the reference BFS (used as the differential oracle by
         # the property tests, and as an escape hatch).
         self.cache_reachability = cache_reachability
-        # rounds[r][source] -> Vertex
-        self._rounds: Dict[Round, Dict[ValidatorId, Vertex]] = {}
+        # Arena-style per-round storage: ``_round_slots[r][source]`` is the
+        # round-``r`` vertex from ``source`` (``None`` when absent) in a
+        # flat slab indexed by validator id, and ``_round_order[r]`` keeps
+        # the arrival sequence the old insertion-ordered dicts exposed
+        # (digest-relevant: parent selection reads it).  Slabs are
+        # recycled through ``_slab_pool`` at GC so a long run allocates a
+        # bounded number of per-round containers instead of one dict per
+        # round.
+        self._size = len(committee.stake_vector.stakes)
+        self._round_slots: Dict[Round, List[Optional[Vertex]]] = {}
+        self._round_order: Dict[Round, List[Vertex]] = {}
+        self._slab_pool: List[List[Optional[Vertex]]] = []
         # Total stake present per round, maintained on insert/GC so the
         # per-insertion quorum checks are O(1) instead of summing stakes.
         self._round_stake: Dict[Round, int] = {}
@@ -82,7 +106,7 @@ class DagStore:
         # Callbacks invoked whenever a vertex is actually inserted.
         self._on_insert: List[Callable[[Vertex], None]] = []
         self._lowest_round = 0
-        # Cached ``max(self._rounds)``; queried on every round advance.
+        # Cached ``max(self._round_slots)``; queried on every round advance.
         self._highest_round = 0
         # vertex id -> {target round -> sources reachable at that round}.
         self._reach_cache: Dict[VertexId, Dict[Round, FrozenSet[ValidatorId]]] = {}
@@ -211,10 +235,16 @@ class DagStore:
         round_number = vertex.round
         source = vertex.source
         self._by_id[vertex.id] = vertex
-        level = self._rounds.get(round_number)
-        if level is None:
-            level = self._rounds[round_number] = {}
-        level[source] = vertex
+        slots = self._round_slots.get(round_number)
+        if slots is None:
+            pool = self._slab_pool
+            slots = pool.pop() if pool else [None] * self._size
+            self._round_slots[round_number] = slots
+            order = self._round_order[round_number] = []
+        else:
+            order = self._round_order[round_number]
+        slots[source] = vertex
+        order.append(vertex)
         self._round_stake[round_number] = (
             self._round_stake.get(round_number, 0) + self._stakes[source]
         )
@@ -250,8 +280,8 @@ class DagStore:
         if not cache:
             return
         reacher_ids: Set[VertexId] = {vertex.id}
-        for round_number in sorted(r for r in self._rounds if r > vertex.round):
-            for candidate in self._rounds[round_number].values():
+        for round_number in sorted(r for r in self._round_slots if r > vertex.round):
+            for candidate in self._round_order[round_number]:
                 if any(edge in reacher_ids for edge in candidate.edges):
                     reacher_ids.add(candidate.id)
         reacher_ids.discard(vertex.id)
@@ -298,16 +328,19 @@ class DagStore:
         return self._by_id.get(vertex_id)
 
     def vertex_of(self, round_number: Round, source: ValidatorId) -> Optional[Vertex]:
-        return self._rounds.get(round_number, {}).get(source)
+        slots = self._round_slots.get(round_number)
+        if slots is None or not 0 <= source < len(slots):
+            return None
+        return slots[source]
 
     def vertices_at(self, round_number: Round) -> Tuple[Vertex, ...]:
         # det: ordered -- arrival order under the single-threaded simulator;
-        # insertion-ordered dicts make it deterministic, and the differential
-        # suite pins the digests that depend on it.
-        return tuple(self._rounds.get(round_number, {}).values())
+        # the per-round arrival list makes it deterministic, and the
+        # differential suite pins the digests that depend on it.
+        return tuple(self._round_order.get(round_number, ()))
 
     def sources_at(self, round_number: Round) -> Set[ValidatorId]:
-        return set(self._rounds.get(round_number, {}).keys())
+        return {vertex.source for vertex in self._round_order.get(round_number, ())}
 
     def stake_at(self, round_number: Round) -> int:
         """Total stake of the sources with a vertex in ``round_number``."""
@@ -317,7 +350,7 @@ class DagStore:
         return self._round_stake.get(round_number, 0) >= self.committee.quorum_threshold
 
     def highest_round(self) -> Round:
-        if not self._rounds:
+        if not self._round_slots:
             return 0
         return self._highest_round
 
@@ -361,16 +394,18 @@ class DagStore:
         self._dirty_anchor_rounds = set()
         return dirty
 
-    def round_map(self, round_number: Round) -> Dict[ValidatorId, Vertex]:
-        """Read-only view of the vertices at ``round_number`` by source.
+    def round_map(self, round_number: Round) -> Sequence[Optional[Vertex]]:
+        """Read-only slab of the vertices at ``round_number`` by source.
 
-        Unlike :meth:`vertices_at` this does not copy; callers must not
-        mutate the returned mapping.  Used by the per-insertion commit
-        probes, where the tuple copy was measurable at committee 25+.
+        The result is indexable by validator id (``None`` where the source
+        has no vertex yet) and iterates in id order.  Unlike
+        :meth:`vertices_at` this does not copy; callers must not mutate
+        the returned sequence.  Used by the per-insertion commit probes,
+        where a per-call copy was measurable at committee 25+.
         """
-        return self._rounds.get(round_number, self._EMPTY_ROUND)
+        return self._round_slots.get(round_number, self._EMPTY_ROUND)
 
-    _EMPTY_ROUND: Dict[ValidatorId, Vertex] = {}
+    _EMPTY_ROUND: Tuple[Optional[Vertex], ...] = ()
 
     # -- reachability (``path`` in Algorithm 1) ---------------------------------------
 
@@ -559,14 +594,15 @@ class DagStore:
         deterministic (round, source) order without a final sort.
         """
         collected: List[Vertex] = []
-        rounds = self._rounds
+        rounds = self._round_slots
         # Iterate the rounds actually stored (not the horizon range): a
         # state-sync straggler may sit below the GC horizon yet still be
         # stored and reachable.
         for round_number in sorted(r for r in rounds if r < root_vertex.round):
-            level = rounds[round_number]
+            slots = rounds[round_number]
+            slot_count = len(slots)
             for source in sorted(self._reachable_sources(root_vertex, round_number)):
-                vertex = level.get(source)
+                vertex = slots[source] if 0 <= source < slot_count else None
                 if vertex is not None:
                     collected.append(vertex)
         if include_root:
@@ -633,16 +669,23 @@ class DagStore:
             # insertion, so the early-out matters.
             return 0
         removed = 0
-        for round_number in [r for r in self._rounds if r < before_round]:
-            for vertex in self._rounds[round_number].values():
+        for round_number in [r for r in self._round_slots if r < before_round]:
+            for vertex in self._round_order.pop(round_number):
                 del self._by_id[vertex.id]
                 self._reach_cache.pop(vertex.id, None)
                 removed += 1
-            del self._rounds[round_number]
+            slots = self._round_slots.pop(round_number)
+            # Recycle the slab: wipe in place and park it for the next
+            # round allocation.  The pool is bounded so a burst GC cannot
+            # retain arbitrarily many empty slabs.
+            if len(self._slab_pool) < self._SLAB_POOL_LIMIT and len(slots) == self._size:
+                for index in range(self._size):
+                    slots[index] = None
+                self._slab_pool.append(slots)
             self._round_stake.pop(round_number, None)
-        if not self._rounds:
+        if not self._round_slots:
             # GC swallowed every round (the horizon overtook the frontier);
-            # match ``max(self._rounds) or 0`` semantics.
+            # match ``max(rounds) or 0`` semantics.
             self._highest_round = 0
         self._lowest_round = max(self._lowest_round, before_round)
         self._stale_below_horizon = False
@@ -685,4 +728,4 @@ class DagStore:
         return self._lowest_round
 
     def all_rounds(self) -> List[Round]:
-        return sorted(self._rounds)
+        return sorted(self._round_slots)

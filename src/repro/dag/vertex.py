@@ -10,10 +10,10 @@ being accepted.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 from repro.committee import Committee
-from repro.crypto.hashing import Digest, vertex_digest
+from repro.crypto.hashing import Digest, evict_oldest_half, vertex_digest
 from repro.errors import DagError
 from repro.types import Round, SimTime, ValidatorId, VertexId
 
@@ -22,8 +22,39 @@ from repro.types import Round, SimTime, ValidatorId, VertexId
 # never look inside.
 Block = Tuple[Any, ...]
 
+# Per-process intern tables.  Every recipient of a broadcast rebuilds the
+# same vertex, so an ``n``-validator run otherwise holds ``n`` equal
+# ``VertexId`` tuples and ``n`` equal digest byte strings per vertex;
+# interning collapses them to one canonical object each (committee-100
+# keeps ~100x fewer of both alive).  Both tables are value-keyed, so a
+# hit can never change what any consumer observes — only object
+# identity — and both are capped with the same oldest-half eviction the
+# digest memos use.
+_VERTEX_ID_INTERN: Dict[Tuple[Round, ValidatorId], VertexId] = {}
+_DIGEST_INTERN: Dict[Digest, Digest] = {}
+_INTERN_LIMIT = 1 << 17
 
-@dataclasses.dataclass(frozen=True)
+
+def interned_vertex_id(round_number: Round, source: ValidatorId) -> VertexId:
+    """The canonical ``VertexId`` for ``(round, source)`` in this process."""
+    key = (round_number, source)
+    vertex_id = _VERTEX_ID_INTERN.get(key)
+    if vertex_id is None:
+        evict_oldest_half(_VERTEX_ID_INTERN, _INTERN_LIMIT)
+        vertex_id = VertexId(round=round_number, source=source)
+        _VERTEX_ID_INTERN[key] = vertex_id
+    return vertex_id
+
+
+def intern_table_sizes() -> Dict[str, int]:
+    """Current intern-table sizes (observability only, never digested)."""
+    return {
+        "vertex_id": len(_VERTEX_ID_INTERN),
+        "digest": len(_DIGEST_INTERN),
+    }
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
 class Vertex:
     """A vertex of the DAG (``struct vertex`` in Algorithm 1)."""
 
@@ -39,10 +70,20 @@ class Vertex:
     # call while an instance attribute is a C-level lookup.
     round: Round = dataclasses.field(init=False, compare=False, repr=False)
     source: ValidatorId = dataclasses.field(init=False, compare=False, repr=False)
+    # Bitmask of the parent sources: bit ``s`` is set iff this vertex has
+    # an edge to round ``round - 1``'s vertex from validator ``s``.  All
+    # edges of a vertex point to the previous round, so the mask loses no
+    # information relative to ``edges`` and lets the vote-stake scan test
+    # anchor support with one AND instead of a frozenset lookup.
+    edge_mask: int = dataclasses.field(init=False, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "round", self.id.round)
         object.__setattr__(self, "source", self.id.source)
+        mask = 0
+        for edge in self.edges:
+            mask |= 1 << edge.source
+        object.__setattr__(self, "edge_mask", mask)
 
     def canonical_fields(self) -> Tuple[Any, ...]:
         """Fields participating in the content digest."""
@@ -84,13 +125,15 @@ def make_vertex(
                 f"vertex at round {round_number} references parent at round "
                 f"{edge.round}; edges must point to the previous round"
             )
-    vertex_id = VertexId(round=round_number, source=source)
+    vertex_id = interned_vertex_id(round_number, source)
     digest = vertex_digest(
         round_number,
         source,
         sorted(edge_set),
         len(block),
     )
+    evict_oldest_half(_DIGEST_INTERN, _INTERN_LIMIT)
+    digest = _DIGEST_INTERN.setdefault(digest, digest)
     return Vertex(
         id=vertex_id,
         edges=edge_set,
@@ -129,5 +172,5 @@ def check_edge_quorum(vertex: Vertex, committee: Committee) -> bool:
     if vertex.round == 0:
         return True
     return committee.edge_quorum_verdict(
-        vertex.digest, (edge.source for edge in vertex.edges)
+        vertex.digest, (edge.source for edge in vertex.edges), vertex.edge_mask
     )

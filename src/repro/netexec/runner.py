@@ -112,7 +112,9 @@ async def _run_async(
             from repro.obs.registry import InstrumentationRegistry
             from repro.obs.trace import MemoryTracer
 
-            tracer = MemoryTracer(clock=lambda: scheduler.now)
+            tracer = MemoryTracer(
+                clock=lambda: scheduler.now, max_events=config.trace_limit
+            )
             registry = InstrumentationRegistry()
             transport.install_observability(tracer, registry)
             for _validator, node in sorted(nodes.items()):
@@ -250,6 +252,6 @@ def _build_result(
         # block of both backends' artifacts matches field for field.
         reputation=reputation_metrics(observer.schedule_manager, faulty=[]),
         counters=counters,
-        trace=list(tracer.events) if tracer is not None else [],
+        trace=tracer.export_events() if tracer is not None else [],
         profile={},
     )

@@ -22,7 +22,8 @@ iteration into order-sensitive sinks.  Timestamps come from the
 from __future__ import annotations
 
 import json
-from typing import Any, Callable, Dict, List, TextIO, Tuple
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, TextIO, Tuple
 
 # Catalogue of every event kind the instrumentation points can emit,
 # with the fields a consumer can rely on.  ``repro.obs.query`` and the
@@ -52,6 +53,7 @@ EVENT_KINDS: Tuple[Tuple[str, str], ...] = (
     ("disturbance_close", "jitter/loss window closed: token"),
     ("validator_crashed", "transport marked a validator crashed: validator"),
     ("validator_recovered", "transport unmarked a crashed validator: validator"),
+    ("trace_truncated", "bounded tracer dropped its oldest events: dropped, kept"),
 )
 
 KNOWN_KINDS: Tuple[str, ...] = tuple(kind for kind, _ in EVENT_KINDS)
@@ -87,18 +89,58 @@ class MemoryTracer(Tracer):
 
     ``clock`` is injected by the runner (``simulator.now``); the tracer
     itself never reads a wall clock, keeping it purity-clean.
+
+    ``max_events`` turns the tracer into a bounded ring buffer: at most
+    that many events are held, the *oldest* are evicted first, and the
+    eviction count is kept in ``dropped``.  A committee-100 traced run
+    emits millions of events; the ring bound makes tracing usable there
+    without holding the full stream in memory.  Exports of a truncated
+    trace are prefixed with one ``trace_truncated`` marker event (see
+    :meth:`export_events`) so JSONL consumers can tell a bounded trace
+    from a complete one.
     """
 
     enabled = True
 
-    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        max_events: Optional[int] = None,
+    ) -> None:
         self.clock: Callable[[], float] = clock if clock is not None else _zero_clock
-        self.events: List[Dict[str, Any]] = []
+        self.max_events = max_events
+        # deque(maxlen=N) evicts from the head on append at capacity —
+        # exactly the ring-buffer semantics — at C speed.
+        self.events: Any = deque(maxlen=max_events) if max_events else []
+        self.dropped = 0
 
     def emit(self, kind: str, **fields: Any) -> None:
         event: Dict[str, Any] = {"kind": kind, "t": self.clock()}
         event.update(fields)
-        self.events.append(event)
+        events = self.events
+        if self.max_events is not None and len(events) == self.max_events:
+            self.dropped += 1
+        events.append(event)
+
+    def export_events(self) -> List[Dict[str, Any]]:
+        """The retained events as a list, truncation marker included.
+
+        When the ring bound evicted anything, the first element is a
+        ``trace_truncated`` event carrying ``dropped`` (evicted count)
+        and ``kept`` (retained count), stamped with the timestamp of the
+        oldest retained event; consumers of the JSONL can rely on the
+        marker being first.
+        """
+        events = list(self.events)
+        if self.dropped:
+            marker: Dict[str, Any] = {
+                "kind": "trace_truncated",
+                "t": events[0]["t"] if events else 0.0,
+                "dropped": self.dropped,
+                "kept": len(events),
+            }
+            return [marker, *events]
+        return events
 
     def __len__(self) -> int:
         return len(self.events)

@@ -91,6 +91,12 @@ class ExperimentConfig:
     # by default and, when off, leave the hot paths untouched.
     trace: bool = False
     profile: bool = False
+    # Ring-buffer bound for the tracer: keep at most this many events in
+    # memory (oldest evicted first; the export carries one
+    # ``trace_truncated`` marker).  ``None`` keeps the full stream —
+    # fine up to committee ~50, prohibitive at committee 100+.  Only
+    # meaningful together with ``trace``.
+    trace_limit: Optional[int] = None
 
     def validate(self) -> "ExperimentConfig":
         if self.protocol not in (PROTOCOL_HAMMERHEAD, PROTOCOL_BULLSHARK):
@@ -143,6 +149,8 @@ class ExperimentConfig:
             raise ConfigurationError("the observer must be a committee member")
         if self.seed < 0 or self.seed >= 4096:
             raise ConfigurationError("seeds must lie in [0, 4096)")
+        if self.trace_limit is not None and self.trace_limit < 1:
+            raise ConfigurationError("trace_limit must be positive (or None)")
         if not 0.0 <= self.exclude_fraction < 1.0:
             raise ConfigurationError("exclude_fraction must lie in [0, 1)")
         return self

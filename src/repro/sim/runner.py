@@ -191,7 +191,9 @@ class SimulationRunner:
         untouched.
         """
         simulator = self.simulator
-        self.tracer = MemoryTracer(clock=lambda: simulator.now)
+        self.tracer = MemoryTracer(
+            clock=lambda: simulator.now, max_events=self.config.trace_limit
+        )
         self.registry = InstrumentationRegistry()
         self.network.install_observability(self.tracer, self.registry)
         for _validator, node in sorted(self.nodes.items()):
@@ -365,6 +367,7 @@ class SimulationRunner:
         """
         from repro.consensus.bullshark import _ORDERING_TOKENS
         from repro.crypto.hashing import BROADCAST_DIGEST_MEMO
+        from repro.dag.vertex import intern_table_sizes
 
         nodes = self.nodes.values()
         stats = self.network.stats
@@ -393,8 +396,18 @@ class SimulationRunner:
             "memo.signer_quorum.hits": float(vector.signer_cache_hits),
             "memo.signer_quorum.misses": float(vector.signer_cache_misses),
             "memo.signer_quorum.size": float(len(vector._signer_quorum_cache)),
+            "memo.mask_quorum.hits": float(vector.mask_cache_hits),
+            "memo.mask_quorum.misses": float(vector.mask_cache_misses),
+            "memo.mask_quorum.size": float(len(vector._mask_quorum_cache)),
+            "memo.edge_quorum.size": float(self.committee.edge_quorum_cache_size()),
             "memo.ordering_tokens.size": float(len(_ORDERING_TOKENS)),
         }
+        intern_sizes = intern_table_sizes()
+        counters["memo.intern.vertex_id.size"] = float(intern_sizes["vertex_id"])
+        counters["memo.intern.digest.size"] = float(intern_sizes["digest"])
+        if self.tracer is not None:
+            counters["trace.events_kept"] = float(len(self.tracer.events))
+            counters["trace.events_dropped"] = float(self.tracer.dropped)
         return counters
 
     def _build_result(self) -> ExperimentResult:
@@ -467,6 +480,6 @@ class SimulationRunner:
                 faulty=self.fault_injector.affected_validators(),
             ),
             counters=counters,
-            trace=list(self.tracer.events) if self.tracer is not None else [],
+            trace=self.tracer.export_events() if self.tracer is not None else [],
             profile=self.profiler.snapshot() if self.profiler is not None else {},
         )

@@ -230,8 +230,8 @@ class TestSilentFanout:
         start_all(nodes)
         simulator.run(until=5.0)
         # The adversary never acknowledged the target's broadcasts...
-        target_acks = nodes[target].broadcast_protocol._acks
-        assert all(adversary not in voters for voters in target_acks.values())
+        target_acks = nodes[target].broadcast_protocol._ack_masks
+        assert all(not mask >> adversary & 1 for mask in target_acks.values())
         # ...nor did the target ever hear a proposal from the adversary.
         assert all(
             origin != adversary for origin, _ in nodes[target].broadcast_protocol._acked
