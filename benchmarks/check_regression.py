@@ -2,7 +2,7 @@
 """Bench regression gate: diff a fresh bench JSON against the baseline.
 
 Compares the ``events_per_sec`` of every stage a freshly generated bench
-document shares with the committed baseline (``BENCH_PR9.json`` at the
+document shares with the committed baseline (``BENCH_PR10.json`` at the
 repository root, i.e. the trajectory recorded when the current
 optimization PR landed) and exits non-zero when any stage regressed by
 more than the threshold (default 10%).
@@ -43,8 +43,8 @@ perf win.
 Usage::
 
     python benchmarks/run_bench.py --smoke --output /tmp/bench.json
-    python benchmarks/check_regression.py /tmp/bench.json              # vs BENCH_PR9.json
-    python benchmarks/check_regression.py /tmp/bench.json --baseline BENCH_PR9.json
+    python benchmarks/check_regression.py /tmp/bench.json              # vs BENCH_PR10.json
+    python benchmarks/check_regression.py /tmp/bench.json --baseline BENCH_PR10.json
     python benchmarks/check_regression.py fresh.json --threshold 0.25  # override knob
     python benchmarks/check_regression.py fresh.json --no-calibration  # raw ratios
 
@@ -65,7 +65,7 @@ import sys
 from typing import Dict, Iterable, List, Optional, Tuple
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_PR9.json")
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_PR10.json")
 DEFAULT_THRESHOLD = 0.10
 # Tolerated fractional growth of memory_per_validator per stage.  The
 # tracemalloc peak is far less noisy than wall-clock (the simulation is
@@ -310,6 +310,57 @@ def compare_matrix_stage(fresh: dict, baseline: dict) -> List[Mismatch]:
     return findings
 
 
+def compare_lossy_stage(
+    fresh: dict,
+    baseline: dict,
+    threshold: float,
+    cpu_ratio: Optional[float] = None,
+) -> List[Mismatch]:
+    """Gate the ``lossy_recovery`` stage (bench_hotpaths, PR10 onward).
+
+    Each piggyback variant gets the standard events/sec + ordering-digest
+    comparison against its baseline counterpart (the variants are
+    deterministic runs, so their digests are pins like any committee
+    stage's).  On top of that, the *fresh* document must itself satisfy
+    the recovery invariants — strictly fewer fetch round-trips, at least
+    one stash heal, no-worse average park-to-promote stall, consistent
+    committed prefixes (see ``benchmarks/check_recovery.py``, which owns
+    the assertions) — so a change that silently breaks the recovery win
+    fails the gate even when raw events/sec stay healthy.
+    """
+    findings: List[Mismatch] = []
+    fresh_stage = fresh.get("lossy_recovery") or {}
+    base_stage = baseline.get("lossy_recovery") or {}
+    if not fresh_stage:
+        findings.append(
+            Mismatch("lossy_recovery", "not run in fresh document, skipped", fatal=False)
+        )
+        return findings
+    if base_stage:
+        for variant in ("piggyback_off", "piggyback_on"):
+            findings.extend(
+                compare_stage(
+                    f"lossy_recovery:{variant}",
+                    fresh_stage.get(variant),
+                    base_stage.get(variant),
+                    threshold,
+                    cpu_ratio,
+                )
+            )
+    else:
+        findings.append(
+            Mismatch("lossy_recovery", "not in baseline, digest comparison skipped", fatal=False)
+        )
+    from check_recovery import check_bench_stage
+
+    for check in check_bench_stage(fresh_stage):
+        if not check.ok:
+            findings.append(
+                Mismatch(f"lossy_recovery:{check.name}", check.detail, fatal=True)
+            )
+    return findings
+
+
 def stage_deltas(
     fresh: dict,
     baseline: dict,
@@ -349,6 +400,14 @@ def stage_deltas(
             f"committee{key[0]}@{key[1]:.0f}tps",
             fresh_committee.get(key),
             base_committee.get(key),
+        )
+    fresh_lossy = fresh.get("lossy_recovery") or {}
+    base_lossy = baseline.get("lossy_recovery") or {}
+    for variant in ("piggyback_off", "piggyback_on"):
+        add(
+            f"lossy_recovery:{variant}",
+            fresh_lossy.get(variant),
+            base_lossy.get(variant),
         )
     return rows
 
@@ -427,6 +486,7 @@ def compare_documents(
                 memory_threshold,
             )
         )
+    findings.extend(compare_lossy_stage(fresh, baseline, threshold, cpu_ratio))
     for stage in ("scenario_smoke", "scenario_adversary"):
         findings.extend(compare_scenario_stage(stage, fresh, baseline))
     findings.extend(compare_matrix_stage(fresh, baseline))
@@ -443,7 +503,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--baseline",
         default=DEFAULT_BASELINE,
-        help="committed baseline document (default: BENCH_PR9.json)",
+        help="committed baseline document (default: BENCH_PR10.json)",
     )
     parser.add_argument(
         "--no-calibration",

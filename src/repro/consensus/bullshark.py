@@ -33,7 +33,7 @@ Differences from the pseudocode that matter for the reproduction:
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, List, Optional, Set
+from typing import Callable, List, Optional, Set, Tuple
 
 from repro.committee import Committee
 from repro.consensus.committed import CommittedSubDag, OrderedVertex
@@ -55,6 +55,15 @@ CommitCallback = Callable[[CommittedSubDag], None]
 # shared.  Bounded and flushed wholesale; entries are pure functions of
 # the key.
 _ORDERING_TOKENS: dict = {}
+
+# Every this many ordered vertices, the engine snapshots its rolling
+# ordering digest into ``ordering_checkpoints``.  The snapshots let two
+# runs whose final digests differ (e.g. lossy piggyback-on vs -off) be
+# compared by their longest common committed prefix, and let validators
+# with different ordered counts be checked for prefix consistency.  A
+# power of two so the hot-path test is one AND; hexdigest on the rolling
+# hasher is a cheap state copy, paid once per 64 ordered vertices.
+ORDERING_CHECKPOINT_INTERVAL = 64
 
 
 class BullsharkConsensus:
@@ -113,6 +122,10 @@ class BullsharkConsensus:
         # Rolling digest of the ordered (round, source) sequence; two
         # validators with the same count and digest ordered the same prefix.
         self._ordering_digest = hashlib.sha256()
+        # Periodic (ordered_count, hexdigest) snapshots of the rolling
+        # digest (see ORDERING_CHECKPOINT_INTERVAL); consumed by
+        # :mod:`repro.obs.consistency` for committed-prefix comparison.
+        self.ordering_checkpoints: List[Tuple[int, str]] = []
 
         self._ordered_callbacks: List[OrderedCallback] = []
         self._commit_callbacks: List[CommitCallback] = []
@@ -429,6 +442,9 @@ class BullsharkConsensus:
             evict_oldest_half(_ORDERING_TOKENS, 1 << 16)
             token = _ORDERING_TOKENS[key] = f"{vertex.round}:{vertex.source};".encode("ascii")
         self._ordering_digest.update(token)
+        count = position + 1
+        if not count & (ORDERING_CHECKPOINT_INTERVAL - 1):
+            self.ordering_checkpoints.append((count, self._ordering_digest.hexdigest()))
         if self._tracing:
             # Commit latency per vertex: creation (sim time) to ordering.
             self._tracer.emit(

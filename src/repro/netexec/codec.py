@@ -46,6 +46,7 @@ from repro.rbc.messages import (
     CertificateBatch,
     CertificateMessage,
     EchoMessage,
+    PiggybackedPropose,
     ProposeMessage,
     ReadyMessage,
 )
@@ -170,6 +171,7 @@ _SPECS: Tuple[_TypeSpec, ...] = (
     _spec(13, CertificateBatch, ("origin", "round", "digest", "certificates")),
     _spec(14, EchoMessage, ("origin", "round", "digest", "payload")),
     _spec(15, ReadyMessage, ("origin", "round", "digest")),
+    _spec(16, PiggybackedPropose, ("origin", "round", "digest", "payload", "certificates")),
 )
 
 # Dispatch must be by exact class, not isinstance: the rbc messages form

@@ -210,6 +210,10 @@ def _build_result(
         validator: (node.consensus.ordered_count, node.consensus.ordering_digest)
         for validator, node in nodes.items()
     }
+    ordering_checkpoints = {
+        validator: list(node.consensus.ordering_checkpoints)
+        for validator, node in nodes.items()
+    }
     counters: Dict[str, Any] = {
         "always": {
             "net.messages_sent": float(transport.stats.messages_sent),
@@ -230,6 +234,7 @@ def _build_result(
         config=config,
         report=report,
         ordering_digests=ordering_digests,
+        ordering_checkpoints=ordering_checkpoints,
         schedule_epochs={
             validator: node.schedule_manager.epochs for validator, node in nodes.items()
         },

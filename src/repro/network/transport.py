@@ -328,13 +328,26 @@ class Network:
         self._schedule_delivery(source.node_id, destination, message, delay)
 
     def _trace_drop(self, sender: int, recipient: int, message: Any, reason: str) -> None:
-        self.tracer.emit(
-            "message_dropped",
-            sender=sender,
-            destination=recipient,
-            type=type(message).__name__,
-            reason=reason,
-        )
+        fields: Dict[str, Any] = {
+            "sender": sender,
+            "destination": recipient,
+            "type": type(message).__name__,
+            "reason": reason,
+        }
+        if reason == "loss" and self._disturbances:
+            # The loss-window id responsible for the drop.  Windows
+            # compose, so the drop is attributed to the newest open one
+            # (tokens ascend in open order) — enough for `repro.obs
+            # explain` to tie a dropped certificate back to its fault
+            # window.
+            fields["window"] = max(self._disturbances)
+        origin = getattr(message, "origin", None)
+        if origin is not None:
+            # Broadcast-layer envelopes identify the broadcast they carry;
+            # recovery analysis joins drops to later deliveries on this.
+            fields["origin"] = origin
+            fields["round"] = message.round
+        self.tracer.emit("message_dropped", **fields)
 
     def _schedule_delivery(
         self, sender: int, destination: _Endpoint, message: Any, delay: SimTime
@@ -410,6 +423,65 @@ class Network:
                 stats.loss_drops += 1
                 if tracing:
                     self._trace_drop(sender, node_id, message, "loss")
+                continue
+            schedule_delivery(sender, destination, message, delivery_delay(source, destination))
+
+    def scatter(self, sender: int, envelopes: Iterable[Tuple[int, Any]]) -> None:
+        """Fan per-recipient envelopes out in one broadcast-shaped call.
+
+        The certificate-piggyback path: each recipient gets its own
+        envelope (the proposal plus the certificate delta selected for
+        that peer), but the call is accounted and scheduled exactly like
+        :meth:`broadcast` — one ``broadcasts`` tick, ``len(envelopes)``
+        sends, and the same per-recipient partition/loss/delay logic in
+        the same order.  Callers must list every registered node exactly
+        once, in registration order (ascending ids, the committee order);
+        then the RNG draw sequence, the event sequence, and every
+        :class:`NetworkStats` counter are byte-identical to broadcasting
+        one message to the full committee — only the envelope contents
+        differ per recipient.
+        """
+        stats = self.stats
+        stats.broadcasts += 1
+        endpoints = self._endpoints
+        source = endpoints.get(sender)
+        if source is None:
+            raise NetworkError(f"node {sender} is not registered")
+        envelopes = tuple(envelopes)
+        stats.messages_sent += len(envelopes)
+        if self._counters is not None:
+            for _recipient, message in envelopes:
+                self._counters.count_message(message)
+        if source.crashed:
+            stats.messages_dropped += len(envelopes)
+            if self._tracing and envelopes:
+                self._trace_drop(sender, -1, envelopes[0][1], "sender_crashed")
+            return
+        groups = self._partition_groups
+        loss_rate = self._loss_rate
+        rng = self.simulator.rng
+        delivery_delay = self._delivery_delay
+        schedule_delivery = self._schedule_delivery
+        tracing = self._tracing
+        for recipient, message in envelopes:
+            destination = endpoints.get(recipient)
+            if destination is None:
+                raise NetworkError(f"recipient {recipient} is not registered")
+            if (
+                groups is not None
+                and recipient != sender
+                and groups.get(sender, -1) != groups.get(recipient, -1)
+            ):
+                stats.messages_dropped += 1
+                stats.partition_drops += 1
+                if tracing:
+                    self._trace_drop(sender, recipient, message, "partition")
+                continue
+            if loss_rate > 0.0 and recipient != sender and rng.random() < loss_rate:
+                stats.messages_dropped += 1
+                stats.loss_drops += 1
+                if tracing:
+                    self._trace_drop(sender, recipient, message, "loss")
                 continue
             schedule_delivery(sender, destination, message, delivery_delay(source, destination))
 

@@ -54,6 +54,16 @@ class NodeConfig:
     # for the differential property tests and as an escape hatch.
     certificate_batching: bool = True
 
+    # Relay recently collected certificates on the propose fan-out so a
+    # certificate lost to a loss window heals passively instead of
+    # waiting for a fetch timeout (see
+    # :mod:`repro.rbc.certified`).  Off by default: relayed certificates
+    # are only consulted at the synchronizer's fetch trigger, so
+    # loss-free runs are byte-identical either way, but lossy-run
+    # behavior (and thus their digests) changes with the flag on.
+    # Requires the certified broadcast.
+    certificate_piggyback: bool = False
+
     # Scoring rule driving this node's reputation accounting, by registry
     # name (see :mod:`repro.core.scoring`).  The simulation runner's
     # schedule-manager factory reads this field (after copying
@@ -84,6 +94,10 @@ class NodeConfig:
         if self.broadcast not in ("certified", "bracha"):
             raise ConfigurationError(
                 f"unknown broadcast implementation {self.broadcast!r}"
+            )
+        if self.certificate_piggyback and self.broadcast != "certified":
+            raise ConfigurationError(
+                "certificate_piggyback requires the certified broadcast"
             )
         # Imported here: the scoring registry sits above the node layer in
         # the package graph, and config validation is not a hot path.

@@ -248,15 +248,51 @@ def explain_anchor(
         lines.append(
             f"  a network partition was active (groups={partition.get('groups')})"
         )
-    drops = sum(
-        1
+    dropped = [
+        event
         for event in events
         if event["kind"] == "message_dropped"
         and event.get("sender") == leader
         and event["t"] <= at
-    )
-    if drops:
-        lines.append(f"  the transport dropped {drops} message(s) sent by validator {leader}")
+    ]
+    if dropped:
+        # Break the count down by drop reason, and name the loss windows
+        # involved — "14 dropped" alone says nothing about whether a
+        # partition, a crash, or a loss window ate the leader's traffic.
+        reasons: Dict[str, int] = {}
+        windows = set()
+        for event in dropped:
+            reason = event.get("reason", "?")
+            reasons[reason] = reasons.get(reason, 0) + 1
+            window = event.get("window")
+            if window is not None:
+                windows.add(window)
+        breakdown = ", ".join(
+            f"{count} {reason}" for reason, count in sorted(reasons.items())
+        )
+        lines.append(
+            f"  the transport dropped {len(dropped)} message(s) sent by "
+            f"validator {leader} ({breakdown})"
+        )
+        if windows:
+            lines.append(
+                "  loss window(s) involved: "
+                + ", ".join(str(window) for window in sorted(windows))
+            )
+        anchor_drops = [
+            event
+            for event in dropped
+            if event.get("round") == round_number and event.get("origin") == leader
+        ]
+        if anchor_drops:
+            lines.append(
+                f"  {len(anchor_drops)} of them carried the leader's r={round_number} "
+                "broadcast itself (types: "
+                + ", ".join(
+                    sorted({event.get("type", "?") for event in anchor_drops})
+                )
+                + ")"
+            )
     return lines
 
 

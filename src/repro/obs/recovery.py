@@ -1,0 +1,182 @@
+"""Recovery-latency mining: how long lost certificates stall the DAG.
+
+A loss window drops ``CertificateMessage`` / ``CertificateBatch``
+envelopes on the wire.  The receiver notices only when a later vertex
+references the missing parent: the child is *parked*
+(``vertex_parked``), the synchronizer arranges recovery (a piggybacked
+stash heal or an explicit fetch round-trip), and the child is
+*promoted* (``vertex_promoted``) once the parent lands.  The headline
+**recovery latency** is that park-to-promote gap: it is conditioned on
+"needed and missing" — the same denominator in piggyback-on and
+piggyback-off runs even though their post-window histories diverge —
+and it is exactly the stall the piggyback stash collapses (the heal
+fires at park time, where the fetch path waits out a timeout plus a
+round-trip).
+
+Two supporting populations are mined alongside:
+
+* **Drop-to-rearrival** gaps: each ``message_dropped`` event with
+  ``reason == "loss"`` and a certificate ``type`` (the transport
+  enriches those with ``destination``/``origin``/``round``) joined to
+  the first subsequent reappearance of that vertex at the destination —
+  via ``payload_delivered`` (certificate layer: ``node``, ``origin``,
+  ``round``) or ``vertex_inserted`` / ``vertex_promoted`` (DAG layer:
+  ``node``, ``round``, ``source``).  Both arrival kinds count: a fetch
+  response bypasses the certificate layer entirely.
+* Drop accounting: ``redundant_drops`` (the destination already held
+  the vertex when the envelope was dropped) and ``unrecovered`` (the
+  vertex never reappeared — the run ended, or the destination never
+  needed it because its quorums were met by other parents).
+
+Mining the trace instead of instrumenting the protocol keeps the hot
+path untouched and works identically for both variants, which is what
+the lossy-recovery bench stage and CI gate compare.  Pure
+post-processing: no clock, no randomness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.metrics.latency import LatencyStats
+
+#: Message types whose loss removes certificate information from a peer.
+CERTIFICATE_TYPES: Tuple[str, ...] = ("CertificateMessage", "CertificateBatch")
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryReport:
+    """Mined recovery behaviour of one traced run.
+
+    ``stalls`` holds one park-to-promote gap per parked vertex that was
+    eventually promoted (the headline recovery latency);
+    ``unpromoted`` counts vertices parked and never promoted before the
+    run ended.  ``drop_samples`` holds one drop-to-rearrival gap per
+    certificate loss drop that was later healed; ``redundant_drops``
+    and ``unrecovered`` complete the drop accounting.
+    """
+
+    stalls: Tuple[float, ...]
+    unpromoted: int
+    drop_samples: Tuple[float, ...]
+    redundant_drops: int
+    unrecovered: int
+
+    @property
+    def certificate_drops(self) -> int:
+        return len(self.drop_samples) + self.redundant_drops + self.unrecovered
+
+    def latency(self) -> LatencyStats:
+        stats = LatencyStats()
+        stats.extend(self.stalls)
+        return stats
+
+    def summary(self) -> Dict[str, float]:
+        """Percentile summary of the stalls plus drop accounting, JSON-ready."""
+        summary = self.latency().summary()
+        summary["unpromoted"] = float(self.unpromoted)
+        drop_stats = LatencyStats()
+        drop_stats.extend(self.drop_samples)
+        summary["drop_count"] = float(len(self.drop_samples))
+        summary["drop_p50"] = drop_stats.p50()
+        summary["drop_max"] = drop_stats.maximum()
+        summary["certificate_drops"] = float(self.certificate_drops)
+        summary["redundant_drops"] = float(self.redundant_drops)
+        summary["unrecovered"] = float(self.unrecovered)
+        return summary
+
+
+def _certificate_key(event: Dict[str, Any]) -> Optional[Tuple[int, int, int]]:
+    """(destination, origin, round) of a certificate loss drop, else None."""
+    if event.get("kind") != "message_dropped" or event.get("reason") != "loss":
+        return None
+    if event.get("type") not in CERTIFICATE_TYPES:
+        return None
+    origin = event.get("origin")
+    round_number = event.get("round")
+    destination = event.get("destination")
+    if origin is None or round_number is None or destination is None:
+        return None
+    return (destination, origin, round_number)
+
+
+def mine_recovery(events: Iterable[Dict[str, Any]]) -> RecoveryReport:
+    """Mine park-to-promote stalls and drop-to-rearrival gaps.
+
+    One pass indexes arrivals (certificate deliveries and DAG
+    insertions) and promotions per ``(node, origin, round)``; a second
+    pass joins each park to its promotion and each certificate drop to
+    the earliest arrival at (or after) the drop time.
+    """
+    events = list(events)
+    arrivals: Dict[Tuple[int, int, int], List[float]] = {}
+    promotions: Dict[Tuple[int, int, int], List[float]] = {}
+    for event in events:
+        kind = event.get("kind")
+        if kind == "payload_delivered":
+            origin = event.get("origin")
+        elif kind in ("vertex_inserted", "vertex_promoted"):
+            origin = event.get("source")
+        else:
+            continue
+        node = event.get("node")
+        round_number = event.get("round")
+        if node is None or origin is None or round_number is None:
+            continue
+        key = (node, origin, round_number)
+        arrivals.setdefault(key, []).append(event["t"])
+        if kind == "vertex_promoted":
+            promotions.setdefault(key, []).append(event["t"])
+
+    stalls: List[float] = []
+    unpromoted = 0
+    drop_samples: List[float] = []
+    redundant = 0
+    unrecovered = 0
+    for event in events:
+        kind = event.get("kind")
+        if kind == "vertex_parked":
+            key = (event.get("node"), event.get("source"), event.get("round"))
+            parked_at = event["t"]
+            promoted_at = _earliest_at_or_after(promotions.get(key), parked_at)
+            if promoted_at is None:
+                unpromoted += 1
+            else:
+                stalls.append(promoted_at - parked_at)
+            continue
+        key = _certificate_key(event)
+        if key is None:
+            continue
+        dropped_at = event["t"]
+        times = arrivals.get(key)
+        if times is not None and any(t < dropped_at for t in times):
+            # The destination already held the vertex: no information lost.
+            redundant += 1
+            continue
+        healed_at = _earliest_at_or_after(times, dropped_at)
+        if healed_at is None:
+            unrecovered += 1
+        else:
+            drop_samples.append(healed_at - dropped_at)
+    return RecoveryReport(
+        stalls=tuple(stalls),
+        unpromoted=unpromoted,
+        drop_samples=tuple(drop_samples),
+        redundant_drops=redundant,
+        unrecovered=unrecovered,
+    )
+
+
+def _earliest_at_or_after(times: Optional[List[float]], after: float) -> Optional[float]:
+    best: Optional[float] = None
+    if times:
+        for t in times:
+            if t >= after and (best is None or t < best):
+                best = t
+    return best
+
+
+def recovery_summary(events: Iterable[Dict[str, Any]]) -> Dict[str, float]:
+    """Convenience wrapper: mine ``events`` and return the summary dict."""
+    return mine_recovery(events).summary()

@@ -46,7 +46,8 @@ EVENT_KINDS: Tuple[Tuple[str, str], ...] = (
     ("adversary_ack_withheld", "behavior policy withheld an ack: round, origin"),
     ("behavior_window_open", "a BehaviorFault installed policies: validators, policy, coordinated"),
     ("behavior_window_close", "a BehaviorFault restored honest policies: validators"),
-    ("message_dropped", "transport dropped a message: sender, destination, type, reason"),
+    ("message_dropped", "transport dropped a message: sender, destination, type, reason; loss drops add the window token, broadcast envelopes add origin/round"),
+    ("certificate_healed", "piggybacked certificate healed a missing vertex before a fetch: round, origin"),
     ("partition_set", "transport partition installed: groups"),
     ("partition_cleared", "transport partition removed"),
     ("disturbance_open", "jitter/loss window opened: token, jitter, loss_rate"),
@@ -54,6 +55,7 @@ EVENT_KINDS: Tuple[Tuple[str, str], ...] = (
     ("validator_crashed", "transport marked a validator crashed: validator"),
     ("validator_recovered", "transport unmarked a crashed validator: validator"),
     ("trace_truncated", "bounded tracer dropped its oldest events: dropped, kept"),
+    ("trace_sampled", "tracer kept only every Nth event: sample_every, sampled_out, kept"),
 )
 
 KNOWN_KINDS: Tuple[str, ...] = tuple(kind for kind, _ in EVENT_KINDS)
@@ -98,6 +100,14 @@ class MemoryTracer(Tracer):
     trace are prefixed with one ``trace_truncated`` marker event (see
     :meth:`export_events`) so JSONL consumers can tell a bounded trace
     from a complete one.
+
+    ``sample_every`` thins the stream at the emit site instead: the
+    first event of every stride of N is kept, the other N-1 are counted
+    in ``sampled_out`` and discarded before any allocation hits the
+    buffer.  Where the ring bound keeps the *newest* window of a run,
+    sampling keeps a uniform cross-section of the *whole* run; the two
+    compose (the ring bound applies to the sampled stream).  Exports of
+    a sampled trace carry one ``trace_sampled`` marker event.
     """
 
     enabled = True
@@ -106,15 +116,28 @@ class MemoryTracer(Tracer):
         self,
         clock: Callable[[], float] | None = None,
         max_events: Optional[int] = None,
+        sample_every: Optional[int] = None,
     ) -> None:
         self.clock: Callable[[], float] = clock if clock is not None else _zero_clock
         self.max_events = max_events
+        if sample_every is not None and sample_every < 1:
+            raise ValueError("sample_every must be positive (or None)")
+        self.sample_every = sample_every
         # deque(maxlen=N) evicts from the head on append at capacity —
         # exactly the ring-buffer semantics — at C speed.
         self.events: Any = deque(maxlen=max_events) if max_events else []
         self.dropped = 0
+        self.sampled_out = 0
+        self._emitted = 0
 
     def emit(self, kind: str, **fields: Any) -> None:
+        sample_every = self.sample_every
+        if sample_every is not None and sample_every > 1:
+            emitted = self._emitted
+            self._emitted = emitted + 1
+            if emitted % sample_every:
+                self.sampled_out += 1
+                return
         event: Dict[str, Any] = {"kind": kind, "t": self.clock()}
         event.update(fields)
         events = self.events
@@ -123,23 +146,40 @@ class MemoryTracer(Tracer):
         events.append(event)
 
     def export_events(self) -> List[Dict[str, Any]]:
-        """The retained events as a list, truncation marker included.
+        """The retained events as a list, truncation/sampling markers included.
 
         When the ring bound evicted anything, the first element is a
         ``trace_truncated`` event carrying ``dropped`` (evicted count)
         and ``kept`` (retained count), stamped with the timestamp of the
         oldest retained event; consumers of the JSONL can rely on the
-        marker being first.
+        marker being first.  A sampled stream (``sample_every`` > 1)
+        additionally carries one ``trace_sampled`` marker — after the
+        truncation marker when both apply, first otherwise.
         """
         events = list(self.events)
+        markers: List[Dict[str, Any]] = []
+        first_t = events[0]["t"] if events else 0.0
         if self.dropped:
-            marker: Dict[str, Any] = {
-                "kind": "trace_truncated",
-                "t": events[0]["t"] if events else 0.0,
-                "dropped": self.dropped,
-                "kept": len(events),
-            }
-            return [marker, *events]
+            markers.append(
+                {
+                    "kind": "trace_truncated",
+                    "t": first_t,
+                    "dropped": self.dropped,
+                    "kept": len(events),
+                }
+            )
+        if self.sample_every is not None and self.sample_every > 1:
+            markers.append(
+                {
+                    "kind": "trace_sampled",
+                    "t": first_t,
+                    "sample_every": self.sample_every,
+                    "sampled_out": self.sampled_out,
+                    "kept": len(events),
+                }
+            )
+        if markers:
+            return [*markers, *events]
         return events
 
     def __len__(self) -> int:

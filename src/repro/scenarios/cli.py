@@ -15,6 +15,10 @@ Subcommands::
                                performance deltas; different digests ->
                                explain the spec difference.  Non-zero
                                exit on any mismatch (CI-friendly).
+                               --prefix compares by longest common
+                               committed prefix instead (for pairs that
+                               legitimately diverge, e.g. the
+                               lossy-recovery pair)
 
 ``run`` and ``sweep`` accept ``--spec FILE`` instead of a registered
 name, so ad-hoc scenarios can be described in JSON and executed without
@@ -177,7 +181,12 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
 def _cmd_diff(args: argparse.Namespace) -> int:
     from repro.scenarios.diff import diff_artifact_files
 
-    code, lines = diff_artifact_files(args.left, args.right)
+    code, lines = diff_artifact_files(
+        args.left,
+        args.right,
+        prefix=getattr(args, "prefix", False),
+        min_prefix=getattr(args, "min_prefix", 1),
+    )
     stream = sys.stderr if code else sys.stdout
     for line in lines:
         print(line, file=stream)
@@ -240,6 +249,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diff.add_argument("left", help="first artifact JSON")
     diff.add_argument("right", help="second artifact JSON")
+    diff.add_argument(
+        "--prefix",
+        action="store_true",
+        help="compare by longest common committed prefix (checkpoint "
+        "chains) instead of requiring byte-identical ordering digests — "
+        "for artifact pairs that legitimately diverge, e.g. the "
+        "lossy-recovery pair",
+    )
+    diff.add_argument(
+        "--min-prefix",
+        type=int,
+        default=1,
+        dest="min_prefix",
+        help="smallest acceptable common committed prefix (ordered "
+        "positions) for a genuinely diverging point pair (default 1; "
+        "only meaningful with --prefix)",
+    )
     return parser
 
 

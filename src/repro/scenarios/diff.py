@@ -15,6 +15,17 @@ the regression-triage question in one command:
 
 The comparison returns a non-zero exit code on any mismatch so CI can
 chain it after a reproduction run.
+
+**Prefix mode** (``--prefix``) relaxes the strict contract for artifact
+pairs that legitimately diverge — e.g. the lossy-recovery scenario pair,
+where certificate piggybacking changes post-loss-window DAG timing and
+therefore the final ordering digests.  Instead of erroring on unequal
+scenario digests, matched points are compared by their committed-prefix
+checkpoint chains (:mod:`repro.obs.consistency`): the runs must agree on
+every aligned checkpoint up to their genuine divergence, and the length
+of the longest common committed prefix is reported (and gated by
+``min_prefix``).  The strict mode stays the default — the CI
+cross-backend gate depends on byte-identical digests.
 """
 
 from __future__ import annotations
@@ -23,6 +34,7 @@ import json
 from typing import Any, Dict, List, Mapping, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs.consistency import checkpoint_chain, compare_prefixes
 
 # Exit codes of the diff subcommand.
 DIFF_MATCH = 0
@@ -89,31 +101,62 @@ def _delta_line(label: str, left: Any, right: Any, unit: str = "") -> str:
     return f"      {label}: {left!r} -> {right!r}"
 
 
+def _prefix_chain(point: Mapping[str, Any]) -> List[Tuple[int, str]]:
+    """The committed-prefix chain of one artifact point."""
+    checkpoints = [
+        (int(count), digest)
+        for count, digest in (point.get("ordering_checkpoints") or ())
+    ]
+    final = (point.get("ordered_count") or 0, point.get("ordering_digest") or "")
+    return checkpoint_chain(checkpoints, final)
+
+
 def diff_artifacts(
-    left: Mapping[str, Any], right: Mapping[str, Any]
+    left: Mapping[str, Any],
+    right: Mapping[str, Any],
+    prefix: bool = False,
+    min_prefix: int = 1,
 ) -> Tuple[int, List[str]]:
-    """Compare two artifacts; returns ``(exit_code, report_lines)``."""
+    """Compare two artifacts; returns ``(exit_code, report_lines)``.
+
+    ``prefix`` switches to committed-prefix comparison (see the module
+    docstring); ``min_prefix`` is the smallest acceptable common
+    committed prefix (in ordered positions) for a point pair whose
+    chains genuinely diverge.
+    """
     lines: List[str] = []
     left_digest = left.get("scenario_digest")
     right_digest = right.get("scenario_digest")
     if left_digest != right_digest:
-        lines.append("scenario digests differ — the artifacts measured different scenarios:")
-        lines.append(f"  left:  {left_digest}")
-        lines.append(f"  right: {right_digest}")
+        if not prefix:
+            lines.append(
+                "scenario digests differ — the artifacts measured different scenarios:"
+            )
+            lines.append(f"  left:  {left_digest}")
+            lines.append(f"  right: {right_digest}")
+            spec_lines = _spec_differences(
+                left.get("scenario") or {}, right.get("scenario") or {}
+            )
+            if spec_lines:
+                lines.append("spec differences:")
+                lines.extend(spec_lines)
+            else:
+                lines.append(
+                    "specs echo identically; the digest difference comes from a "
+                    "version bump of the digest scheme"
+                )
+            return DIFF_MISMATCH, lines
+        lines.append(
+            "scenario digests differ (allowed in prefix mode); spec differences:"
+        )
         spec_lines = _spec_differences(
             left.get("scenario") or {}, right.get("scenario") or {}
         )
-        if spec_lines:
-            lines.append("spec differences:")
-            lines.extend(spec_lines)
-        else:
-            lines.append(
-                "specs echo identically; the digest difference comes from a "
-                "version bump of the digest scheme"
-            )
-        return DIFF_MISMATCH, lines
-
-    lines.append(f"scenario digest matches: {left_digest}")
+        lines.extend(spec_lines or ["  (none — digest scheme version bump)"])
+    else:
+        lines.append(f"scenario digest matches: {left_digest}")
+    if prefix:
+        return _diff_prefixes(left, right, min_prefix, lines)
     left_points = {_point_key(point): point for point in left.get("points") or ()}
     right_points = {_point_key(point): point for point in right.get("points") or ()}
     mismatched = 0
@@ -161,6 +204,60 @@ def diff_artifacts(
     return (DIFF_MISMATCH if mismatched else DIFF_MATCH), lines
 
 
-def diff_artifact_files(left_path: str, right_path: str) -> Tuple[int, List[str]]:
+def _diff_prefixes(
+    left: Mapping[str, Any],
+    right: Mapping[str, Any],
+    min_prefix: int,
+    lines: List[str],
+) -> Tuple[int, List[str]]:
+    """Committed-prefix comparison of matched points (prefix mode)."""
+    left_points = {_point_key(point): point for point in left.get("points") or ()}
+    right_points = {_point_key(point): point for point in right.get("points") or ()}
+    mismatched = 0
+    compared = 0
+    for key in sorted(set(left_points) | set(right_points), key=str):
+        label = f"{key[0]} seed {key[1]}"
+        left_point = left_points.get(key)
+        right_point = right_points.get(key)
+        if left_point is None or right_point is None:
+            side = "left" if right_point is None else "right"
+            lines.append(f"  [MISSING] {label}: only present in {side} artifact")
+            mismatched += 1
+            continue
+        compared += 1
+        comparison = compare_prefixes(
+            _prefix_chain(left_point), _prefix_chain(right_point)
+        )
+        if comparison.consistent:
+            lines.append(
+                f"  [OK] {label}: committed prefixes consistent "
+                f"({comparison.describe()})"
+            )
+        elif comparison.common_prefix >= min_prefix:
+            lines.append(f"  [PREFIX] {label}: {comparison.describe()}")
+        else:
+            mismatched += 1
+            lines.append(
+                f"  [DIVERGED] {label}: common committed prefix "
+                f"{comparison.common_prefix} below the required {min_prefix} "
+                f"({comparison.describe()})"
+            )
+    if not compared and not mismatched:
+        lines.append("  no points to compare")
+    lines.append(f"{compared} point(s) compared, {mismatched} mismatched")
+    return (DIFF_MISMATCH if mismatched else DIFF_MATCH), lines
+
+
+def diff_artifact_files(
+    left_path: str,
+    right_path: str,
+    prefix: bool = False,
+    min_prefix: int = 1,
+) -> Tuple[int, List[str]]:
     """File-level wrapper around :func:`diff_artifacts`."""
-    return diff_artifacts(load_artifact(left_path), load_artifact(right_path))
+    return diff_artifacts(
+        load_artifact(left_path),
+        load_artifact(right_path),
+        prefix=prefix,
+        min_prefix=min_prefix,
+    )

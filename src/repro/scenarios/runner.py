@@ -119,6 +119,14 @@ def build_artifact(
                 "report": result.report.as_dict(),
                 "ordering_digest": ordering_digest,
                 "ordered_count": ordered_count,
+                # Periodic (count, digest) snapshots of the observer's
+                # rolling ordering digest: the committed-prefix chain
+                # `scenarios diff --prefix` compares when two artifacts
+                # legitimately diverge (e.g. lossy piggyback on vs off).
+                "ordering_checkpoints": [
+                    list(checkpoint)
+                    for checkpoint in result.ordering_checkpoints.get(observer, ())
+                ],
                 "schedule_changes": result.report.schedule_changes,
                 "crashed_validators": list(result.crashed_validators),
                 # Reputation-reaction summary (observer's schedule history):

@@ -70,6 +70,13 @@ class ExperimentConfig:
     execution_capacity_tps: Optional[float] = None
     # Certificate fan-out wire format (see NodeConfig.certificate_batching).
     certificate_batching: bool = True
+    # Relay recently collected certificates on the propose fan-out so a
+    # lost certificate heals without a fetch round-trip (see
+    # NodeConfig.certificate_piggyback).  Off by default: loss-free runs
+    # are byte-identical either way, but lossy-run digests change with
+    # the flag on, so lossy comparisons use committed-prefix invariants
+    # (:mod:`repro.obs.consistency`) instead of digest equality.
+    certificate_piggyback: bool = False
     # Client failover during partition windows: when on, load generators
     # retarget to the majority side while a PartitionPlan window is open
     # (the way real benchmark clients abandon unreachable endpoints) and
@@ -97,6 +104,13 @@ class ExperimentConfig:
     # fine up to committee ~50, prohibitive at committee 100+.  Only
     # meaningful together with ``trace``.
     trace_limit: Optional[int] = None
+    # Sampling mode for the tracer: keep every Nth emitted event (the
+    # first of each stride), dropping the rest at the emit site.  ``None``
+    # (or 1) keeps the full stream.  Composes with ``trace_limit``: the
+    # ring bound applies to the sampled stream, and exports carry one
+    # ``trace_sampled`` marker so consumers can tell a thinned trace from
+    # a complete one.  Only meaningful together with ``trace``.
+    trace_sample_every: Optional[int] = None
 
     def validate(self) -> "ExperimentConfig":
         if self.protocol not in (PROTOCOL_HAMMERHEAD, PROTOCOL_BULLSHARK):
@@ -151,6 +165,8 @@ class ExperimentConfig:
             raise ConfigurationError("seeds must lie in [0, 4096)")
         if self.trace_limit is not None and self.trace_limit < 1:
             raise ConfigurationError("trace_limit must be positive (or None)")
+        if self.trace_sample_every is not None and self.trace_sample_every < 1:
+            raise ConfigurationError("trace_sample_every must be positive (or None)")
         if not 0.0 <= self.exclude_fraction < 1.0:
             raise ConfigurationError("exclude_fraction must lie in [0, 1)")
         return self
@@ -182,6 +198,14 @@ class ExperimentResult:
     # trajectory per schedule change, rounds-until-demotion and leader-
     # slot share of the fault-affected validators.
     reputation: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    # Periodic (ordered_count, rolling-digest) snapshots per validator
+    # (every ORDERING_CHECKPOINT_INTERVAL ordered vertices; see
+    # :mod:`repro.consensus.bullshark`).  Two runs whose digests differ
+    # can still be compared by their longest common committed prefix
+    # (:mod:`repro.obs.consistency`) — the lossy-run comparison story.
+    ordering_checkpoints: Dict[int, List[Tuple[int, str]]] = dataclasses.field(
+        default_factory=dict
+    )
     # Instrumentation counter snapshot (always populated; cheap).  Memo
     # hit/miss entries describe process-wide caches and must never be
     # folded into digests or run-to-run comparisons.

@@ -114,6 +114,7 @@ class SimulationRunner:
             base.max_batch_size = self.config.max_batch_size
         base.record_sequence = self.config.record_sequences
         base.certificate_batching = self.config.certificate_batching
+        base.certificate_piggyback = self.config.certificate_piggyback
         base.scoring_rule = self.config.scoring
         return base.validate()
 
@@ -192,7 +193,9 @@ class SimulationRunner:
         """
         simulator = self.simulator
         self.tracer = MemoryTracer(
-            clock=lambda: simulator.now, max_events=self.config.trace_limit
+            clock=lambda: simulator.now,
+            max_events=self.config.trace_limit,
+            sample_every=self.config.trace_sample_every,
         )
         self.registry = InstrumentationRegistry()
         self.network.install_observability(self.tracer, self.registry)
@@ -390,6 +393,18 @@ class SimulationRunner:
             ),
             "node.fetch_requests": float(sum(node.fetch_requests_sent for node in nodes)),
             "node.recoveries": float(sum(node.recoveries for node in nodes)),
+            "node.certificates_piggybacked": float(
+                sum(
+                    getattr(node.broadcast_protocol, "certificates_piggybacked", 0)
+                    for node in nodes
+                )
+            ),
+            "node.certificates_healed": float(
+                sum(
+                    getattr(node.broadcast_protocol, "certificates_healed", 0)
+                    for node in nodes
+                )
+            ),
             "memo.broadcast_digest.hits": float(BROADCAST_DIGEST_MEMO.hits),
             "memo.broadcast_digest.misses": float(BROADCAST_DIGEST_MEMO.misses),
             "memo.broadcast_digest.size": float(len(BROADCAST_DIGEST_MEMO)),
@@ -408,6 +423,7 @@ class SimulationRunner:
         if self.tracer is not None:
             counters["trace.events_kept"] = float(len(self.tracer.events))
             counters["trace.events_dropped"] = float(self.tracer.dropped)
+            counters["trace.events_sampled_out"] = float(self.tracer.sampled_out)
         return counters
 
     def _build_result(self) -> ExperimentResult:
@@ -449,6 +465,10 @@ class SimulationRunner:
             validator: (node.consensus.ordered_count, node.consensus.ordering_digest)
             for validator, node in self.nodes.items()
         }
+        ordering_checkpoints = {
+            validator: list(node.consensus.ordering_checkpoints)
+            for validator, node in self.nodes.items()
+        }
         schedule_epochs = {
             validator: node.schedule_manager.epochs for validator, node in self.nodes.items()
         }
@@ -469,6 +489,7 @@ class SimulationRunner:
             config=config,
             report=report,
             ordering_digests=ordering_digests,
+            ordering_checkpoints=ordering_checkpoints,
             schedule_epochs=schedule_epochs,
             schedule_histories=schedule_histories,
             leader_timeouts=leader_timeouts,

@@ -39,6 +39,7 @@ from repro.rbc.messages import (
     CertificateBatch,
     CertificateMessage,
     EchoMessage,
+    PiggybackedPropose,
     ProposeMessage,
     ReadyMessage,
 )
@@ -163,6 +164,14 @@ messages = st.one_of(
         voter=validator_ids,
     ),
     certificates,
+    st.builds(
+        PiggybackedPropose,
+        origin=validator_ids,
+        round=rounds,
+        digest=digests,
+        payload=st.none() | vertices(),
+        certificates=st.lists(certificates, max_size=3).map(tuple),
+    ),
     st.builds(
         CertificateBatch,
         origin=validator_ids,

@@ -1,0 +1,443 @@
+"""Property and differential suite for certificate piggybacking.
+
+``NodeConfig.certificate_piggyback`` attaches recently collected
+certificates to the propose fan-out so receivers can heal a lost
+certificate from a local stash instead of a fetch round-trip.  Two
+contracts are pinned here:
+
+* **Loss-free transparency** — with no loss there is nothing to heal:
+  the stash is consulted only on the fetch-trigger path, which never
+  fires, so piggyback on/off runs are byte-identical (same transport
+  statistics, same DAG state, same ordering digest) across committee
+  sizes.
+* **Lossy effectiveness** — under a loss window the piggyback run
+  issues strictly fewer fetches, heals at least one certificate, stays
+  prefix-consistent with the non-piggyback run, and never stalls parked
+  vertices longer on average.
+
+Plus the protocol-level selection/dedup/bounded-state/hostile-input
+properties of :class:`~repro.rbc.certified.CertifiedBroadcast`.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.committee import Committee
+from repro.faults.partition import NetworkDisturbanceFault
+from repro.network.latency import UniformLatencyModel
+from repro.network.simulator import Simulator
+from repro.network.transport import Network
+from repro.obs.consistency import check_run_consistency, checkpoint_chain, compare_prefixes
+from repro.obs.recovery import mine_recovery
+from repro.rbc.certified import (
+    PIGGYBACK_DEPTH,
+    PIGGYBACK_MAX_PER_ENVELOPE,
+    PIGGYBACK_PENDING_LIMIT,
+    PIGGYBACK_RECENT_LIMIT,
+    PIGGYBACK_SEEN_LIMIT,
+    CertifiedBroadcast,
+)
+from repro.rbc.messages import CertificateBatch, CertificateMessage, PiggybackedPropose
+from repro.sim.experiment import ExperimentConfig
+from repro.sim.runner import SimulationRunner
+
+
+def run_runner(config: ExperimentConfig) -> SimulationRunner:
+    runner = SimulationRunner(config)
+    runner.run()
+    return runner
+
+
+def dag_state(runner: SimulationRunner):
+    """Full per-validator DAG fingerprint: stored ids, digests, pending."""
+    state = {}
+    for validator, node in runner.nodes.items():
+        state[validator] = (
+            sorted((vertex.id, vertex.digest) for vertex in node.dag),
+            sorted(vertex.id for vertex in node.dag.pending_vertices()),
+            node.dag.lowest_round,
+            node.consensus.ordering_digest,
+            node.consensus.ordered_count,
+        )
+    return state
+
+
+def loss_window(duration):
+    """A mid-run loss+jitter window covering a third of the run."""
+    return (
+        NetworkDisturbanceFault(
+            jitter=0.02, loss_rate=0.12, start=duration / 4, end=duration / 2
+        ),
+    )
+
+
+def total_fetches(runner: SimulationRunner) -> int:
+    return sum(node.fetch_requests_sent for node in runner.nodes.values())
+
+
+def total_healed(runner: SimulationRunner) -> int:
+    return sum(
+        node.broadcast_protocol.certificates_healed for node in runner.nodes.values()
+    )
+
+
+# -- loss-free transparency ----------------------------------------------------
+
+LOSS_FREE_CASES = [
+    # (committee_size, protocol, duration)
+    pytest.param(10, "bullshark", 8.0, id="committee10"),
+    pytest.param(25, "hammerhead", 5.0, id="committee25"),
+    pytest.param(100, "bullshark", 2.0, id="committee100"),
+]
+
+
+@pytest.mark.parametrize("size,protocol,duration", LOSS_FREE_CASES)
+def test_loss_free_piggyback_is_byte_identical(size, protocol, duration):
+    """Without loss the stash is never consulted, so piggyback on/off
+    runs produce identical transport statistics and DAG state."""
+    base = ExperimentConfig(
+        protocol=protocol,
+        committee_size=size,
+        faults=0,
+        input_load_tps=600.0,
+        duration=duration,
+        warmup=1.0,
+        seed=7,
+        commits_per_schedule=4,
+        latency_model="geo",
+    )
+    on = run_runner(base.with_overrides(certificate_piggyback=True))
+    off = run_runner(base.with_overrides(certificate_piggyback=False))
+    assert on.network.stats.as_dict() == off.network.stats.as_dict()
+    assert dag_state(on) == dag_state(off)
+    # Nothing to heal: the fetch trigger (the only stash consumer) never fired.
+    assert total_healed(on) == 0
+
+
+def test_lossy_piggyback_invariants():
+    """Under a loss window the piggyback run fetches less, heals from
+    the stash, stays prefix-consistent, and stalls parked vertices no
+    longer on average."""
+    duration = 20.0
+    base = ExperimentConfig(
+        protocol="bullshark",
+        committee_size=10,
+        faults=0,
+        input_load_tps=600.0,
+        duration=duration,
+        warmup=2.0,
+        seed=11,
+        commits_per_schedule=4,
+        extra_faults=loss_window(duration),
+        latency_model="geo",
+        trace=True,
+    )
+    off = run_runner(base.with_overrides(certificate_piggyback=False))
+    on = run_runner(base.with_overrides(certificate_piggyback=True))
+
+    assert total_fetches(off) > 0, "loss window produced no fetches to save"
+    assert total_fetches(on) < total_fetches(off)
+    assert total_healed(on) > 0
+    assert total_healed(off) == 0
+
+    # Intra-run safety: every validator's committed prefix agrees.
+    for runner in (off, on):
+        digests = {
+            validator: (node.consensus.ordered_count, node.consensus.ordering_digest)
+            for validator, node in runner.nodes.items()
+        }
+        checkpoints = {
+            validator: list(node.consensus.ordering_checkpoints)
+            for validator, node in runner.nodes.items()
+        }
+        assert check_run_consistency(digests, checkpoints) == []
+
+    # Cross-run: the two variants commit consistent prefixes.
+    observer = base.observer
+    chains = {}
+    for label, runner in (("off", off), ("on", on)):
+        node = runner.nodes[observer]
+        chains[label] = checkpoint_chain(
+            list(node.consensus.ordering_checkpoints),
+            (node.consensus.ordered_count, node.consensus.ordering_digest),
+        )
+    assert compare_prefixes(chains["off"], chains["on"]).consistent
+
+    # Park-to-promote stalls mined from the traces: healing beats fetching.
+    stalls = {
+        label: mine_recovery(runner.tracer.export_events()).summary()
+        for label, runner in (("off", off), ("on", on))
+    }
+    assert stalls["off"]["count"] > 0
+    assert stalls["on"]["avg"] <= stalls["off"]["avg"]
+
+
+# -- protocol-level selection / dedup / bounds --------------------------------
+
+
+def certified_cluster(size=4, seed=3, piggyback=True):
+    committee = Committee.build(size)
+    simulator = Simulator(seed=seed)
+    network = Network(
+        simulator, latency_model=UniformLatencyModel(base_delay=0.01, jitter=0.002)
+    )
+    deliveries = {index: [] for index in range(size)}
+    protocols = {}
+    for index in range(size):
+        protocol = CertifiedBroadcast(
+            index,
+            committee,
+            network,
+            lambda delivery, index=index: deliveries[index].append(delivery),
+            piggyback_certificates=piggyback,
+        )
+        protocols[index] = protocol
+        network.register(
+            index,
+            committee.region_of(index),
+            lambda sender, message, index=index: protocols[index].handle_message(
+                sender, message
+            ),
+        )
+    return committee, simulator, network, protocols, deliveries
+
+
+def harvest_certificates(rounds=3, size=4):
+    """Real certificates produced by running the certified protocol."""
+    committee, simulator, network, protocols, _ = certified_cluster(size=size)
+    collected = {}
+
+    original = Network.broadcast
+
+    def capture(self, sender, message, include_self=True):
+        if isinstance(message, CertificateBatch):
+            for certificate in message.certificates:
+                collected[(certificate.origin, certificate.round)] = certificate
+        elif isinstance(message, CertificateMessage):
+            collected[(message.origin, message.round)] = message
+        return original(self, sender, message, include_self)
+
+    Network.broadcast = capture
+    try:
+        for round_number in range(1, rounds + 1):
+            for index in protocols:
+                protocols[index].broadcast(f"payload-{index}-{round_number}", round_number)
+            simulator.run_until_idle(max_time=10.0 * round_number)
+    finally:
+        Network.broadcast = original
+    return committee, collected
+
+
+def fake_certificate(origin, round_number):
+    """A structurally valid (but unverifiable) piggyback candidate —
+    fine for selection/bounds tests, which never verify."""
+    return CertificateMessage(
+        origin=origin,
+        round=round_number,
+        digest=bytes([origin % 256]) * 32,
+        payload=f"payload-{origin}-{round_number}",
+        signers=(origin,),
+    )
+
+
+def test_select_never_rides_twice_and_caps_envelope():
+    """A certificate is piggybacked to a given peer at most once, and an
+    envelope never carries more than PIGGYBACK_MAX_PER_ENVELOPE."""
+    _, _, _, protocols, _ = certified_cluster(size=4)
+    protocol = protocols[0]
+    for origin in range(5, 5 + PIGGYBACK_MAX_PER_ENVELOPE + 8):
+        protocol._record_recent(fake_certificate(origin, 6))
+    first = protocol._select_piggyback(1, 6)
+    assert len(first) == PIGGYBACK_MAX_PER_ENVELOPE
+    second = protocol._select_piggyback(1, 6)
+    # The 8 left over after the cap — never anything from the first batch.
+    assert len(second) == 8
+    first_keys = {(c.origin, c.round) for c in first}
+    second_keys = {(c.origin, c.round) for c in second}
+    assert not first_keys & second_keys
+    assert protocol._select_piggyback(1, 6) == ()
+
+
+def test_select_skips_provably_seen_certificates():
+    """Never relay to the certificate's own origin, to the peer that
+    sent it to us, or below the round horizon."""
+    _, _, _, protocols, _ = certified_cluster(size=6)
+    protocol = protocols[0]
+    stale = fake_certificate(4, 6 - PIGGYBACK_DEPTH - 1)
+    fresh = fake_certificate(5, 6)
+    protocol._record_recent(stale)
+    protocol._record_recent(fresh)
+    protocol._note_peer_has(2, (fresh.origin, fresh.round))
+
+    # Peer 5 is the fresh certificate's origin: never echoed back.
+    assert all(c.origin != 5 for c in protocol._select_piggyback(5, 6))
+    # Peer 2 provably has it (it sent it to us): not re-relayed.
+    assert fresh not in protocol._select_piggyback(2, 6)
+    # The stale certificate is below the depth horizon for everyone.
+    assert all(c is not stale for c in protocol._select_piggyback(3, 6))
+    # Never piggyback to ourselves.
+    assert protocol._select_piggyback(0, 6) == ()
+
+
+def test_propose_edges_retire_peer_deltas():
+    """A peer's proposal edges are proof it holds those certificates —
+    they drop out of the peer's future deltas."""
+    from types import SimpleNamespace
+
+    from repro.types import VertexId
+
+    _, _, _, protocols, _ = certified_cluster(size=4)
+    protocol = protocols[0]
+    cited = fake_certificate(2, 5)
+    uncited = fake_certificate(3, 5)
+    protocol._record_recent(cited)
+    protocol._record_recent(uncited)
+    payload = SimpleNamespace(edges=frozenset({VertexId(5, 2)}))
+    protocol._note_peer_edges(1, payload)
+    delta = protocol._select_piggyback(1, 6)
+    assert uncited in delta
+    assert cited not in delta
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_piggyback_tables_stay_bounded(data):
+    """Hammering the protocol with certificates, evidence, and stashed
+    envelopes never grows any table past its cap."""
+    _, _, _, protocols, _ = certified_cluster(size=4)
+    protocol = protocols[0]
+    origins = st.integers(min_value=0, max_value=2000)
+    rounds = st.integers(min_value=1, max_value=2000)
+    for _ in range(data.draw(st.integers(min_value=200, max_value=400), label="ops")):
+        origin = data.draw(origins, label="origin")
+        round_number = data.draw(rounds, label="round")
+        certificate = fake_certificate(origin, round_number)
+        action = data.draw(st.integers(min_value=0, max_value=2), label="action")
+        if action == 0:
+            protocol._record_recent(certificate)
+        elif action == 1:
+            protocol._note_peer_has(data.draw(st.integers(0, 3), label="peer"), (origin, round_number))
+        else:
+            envelope = PiggybackedPropose(
+                origin=1,
+                round=round_number,
+                digest=bytes(32),
+                payload=None,
+                certificates=(certificate,),
+            )
+            protocol._handle_piggybacked_propose(1, envelope)
+    assert len(protocol._recent_certificates) <= PIGGYBACK_RECENT_LIMIT
+    assert len(protocol._pending_certificates) <= PIGGYBACK_PENDING_LIMIT
+    for seen in protocol._peer_seen.values():
+        assert len(seen) <= PIGGYBACK_SEEN_LIMIT
+
+
+# -- stash semantics: hostile, duplicate, and valid certificates --------------
+
+
+def test_hostile_piggybacked_certificate_sits_inert_and_never_heals():
+    """A forged certificate rides into the stash but delivers nothing:
+    recovery verifies, rejects, and discards it."""
+    _, _, _, protocols, deliveries = certified_cluster(size=4)
+    receiver = protocols[0]
+    forged = CertificateMessage(
+        origin=2, round=4, digest=b"\x00" * 32, payload="forged", signers=(1,)
+    )
+    envelope = PiggybackedPropose(
+        origin=1, round=4, digest=b"\x01" * 32, payload=None, certificates=(forged,)
+    )
+    receiver.handle_message(1, envelope)
+    receiver.handle_message(1, envelope)  # duplicate stash is idempotent
+    assert list(receiver._pending_certificates) == [(2, 4)]
+    assert deliveries[0] == []
+    assert receiver.recover_certificate(2, 4) is False
+    assert receiver.certificates_healed == 0
+    assert deliveries[0] == []
+    assert (2, 4) not in receiver._pending_certificates
+
+
+def test_piggybacked_envelope_from_relay_is_not_stashed():
+    """Only the proposal's own origin may attach certificates — a relayed
+    envelope (sender != origin) stashes nothing."""
+    _, _, _, protocols, _ = certified_cluster(size=4)
+    receiver = protocols[0]
+    certificate = fake_certificate(3, 4)
+    envelope = PiggybackedPropose(
+        origin=1, round=4, digest=b"\x01" * 32, payload=None, certificates=(certificate,)
+    )
+    receiver.handle_message(2, envelope)
+    assert receiver._pending_certificates == {}
+
+
+def standalone_receiver(committee, received):
+    """A lone piggyback-enabled receiver on its own network (registered
+    so its Ack replies have a live endpoint to send from)."""
+    network = Network(Simulator(seed=0))
+    receiver = CertifiedBroadcast(
+        0,
+        committee,
+        network=network,
+        on_deliver=received.append,
+        piggyback_certificates=True,
+    )
+    for index in committee.validators:
+        if index == 0:
+            network.register(0, committee.region_of(0), receiver.handle_message)
+        else:
+            network.register(index, committee.region_of(index), lambda sender, message: None)
+    return receiver
+
+
+def test_valid_stash_heals_once_and_dedups_later_certificate():
+    """A genuine stashed certificate heals exactly once; the real
+    certificate arriving later is deduplicated."""
+    committee, harvested = harvest_certificates()
+    key, certificate = sorted(harvested.items())[0]
+    received = []
+    receiver = standalone_receiver(committee, received)
+    sender = (certificate.origin + 1) % len(committee.validators)
+    envelope = PiggybackedPropose(
+        origin=sender,
+        round=certificate.round,
+        digest=b"\x01" * 32,
+        payload=None,
+        certificates=(certificate,),
+    )
+    receiver.handle_message(sender, envelope)
+    assert received == []  # stash is passive: nothing delivered yet
+
+    assert receiver.recover_certificate(*key) is True
+    assert receiver.certificates_healed == 1
+    assert [(d.origin, d.round) for d in received] == [key]
+
+    # Stash is consumed; a second recovery finds nothing.
+    assert receiver.recover_certificate(*key) is False
+    # The real certificate arriving later is a duplicate, not a redelivery.
+    receiver.handle_message(certificate.origin, certificate)
+    assert len(received) == 1
+
+
+def test_recover_after_delivery_reports_healed_without_redelivering():
+    """Recovering a key whose payload already arrived returns True (the
+    fetch is unnecessary) without delivering twice or counting a heal."""
+    committee, harvested = harvest_certificates()
+    key, certificate = sorted(harvested.items())[0]
+    received = []
+    receiver = standalone_receiver(committee, received)
+    sender = (certificate.origin + 1) % len(committee.validators)
+    envelope = PiggybackedPropose(
+        origin=sender,
+        round=certificate.round,
+        digest=b"\x01" * 32,
+        payload=None,
+        certificates=(certificate,),
+    )
+    receiver.handle_message(sender, envelope)
+    # The real certificate wins the race: delivered through the normal path.
+    receiver.handle_message(certificate.origin, certificate)
+    assert len(received) == 1
+
+    assert receiver.recover_certificate(*key) is True
+    assert receiver.certificates_healed == 0
+    assert len(received) == 1

@@ -36,6 +36,7 @@ from repro.rbc.messages import (
     CertificateBatch,
     CertificateMessage,
     EchoMessage,
+    PiggybackedPropose,
     ProposeMessage,
     ReadyMessage,
 )
@@ -81,6 +82,10 @@ def _sample_of_each_type():
         FetchResponse(responder=0, vertices=(vertex,), responder_gc_round=1, snapshot=snapshot),
         BroadcastMessage(origin=0, round=1, digest=b"\x01" * 32),
         ProposeMessage(origin=0, round=2, digest=vertex.digest, payload=vertex),
+        PiggybackedPropose(
+            origin=0, round=2, digest=vertex.digest, payload=vertex,
+            certificates=(certificate,),
+        ),
         AckMessage(origin=0, round=2, digest=vertex.digest, voter=3),
         certificate,
         CertificateBatch(origin=1, round=2, digest=vertex.digest, certificates=(certificate,)),

@@ -212,6 +212,30 @@ class TestQueries:
         assert "policy" in text
         assert "dropped 1 message(s)" in text
 
+    def test_explain_skip_breaks_drops_down_by_reason(self):
+        text = "\n".join(query.explain_anchor(synthetic_trace(), 6))
+        assert "(1 sender_crashed)" in text
+        # No loss-window drops in the base trace: no window line.
+        assert "loss window(s) involved" not in text
+
+    def test_explain_skip_names_loss_windows_and_anchor_broadcast(self):
+        """Loss drops carry the disturbance window token and (for
+        broadcast envelopes) origin/round — explain surfaces both."""
+        trace = synthetic_trace() + [
+            {"kind": "message_dropped", "t": 2.6, "sender": 2, "destination": 1,
+             "type": "CertificateMessage", "reason": "loss", "window": "8.0-14.0",
+             "origin": 2, "round": 5},
+            {"kind": "message_dropped", "t": 2.7, "sender": 2, "destination": 3,
+             "type": "ProposeMessage", "reason": "loss", "window": "8.0-14.0",
+             "origin": 2, "round": 6},
+        ]
+        text = "\n".join(query.explain_anchor(trace, 6))
+        assert "dropped 3 message(s)" in text
+        assert "2 loss" in text and "1 sender_crashed" in text
+        assert "loss window(s) involved: 8.0-14.0" in text
+        assert "1 of them carried the leader's r=6 broadcast itself" in text
+        assert "ProposeMessage" in text
+
     def test_explain_committed_anchor(self):
         (line,) = query.explain_anchor(synthetic_trace(), 4)
         assert "not skipped" in line and "directly" in line

@@ -118,6 +118,51 @@ class TestDiffArtifacts:
         assert code == DIFF_MISMATCH
         assert any("workload.shape" in line for line in lines)
 
+    def test_prefix_mode_accepts_consistent_divergence(self):
+        """Two runs that diverge after a loss window but agree on every
+        aligned checkpoint pass in prefix mode (strict mode fails)."""
+        checkpoints = [[64, "c" * 64], [128, "d" * 64]]
+        left_point = dict(point(digest="a" * 64, ordered=150))
+        right_point = dict(point(digest="b" * 64, ordered=170))
+        left_point["ordering_checkpoints"] = checkpoints
+        right_point["ordering_checkpoints"] = checkpoints
+        left = artifact(points=[left_point])
+        right = artifact(points=[right_point])
+        assert diff_artifacts(left, right)[0] == DIFF_MISMATCH
+        code, lines = diff_artifacts(left, right, prefix=True, min_prefix=64)
+        assert code == DIFF_MATCH
+        assert any("[OK]" in line and "consistent" in line for line in lines)
+
+    def test_prefix_mode_gates_on_min_prefix(self):
+        """A genuine checkpoint contradiction below min_prefix fails."""
+        left_point = dict(point(digest="a" * 64, ordered=150))
+        right_point = dict(point(digest="b" * 64, ordered=170))
+        left_point["ordering_checkpoints"] = [[64, "c" * 64], [128, "d" * 64]]
+        right_point["ordering_checkpoints"] = [[64, "c" * 64], [128, "X" * 64]]
+        left = artifact(points=[left_point])
+        right = artifact(points=[right_point])
+        code, lines = diff_artifacts(left, right, prefix=True, min_prefix=64)
+        assert code == DIFF_MATCH
+        assert any("[PREFIX]" in line for line in lines)
+        code, lines = diff_artifacts(left, right, prefix=True, min_prefix=100)
+        assert code == DIFF_MISMATCH
+        assert any("[DIVERGED]" in line for line in lines)
+
+    def test_prefix_mode_tolerates_spec_differences(self):
+        """Prefix mode exists to compare *different* scenarios (piggyback
+        on vs off): scenario digests may differ without failing."""
+        shared = dict(point(digest="a" * 64))
+        left = artifact(spec={"name": "x", "certificate_piggyback": False},
+                        points=[shared])
+        right = artifact(scenario_digest="e" * 64,
+                         spec={"name": "x", "certificate_piggyback": True},
+                         points=[json.loads(json.dumps(shared))])
+        code, lines = diff_artifacts(left, right, prefix=True)
+        assert code == DIFF_MATCH
+        text = "\n".join(lines)
+        assert "allowed in prefix mode" in text
+        assert "certificate_piggyback" in text
+
     def test_load_artifact_rejects_junk(self, tmp_path):
         path = tmp_path / "junk.json"
         path.write_text(json.dumps({"some": "document"}))

@@ -1,0 +1,125 @@
+"""Unit tests for trace sampling (``MemoryTracer(sample_every=N)``).
+
+Sampling thins the event stream at the emit site: the first event of
+every stride of N survives, the other N-1 are counted in
+``sampled_out`` and never allocated.  It composes with the ring bound
+(``max_events``), and exports carry a ``trace_sampled`` marker so JSONL
+consumers can tell a thinned trace from a complete one.
+"""
+
+import pytest
+
+from repro.obs.trace import MemoryTracer
+from repro.sim.experiment import ExperimentConfig
+
+
+def fill(tracer, count, start=0):
+    for index in range(start, start + count):
+        tracer.emit("vertex_inserted", round=index, source=0)
+
+
+class TestSampling:
+    def test_keeps_first_of_every_stride(self):
+        tracer = MemoryTracer(sample_every=3)
+        fill(tracer, 10)
+        kept = [event["round"] for event in tracer.events]
+        assert kept == [0, 3, 6, 9]
+        assert tracer.sampled_out == 6
+
+    def test_sample_every_one_keeps_everything(self):
+        tracer = MemoryTracer(sample_every=1)
+        fill(tracer, 7)
+        assert len(tracer.events) == 7
+        assert tracer.sampled_out == 0
+
+    def test_none_keeps_everything(self):
+        tracer = MemoryTracer()
+        fill(tracer, 7)
+        assert len(tracer.events) == 7
+        assert tracer.sampled_out == 0
+
+    def test_rejects_non_positive_stride(self):
+        with pytest.raises(ValueError):
+            MemoryTracer(sample_every=0)
+        with pytest.raises(ValueError):
+            MemoryTracer(sample_every=-2)
+
+    def test_composes_with_ring_bound(self):
+        """The ring bound applies to the already-sampled stream: a
+        sampled run keeps the newest window of the cross-section."""
+        tracer = MemoryTracer(max_events=3, sample_every=2)
+        fill(tracer, 12)  # samples rounds 0,2,4,6,8,10; ring keeps last 3
+        assert [event["round"] for event in tracer.events] == [6, 8, 10]
+        assert tracer.sampled_out == 6
+        assert tracer.dropped == 3
+
+
+class TestExportMarkers:
+    def test_sampled_export_carries_marker_first(self):
+        tracer = MemoryTracer(sample_every=2)
+        fill(tracer, 6)
+        exported = tracer.export_events()
+        marker = exported[0]
+        assert marker["kind"] == "trace_sampled"
+        assert marker["sample_every"] == 2
+        assert marker["sampled_out"] == 3
+        assert marker["kept"] == 3
+        assert marker["t"] == exported[1]["t"]
+        assert [event["kind"] for event in exported[1:]] == ["vertex_inserted"] * 3
+
+    def test_truncation_marker_precedes_sampling_marker(self):
+        tracer = MemoryTracer(max_events=2, sample_every=2)
+        fill(tracer, 10)
+        exported = tracer.export_events()
+        assert [event["kind"] for event in exported[:2]] == [
+            "trace_truncated",
+            "trace_sampled",
+        ]
+        first_retained_t = exported[2]["t"]
+        assert exported[0]["t"] == first_retained_t
+        assert exported[1]["t"] == first_retained_t
+
+    def test_unsampled_export_has_no_marker(self):
+        for tracer in (MemoryTracer(), MemoryTracer(sample_every=1)):
+            fill(tracer, 4)
+            assert all(
+                event["kind"] != "trace_sampled" for event in tracer.export_events()
+            )
+
+
+class TestConfigPlumbing:
+    def test_config_rejects_non_positive_stride(self):
+        from repro.errors import ConfigurationError
+
+        ExperimentConfig(trace=True, trace_sample_every=4).validate()
+        ExperimentConfig(trace=True, trace_sample_every=None).validate()
+        for stride in (0, -3):
+            with pytest.raises(ConfigurationError, match="trace_sample_every"):
+                ExperimentConfig(trace=True, trace_sample_every=stride).validate()
+
+    def test_sampled_run_thins_the_stream(self):
+        from repro.sim.runner import SimulationRunner
+
+        base = ExperimentConfig(
+            committee_size=4,
+            faults=0,
+            input_load_tps=200.0,
+            duration=4.0,
+            warmup=1.0,
+            seed=5,
+            trace=True,
+        )
+        full = SimulationRunner(base)
+        full.run()
+        sampled = SimulationRunner(base.with_overrides(trace_sample_every=4))
+        sampled.run()
+        assert len(sampled.tracer.events) < len(full.tracer.events)
+        assert sampled.tracer.sampled_out > 0
+        # The sampled stream is a subset cross-section of the full one.
+        full_events = {
+            (event["kind"], event["t"], event.get("round"), event.get("source"))
+            for event in full.tracer.events
+        }
+        for event in sampled.tracer.events:
+            key = (event["kind"], event["t"], event.get("round"), event.get("source"))
+            assert key in full_events
